@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the quasi-clique engine: the three mining modes and
+//! both search orders on a planted-community graph (the workload shape of
+//! every SCPM coverage call).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scpm_graph::generators::planted::{BackgroundModel, PlantedCommunityConfig, PlantedGraph};
+use scpm_quasiclique::{Miner, QcConfig, SearchOrder};
+
+fn planted(n: usize) -> PlantedGraph {
+    PlantedGraph::generate(
+        &PlantedCommunityConfig {
+            n,
+            background: BackgroundModel::Uniform { mean_degree: 3.0 },
+            num_communities: n / 100,
+            community_size: (8, 14),
+            p_in: 0.8,
+        },
+        7,
+    )
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let pg = planted(2000);
+    let cfg = QcConfig::new(0.5, 6);
+    let mut group = c.benchmark_group("quasiclique_modes");
+    group.sample_size(10);
+    group.bench_function("coverage", |b| {
+        b.iter(|| Miner::new(&pg.graph, cfg).coverage().covered.len())
+    });
+    group.bench_function("enumerate_maximal", |b| {
+        b.iter(|| Miner::new(&pg.graph, cfg).enumerate_maximal().cliques.len())
+    });
+    group.bench_function("top_5", |b| {
+        b.iter(|| Miner::new(&pg.graph, cfg).top_k(5).cliques.len())
+    });
+    group.finish();
+}
+
+fn bench_orders(c: &mut Criterion) {
+    let pg = planted(2000);
+    let cfg = QcConfig::new(0.5, 6);
+    let mut group = c.benchmark_group("quasiclique_orders");
+    group.sample_size(10);
+    for (name, order) in [("dfs", SearchOrder::Dfs), ("bfs", SearchOrder::Bfs)] {
+        group.bench_with_input(BenchmarkId::new("coverage", name), &order, |b, &o| {
+            b.iter(|| Miner::new(&pg.graph, cfg).with_order(o).coverage().covered.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quasiclique_scaling");
+    group.sample_size(10);
+    for n in [1000, 2000, 4000] {
+        let pg = planted(n);
+        let cfg = QcConfig::new(0.5, 6);
+        group.bench_with_input(BenchmarkId::new("coverage", n), &pg, |b, pg| {
+            b.iter(|| Miner::new(&pg.graph, cfg).coverage().covered.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_orders, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end benchmarks: SCPM-DFS vs SCPM-BFS vs Naive (the Figure 8
+//! comparison at micro scale), and the parallel driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scpm_core::{run_naive, run_parallel, Scpm, ScpmParams};
+use scpm_datasets::small_dblp_like;
+use scpm_quasiclique::SearchOrder;
+
+fn params(sigma_min: usize) -> ScpmParams {
+    ScpmParams::new(sigma_min, 0.5, 11)
+        .with_eps_min(0.1)
+        .with_delta_min(1.0)
+        .with_top_k(5)
+        .with_max_attrs(3)
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let dataset = small_dblp_like(0.02, 77);
+    let g = &dataset.graph;
+    let sigma_min = 5;
+    let mut group = c.benchmark_group("scpm_vs_naive");
+    group.sample_size(10);
+    group.bench_function("scpm_dfs", |b| {
+        b.iter(|| Scpm::new(g, params(sigma_min).with_order(SearchOrder::Dfs)).run())
+    });
+    group.bench_function("scpm_bfs", |b| {
+        b.iter(|| Scpm::new(g, params(sigma_min).with_order(SearchOrder::Bfs)).run())
+    });
+    group.bench_function("naive", |b| b.iter(|| run_naive(g, &params(sigma_min))));
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let dataset = small_dblp_like(0.04, 77);
+    let g = &dataset.graph;
+    let mut group = c.benchmark_group("scpm_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| run_parallel(g, params(8), t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_parallel);
+criterion_main!(benches);

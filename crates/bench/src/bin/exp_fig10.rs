@@ -1,0 +1,98 @@
+//! E-F10 — Figure 10: parameter sensitivity. Average ε and δ of the
+//! complete output (global) and of the top-10% attribute sets on the
+//! SmallDBLP-like dataset, varying γmin (a, d), min_size (b, e) and σmin
+//! (c, f).
+//!
+//! ```text
+//! cargo run --release -p scpm-bench --bin exp_fig10 [scale] [seed]
+//! ```
+//!
+//! Expected shape (paper): more restrictive quasi-clique parameters
+//! (higher γmin / min_size) reduce average ε but can *increase* average δ
+//! (dense subgraphs become less expected); higher σmin raises average ε
+//! but lowers average δ because high-support sets also have high expected
+//! correlation.
+
+use scpm_bench::{arg_f64, arg_usize, row, scaled_threshold};
+use scpm_core::{Scpm, ScpmParams, ScpmResult};
+use scpm_datasets::small_dblp_like;
+use scpm_graph::attributed::AttributedGraph;
+
+/// Averages a metric globally and over its top-10% reports.
+fn averages(result: &ScpmResult, metric: impl Fn(&scpm_core::AttributeSetReport) -> f64) -> (f64, f64) {
+    let mut values: Vec<f64> = result
+        .reports
+        .iter()
+        .map(&metric)
+        .filter(|v| v.is_finite())
+        .collect();
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    values.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let global = values.iter().sum::<f64>() / values.len() as f64;
+    let top = (values.len() / 10).max(1);
+    let top10 = values[..top].iter().sum::<f64>() / top as f64;
+    (global, top10)
+}
+
+fn run(graph: &AttributedGraph, sigma_min: usize, gamma: f64, min_size: usize) -> ScpmResult {
+    // Sensitivity runs need the *complete* output: no ε/δ thresholds, no
+    // per-set pattern mining (k = 0 keeps it cheap).
+    let params = ScpmParams::new(sigma_min, gamma, min_size)
+        .with_top_k(0)
+        .with_max_attrs(2);
+    Scpm::new(graph, params).run()
+}
+
+fn emit(panel_eps: &str, panel_delta: &str, param: &str, value: String, result: &ScpmResult) {
+    let (eps_global, eps_top) = averages(result, |r| r.epsilon);
+    let (delta_global, delta_top) = averages(result, |r| r.delta_lb);
+    row!(
+        panel_eps,
+        param,
+        value.clone(),
+        format!("{eps_global:.5}"),
+        format!("{eps_top:.5}")
+    );
+    row!(
+        panel_delta,
+        param,
+        value,
+        format!("{delta_global:.5e}"),
+        format!("{delta_top:.5e}")
+    );
+}
+
+fn main() {
+    let scale = arg_f64(1, 0.05);
+    let seed = arg_usize(2, 77) as u64;
+    let dataset = small_dblp_like(scale, seed);
+    let graph = &dataset.graph;
+    println!(
+        "# small-dblp-like scale={scale} vertices={} edges={}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    // Figure 10 defaults: γmin = 0.5, min_size = 10, σmin = 100 (scaled).
+    let sigma_default = scaled_threshold(100.0, scale, 5);
+    println!("# defaults: gamma=0.5 min_size=10 sigma_min={sigma_default}");
+    println!("# columns: panel\tparam\tvalue\tglobal\ttop10pct");
+
+    // (a)+(d): γmin sweep.
+    for gamma in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let result = run(graph, sigma_default, gamma, 10);
+        emit("fig10a_eps", "fig10d_delta", "gamma_min", format!("{gamma}"), &result);
+    }
+    // (b)+(e): min_size sweep.
+    for min_size in [10, 11, 12, 13, 14, 15] {
+        let result = run(graph, sigma_default, 0.5, min_size);
+        emit("fig10b_eps", "fig10e_delta", "min_size", format!("{min_size}"), &result);
+    }
+    // (c)+(f): σmin sweep (paper: 100–350).
+    for paper_sigma in [100.0, 150.0, 200.0, 250.0, 300.0, 350.0] {
+        let sigma_min = scaled_threshold(paper_sigma, scale, 5);
+        let result = run(graph, sigma_min, 0.5, 10);
+        emit("fig10c_eps", "fig10f_delta", "sigma_min", format!("{sigma_min}"), &result);
+    }
+}

@@ -1,0 +1,129 @@
+//! E-F8 — Figure 8: runtime of SCPM-BFS, SCPM-DFS and the Naive algorithm
+//! on the SmallDBLP-like dataset, sweeping one parameter per panel:
+//!
+//! * (a) γmin, (b) min_size, (c) σmin, (d) εmin, (e) δmin, (f) top-k.
+//!
+//! ```text
+//! cargo run --release -p scpm-bench --bin exp_fig8 [scale] [seed] [with_naive=1]
+//! ```
+//!
+//! Expected shape (paper): SCPM-DFS fastest (up to orders of magnitude
+//! over Naive), SCPM-BFS between, all runtimes dropping as thresholds
+//! become more restrictive; small k gives SCPM-DFS a further edge.
+
+use scpm_bench::{arg_f64, arg_usize, row, scaled_threshold, timed};
+use scpm_core::{run_naive, Scpm, ScpmParams};
+use scpm_datasets::small_dblp_like;
+use scpm_graph::attributed::AttributedGraph;
+use scpm_quasiclique::SearchOrder;
+
+/// Figure 8 defaults (paper §4.2): γmin=0.5, min_size=11, σmin=100,
+/// εmin=0.1, δmin=1, k=5.
+#[derive(Clone, Copy)]
+struct Defaults {
+    gamma: f64,
+    min_size: usize,
+    sigma_min: usize,
+    eps_min: f64,
+    delta_min: f64,
+    k: usize,
+}
+
+fn params_from(d: &Defaults) -> ScpmParams {
+    ScpmParams::new(d.sigma_min, d.gamma, d.min_size)
+        .with_eps_min(d.eps_min)
+        .with_delta_min(d.delta_min)
+        .with_top_k(d.k)
+        .with_max_attrs(3)
+}
+
+fn measure(graph: &AttributedGraph, params: &ScpmParams, with_naive: bool) -> (f64, f64, f64) {
+    let dfs = params.clone().with_order(SearchOrder::Dfs);
+    let (_, t_dfs) = timed(|| Scpm::new(graph, dfs).run());
+    let bfs = params.clone().with_order(SearchOrder::Bfs);
+    let (_, t_bfs) = timed(|| Scpm::new(graph, bfs).run());
+    let t_naive = if with_naive {
+        let (_, t) = timed(|| run_naive(graph, params));
+        t
+    } else {
+        f64::NAN
+    };
+    (t_dfs, t_bfs, t_naive)
+}
+
+fn main() {
+    let scale = arg_f64(1, 0.05);
+    let seed = arg_usize(2, 77) as u64;
+    let with_naive = arg_usize(3, 1) == 1;
+    let dataset = small_dblp_like(scale, seed);
+    let graph = &dataset.graph;
+    println!(
+        "# small-dblp-like scale={scale} vertices={} edges={} attrs={}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_attributes()
+    );
+    let defaults = Defaults {
+        gamma: 0.5,
+        min_size: 11,
+        sigma_min: scaled_threshold(100.0, scale, 5),
+        eps_min: 0.1,
+        delta_min: 1.0,
+        k: 5,
+    };
+    println!("# defaults: gamma=0.5 min_size=11 sigma_min={} eps_min=0.1 delta_min=1 k=5", defaults.sigma_min);
+    println!("# columns: panel\tparam\tvalue\tscpm_dfs_s\tscpm_bfs_s\tnaive_s");
+
+    // (a) runtime × γmin
+    for gamma in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let p = params_from(&Defaults { gamma, ..defaults });
+        let (d, b, n) = measure(graph, &p, with_naive);
+        row!("fig8a", "gamma_min", gamma, fmt(d), fmt(b), fmt(n));
+    }
+    // (b) runtime × min_size
+    for min_size in [11, 12, 13, 14, 15] {
+        let p = params_from(&Defaults { min_size, ..defaults });
+        let (d, b, n) = measure(graph, &p, with_naive);
+        row!("fig8b", "min_size", min_size, fmt(d), fmt(b), fmt(n));
+    }
+    // (c) runtime × σmin (paper sweeps 150–350 on SmallDBLP)
+    for paper_sigma in [150.0, 200.0, 250.0, 300.0, 350.0] {
+        let sigma_min = scaled_threshold(paper_sigma, scale, 5);
+        let p = params_from(&Defaults { sigma_min, ..defaults });
+        let (d, b, n) = measure(graph, &p, with_naive);
+        row!("fig8c", "sigma_min", sigma_min, fmt(d), fmt(b), fmt(n));
+    }
+    // (d) runtime × εmin
+    for eps_min in [0.1, 0.15, 0.2, 0.25] {
+        let p = params_from(&Defaults { eps_min, ..defaults });
+        let (d, b, n) = measure(graph, &p, with_naive);
+        row!("fig8d", "eps_min", eps_min, fmt(d), fmt(b), fmt(n));
+    }
+    // (e) runtime × δmin
+    for delta_min in [10.0, 20.0, 30.0, 40.0, 50.0] {
+        let p = params_from(&Defaults { delta_min, ..defaults });
+        let (d, b, n) = measure(graph, &p, with_naive);
+        row!("fig8e", "delta_min", delta_min, fmt(d), fmt(b), fmt(n));
+    }
+    // (f) runtime × k (paper: SCPM-DFS vs Naive; BFS identical strategy)
+    for k in [1, 2, 4, 8, 16] {
+        let p = params_from(&Defaults { k, ..defaults });
+        let (d, _, n) = measure(graph, &p, false);
+        let naive = if with_naive {
+            let (_, t) = timed(|| run_naive(graph, &p));
+            t
+        } else {
+            n
+        };
+        row!("fig8f", "k", k, fmt(d), "-", fmt(naive));
+    }
+}
+
+
+fn fmt(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.4}")
+    }
+}

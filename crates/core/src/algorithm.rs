@@ -1,0 +1,362 @@
+//! The SCPM algorithm (Algorithms 2 and 3 of the paper).
+//!
+//! SCPM traverses the attribute-set lattice depth-first using vertical
+//! tidset intersections (the Eclat prefix-class scheme the paper builds
+//! on), computes the structural correlation of each frequent attribute set
+//! via coverage search, emits top-k patterns for qualifying sets, and
+//! prunes extensions with Theorems 4 and 5. Theorem 3 shrinks each induced
+//! graph to the parents' covered vertices before mining.
+
+use std::time::Instant;
+
+use scpm_graph::attributed::{AttrId, AttributedGraph};
+use scpm_graph::csr::{intersect_into, VertexId};
+use scpm_itemset::Tidset;
+
+use crate::correlation::CorrelationEngine;
+use crate::nullmodel::AnalyticalModel;
+use crate::params::ScpmParams;
+use crate::pattern::{AttributeSetReport, Pattern, ScpmResult};
+
+/// An attribute set queued for extension: its attributes, tidset `V(S)`
+/// and covered set `K_S`.
+#[derive(Clone, Debug)]
+pub(crate) struct EnumEntry {
+    pub attrs: Vec<AttrId>,
+    pub tids: Tidset,
+    pub cover: Vec<VertexId>,
+}
+
+/// The SCPM miner. Construct once per graph/parameter combination and call
+/// [`Scpm::run`].
+pub struct Scpm<'g> {
+    graph: &'g AttributedGraph,
+    params: ScpmParams,
+    model: AnalyticalModel,
+}
+
+impl<'g> Scpm<'g> {
+    /// Binds the algorithm to a graph and parameter set (building the
+    /// analytical null model of Theorem 2 once).
+    pub fn new(graph: &'g AttributedGraph, params: ScpmParams) -> Self {
+        let model = AnalyticalModel::new(graph.graph(), &params.quasi_clique);
+        Scpm {
+            graph,
+            params,
+            model,
+        }
+    }
+
+    /// The underlying null model (shared with examples and benches).
+    pub fn model(&self) -> &AnalyticalModel {
+        &self.model
+    }
+
+    /// The bound parameters.
+    pub fn params(&self) -> &ScpmParams {
+        &self.params
+    }
+
+    /// The bound graph.
+    pub fn graph(&self) -> &AttributedGraph {
+        self.graph
+    }
+
+    /// A correlation engine bound to this run's graph and parameters
+    /// (useful for ad-hoc ε evaluations outside a full run).
+    pub fn engine(&self) -> CorrelationEngine<'g> {
+        CorrelationEngine::new(
+            self.graph,
+            self.params.quasi_clique,
+            self.params.search_order,
+            self.params.qc_prune,
+            self.params.prune.vertex_pruning,
+        )
+    }
+
+    /// Runs SCPM and returns all reports, patterns and counters.
+    pub fn run(&self) -> ScpmResult {
+        let start = Instant::now();
+        let engine = self.engine();
+        let mut result = ScpmResult::default();
+        let level1 = self.level1_entries(&engine, &mut result);
+        self.enumerate_class(&engine, &level1, &mut result);
+        result.stats.elapsed = start.elapsed();
+        result
+    }
+
+    /// Level 1 of Algorithm 2: frequent single attributes, their ε/δ and
+    /// the survivors of the extension gates.
+    pub(crate) fn level1_entries(
+        &self,
+        engine: &CorrelationEngine<'g>,
+        result: &mut ScpmResult,
+    ) -> Vec<EnumEntry> {
+        let mut entries = Vec::new();
+        for a in self.graph.attributes() {
+            if self.graph.support(a) < self.params.sigma_min {
+                continue;
+            }
+            let tids = Tidset::from_sorted(self.graph.vertices_with(a).to_vec());
+            if let Some(entry) = self.evaluate(engine, vec![a], tids, None, result) {
+                entries.push(entry);
+            }
+        }
+        entries
+    }
+
+    /// Evaluates one attribute set: computes ε and δ_lb, records the
+    /// report, emits top-k patterns when the set qualifies, and returns an
+    /// [`EnumEntry`] when the Theorem 4/5 gates allow extension.
+    pub(crate) fn evaluate(
+        &self,
+        engine: &CorrelationEngine<'g>,
+        attrs: Vec<AttrId>,
+        tids: Tidset,
+        parent_cover: Option<&[VertexId]>,
+        result: &mut ScpmResult,
+    ) -> Option<EnumEntry> {
+        let support = tids.support();
+        let outcome = engine.epsilon(tids.as_slice(), parent_cover);
+        result.stats.attribute_sets_examined += 1;
+        result.stats.qc_nodes_coverage += outcome.qc_nodes;
+        let epsilon = outcome.epsilon;
+        let delta_lb = self.model.normalize(epsilon, support);
+        let qualified = epsilon >= self.params.eps_min && delta_lb >= self.params.delta_min;
+
+        if attrs.len() >= self.params.min_attrs {
+            result.reports.push(AttributeSetReport {
+                attrs: attrs.clone(),
+                support,
+                covered: outcome.covered.len(),
+                epsilon,
+                delta_lb,
+                qualified,
+            });
+            if qualified {
+                result.stats.attribute_sets_qualified += 1;
+                let (cliques, nodes) =
+                    engine.top_k(tids.as_slice(), parent_cover, self.params.k);
+                result.stats.qc_nodes_topk += nodes;
+                for clique in cliques {
+                    result.patterns.push(Pattern {
+                        attrs: attrs.clone(),
+                        clique,
+                    });
+                }
+            }
+        } else if qualified {
+            result.stats.attribute_sets_qualified += 1;
+        }
+
+        // Extension gates (Theorems 4 and 5): `|K_S|` bounds `ε`/`δ` of any
+        // superset with support ≥ σmin.
+        if attrs.len() >= self.params.max_attrs {
+            return None;
+        }
+        let covered_count = outcome.covered.len() as f64;
+        let sigma_min = self.params.sigma_min as f64;
+        if self.params.prune.eps_pruning && covered_count < self.params.eps_min * sigma_min {
+            result.stats.pruned_eps_bound += 1;
+            return None;
+        }
+        if self.params.prune.delta_pruning {
+            let exp_floor = self.model.expected(self.params.sigma_min);
+            if covered_count < self.params.delta_min * exp_floor * sigma_min {
+                result.stats.pruned_delta_bound += 1;
+                return None;
+            }
+        }
+        Some(EnumEntry {
+            attrs,
+            tids,
+            cover: outcome.covered,
+        })
+    }
+
+    /// Algorithm 3 over a prefix class: every entry is extended with each
+    /// later entry of the same class, depth-first.
+    pub(crate) fn enumerate_class(
+        &self,
+        engine: &CorrelationEngine<'g>,
+        class: &[EnumEntry],
+        result: &mut ScpmResult,
+    ) {
+        for i in 0..class.len() {
+            self.enumerate_branch(engine, class, i, result);
+        }
+    }
+
+    /// One branch of Algorithm 3: extends `class[i]` with every later
+    /// sibling, then recurses into the new class.
+    pub(crate) fn enumerate_branch(
+        &self,
+        engine: &CorrelationEngine<'g>,
+        class: &[EnumEntry],
+        i: usize,
+        result: &mut ScpmResult,
+    ) {
+        let base = &class[i];
+        let mut next: Vec<EnumEntry> = Vec::new();
+        let mut cover_buf: Vec<VertexId> = Vec::new();
+        for sibling in class.iter().skip(i + 1) {
+            let tids = base.tids.intersect(&sibling.tids);
+            if tids.support() < self.params.sigma_min {
+                result.stats.pruned_support += 1;
+                continue;
+            }
+            let mut attrs = base.attrs.clone();
+            attrs.push(*sibling.attrs.last().expect("non-empty attribute set"));
+            // Theorem 3: the child's cover is contained in both parents'.
+            let parent_cover = if self.params.prune.vertex_pruning {
+                intersect_into(&base.cover, &sibling.cover, &mut cover_buf);
+                Some(cover_buf.as_slice())
+            } else {
+                None
+            };
+            if let Some(entry) = self.evaluate(engine, attrs, tids, parent_cover, result) {
+                next.push(entry);
+            }
+        }
+        if !next.is_empty() {
+            self.enumerate_class(engine, &next, result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpm_graph::figure1::{figure1, paper_vertex};
+
+    fn table1_params() -> ScpmParams {
+        ScpmParams::new(3, 0.6, 4).with_eps_min(0.5)
+    }
+
+    #[test]
+    fn figure1_qualifying_sets_match_table1() {
+        let g = figure1();
+        let scpm = Scpm::new(&g, table1_params());
+        let result = scpm.run();
+        let a = g.attr_id("A").unwrap();
+        let b = g.attr_id("B").unwrap();
+        let mut qualified: Vec<Vec<AttrId>> = result
+            .reports
+            .iter()
+            .filter(|r| r.qualified)
+            .map(|r| r.attrs.clone())
+            .collect();
+        qualified.sort();
+        let mut expect = vec![vec![a], vec![b], vec![a, b]];
+        expect.sort();
+        assert_eq!(qualified, expect);
+    }
+
+    #[test]
+    fn figure1_pattern_rows_match_table1() {
+        let g = figure1();
+        let result = Scpm::new(&g, table1_params()).run();
+        // Table 1 has exactly 7 rows.
+        assert_eq!(result.patterns.len(), 7);
+        let a = g.attr_id("A").unwrap();
+        let b = g.attr_id("B").unwrap();
+        let set = |labels: &[u32]| -> Vec<u32> {
+            let mut v: Vec<u32> = labels.iter().map(|&l| paper_vertex(l)).collect();
+            v.sort_unstable();
+            v
+        };
+        let mut rows: Vec<(Vec<AttrId>, Vec<u32>)> = result
+            .patterns
+            .iter()
+            .map(|p| (p.attrs.clone(), p.clique.vertices.clone()))
+            .collect();
+        rows.sort();
+        let mut expect = vec![
+            (vec![a], set(&[6, 7, 8, 9, 10, 11])),
+            (vec![a], set(&[3, 4, 5, 6])),
+            (vec![a], set(&[3, 4, 6, 7])),
+            (vec![a], set(&[3, 5, 6, 7])),
+            (vec![a], set(&[3, 6, 7, 8])),
+            (vec![b], set(&[6, 7, 8, 9, 10, 11])),
+            (vec![a, b], set(&[6, 7, 8, 9, 10, 11])),
+        ];
+        expect.sort();
+        assert_eq!(rows, expect);
+    }
+
+    #[test]
+    fn figure1_epsilon_and_support_columns() {
+        let g = figure1();
+        let result = Scpm::new(&g, table1_params()).run();
+        let a = g.attr_id("A").unwrap();
+        let b = g.attr_id("B").unwrap();
+        let ra = result.report_for(&[a]).unwrap();
+        assert_eq!(ra.support, 11);
+        assert!((ra.epsilon - 9.0 / 11.0).abs() < 1e-12);
+        let rab = result.report_for(&[a, b]).unwrap();
+        assert_eq!(rab.support, 6);
+        assert!((rab.epsilon - 1.0).abs() < 1e-12);
+        let rb = result.report_for(&[b]).unwrap();
+        assert_eq!(rb.support, 6);
+        assert!((rb.epsilon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eps_min_filters_but_does_not_block_extension() {
+        // With εmin = 0.9 the set {A} (ε = 0.82) must not qualify, yet
+        // {A,B} (ε = 1.0) must still be found.
+        let g = figure1();
+        let params = ScpmParams::new(3, 0.6, 4).with_eps_min(0.9);
+        let result = Scpm::new(&g, params).run();
+        let a = g.attr_id("A").unwrap();
+        let b = g.attr_id("B").unwrap();
+        assert!(!result.report_for(&[a]).unwrap().qualified);
+        assert!(result.report_for(&[a, b]).unwrap().qualified);
+    }
+
+    #[test]
+    fn top_k_limits_patterns_per_set() {
+        let g = figure1();
+        let params = table1_params().with_top_k(1);
+        let result = Scpm::new(&g, params).run();
+        let a = g.attr_id("A").unwrap();
+        let pa = result.patterns_for(&[a]);
+        assert_eq!(pa.len(), 1);
+        // The largest pattern for {A} is the size-6 quasi-clique.
+        assert_eq!(pa[0].clique.size(), 6);
+    }
+
+    #[test]
+    fn min_attrs_suppresses_singleton_reports() {
+        let g = figure1();
+        let params = table1_params().with_min_attrs(2);
+        let result = Scpm::new(&g, params).run();
+        assert!(result.reports.iter().all(|r| r.attrs.len() >= 2));
+        // {A,B} still present.
+        let a = g.attr_id("A").unwrap();
+        let b = g.attr_id("B").unwrap();
+        assert!(result.report_for(&[a, b]).is_some());
+    }
+
+    #[test]
+    fn max_attrs_limits_depth() {
+        let g = figure1();
+        let params = ScpmParams::new(1, 0.6, 4).with_max_attrs(1);
+        let result = Scpm::new(&g, params).run();
+        assert!(result.reports.iter().all(|r| r.attrs.len() == 1));
+    }
+
+    #[test]
+    fn stats_counters_track_run() {
+        let g = figure1();
+        let result = Scpm::new(&g, table1_params()).run();
+        // Level 1 examines {A}, {B}, {C}, {D} (E is infrequent); {C} and
+        // {D} have |K| = 0 and are Theorem-4 pruned, so only {A,B} is
+        // examined at level 2.
+        assert_eq!(result.stats.attribute_sets_examined, 5);
+        assert_eq!(result.stats.pruned_eps_bound, 2);
+        assert_eq!(result.stats.attribute_sets_qualified, 3);
+        assert!(result.stats.qc_nodes_coverage > 0);
+        assert!(result.stats.elapsed.as_nanos() > 0);
+    }
+}

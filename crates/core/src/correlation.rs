@@ -1,0 +1,245 @@
+//! Structural correlation computation (Definition 2 and §3.2.2).
+//!
+//! For an attribute set `S` with induced vertex set `V(S)`, the structural
+//! correlation is `ε(S) = |K_S| / |V(S)|` where `K_S` is the set of
+//! vertices of `G(S)` covered by γ-quasi-cliques. Coverage is computed by
+//! the quasi-clique engine in coverage mode — no full enumeration needed.
+//!
+//! Theorem 3 (vertex pruning) is applied here: for `S ⊇ S_parent`,
+//! `K_S ⊆ K_parent`, so vertices of `V(S) \ K_parent` can be deleted from
+//! the mining graph before the search (they still count in the support
+//! denominator).
+
+use scpm_graph::attributed::AttributedGraph;
+use scpm_graph::csr::{intersect_into, VertexId};
+use scpm_graph::induced::InducedSubgraph;
+use scpm_quasiclique::{Miner, MiningOutcome, PruneFlags, QcConfig, QuasiClique, SearchOrder};
+
+/// Result of one structural correlation evaluation.
+#[derive(Clone, Debug)]
+pub struct CorrelationOutcome {
+    /// Covered vertices `K_S`, sorted global ids.
+    pub covered: Vec<VertexId>,
+    /// `ε(S) = |K_S| / |V(S)|` (0 when the support is 0).
+    pub epsilon: f64,
+    /// Nodes visited by the coverage search.
+    pub qc_nodes: u64,
+}
+
+/// Evaluates `ε` and mines top-k patterns on induced subgraphs.
+pub struct CorrelationEngine<'g> {
+    graph: &'g AttributedGraph,
+    cfg: QcConfig,
+    order: SearchOrder,
+    prune: PruneFlags,
+    /// Apply Theorem 3 restriction when a parent cover is provided.
+    vertex_pruning: bool,
+}
+
+impl<'g> CorrelationEngine<'g> {
+    /// Creates an engine bound to an attributed graph.
+    pub fn new(
+        graph: &'g AttributedGraph,
+        cfg: QcConfig,
+        order: SearchOrder,
+        prune: PruneFlags,
+        vertex_pruning: bool,
+    ) -> Self {
+        CorrelationEngine {
+            graph,
+            cfg,
+            order,
+            prune,
+            vertex_pruning,
+        }
+    }
+
+    /// The mining vertex set for `S`: `V(S)` restricted by the parent cover
+    /// when Theorem 3 is active.
+    fn mining_set(&self, vertices: &[VertexId], parent_cover: Option<&[VertexId]>) -> Vec<VertexId> {
+        match parent_cover {
+            Some(cover) if self.vertex_pruning => {
+                let mut out = Vec::with_capacity(cover.len().min(vertices.len()));
+                intersect_into(vertices, cover, &mut out);
+                out
+            }
+            _ => vertices.to_vec(),
+        }
+    }
+
+    /// Computes `ε(S)` given `V(S)` (sorted global ids) and, optionally,
+    /// the parents' covered set for Theorem 3 restriction.
+    pub fn epsilon(
+        &self,
+        vertices: &[VertexId],
+        parent_cover: Option<&[VertexId]>,
+    ) -> CorrelationOutcome {
+        if vertices.is_empty() {
+            return CorrelationOutcome {
+                covered: Vec::new(),
+                epsilon: 0.0,
+                qc_nodes: 0,
+            };
+        }
+        let mining = self.mining_set(vertices, parent_cover);
+        if mining.len() < self.cfg.min_size {
+            return CorrelationOutcome {
+                covered: Vec::new(),
+                epsilon: 0.0,
+                qc_nodes: 0,
+            };
+        }
+        let sub = InducedSubgraph::extract(self.graph.graph(), &mining);
+        let outcome = self.miner(&sub.graph).coverage();
+        let covered: Vec<VertexId> = outcome
+            .covered
+            .iter()
+            .map(|&local| sub.to_original(local))
+            .collect();
+        let epsilon = covered.len() as f64 / vertices.len() as f64;
+        CorrelationOutcome {
+            covered,
+            epsilon,
+            qc_nodes: outcome.stats.nodes_visited,
+        }
+    }
+
+    /// Mines the top-`k` patterns of `G(S)` (size primary, density
+    /// secondary), with the same Theorem 3 restriction as [`Self::epsilon`].
+    /// Returns cliques in global ids plus the nodes visited.
+    pub fn top_k(
+        &self,
+        vertices: &[VertexId],
+        parent_cover: Option<&[VertexId]>,
+        k: usize,
+    ) -> (Vec<QuasiClique>, u64) {
+        if k == 0 || vertices.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let mining = self.mining_set(vertices, parent_cover);
+        if mining.len() < self.cfg.min_size {
+            return (Vec::new(), 0);
+        }
+        let sub = InducedSubgraph::extract(self.graph.graph(), &mining);
+        let outcome = self.miner(&sub.graph).top_k(k);
+        let cliques = relabel(&sub, outcome);
+        (cliques.0, cliques.1)
+    }
+
+    /// Enumerates *all* maximal quasi-cliques of `G(S)` (used by the naive
+    /// baseline; no Theorem 3 restriction is applied).
+    pub fn enumerate_all(&self, vertices: &[VertexId]) -> (Vec<QuasiClique>, u64) {
+        if vertices.len() < self.cfg.min_size {
+            return (Vec::new(), 0);
+        }
+        let sub = InducedSubgraph::extract(self.graph.graph(), vertices);
+        let outcome = self.miner(&sub.graph).enumerate_maximal();
+        relabel(&sub, outcome)
+    }
+
+    fn miner<'a>(&self, g: &'a scpm_graph::csr::CsrGraph) -> Miner<'a> {
+        Miner::new(g, self.cfg)
+            .with_order(self.order)
+            .with_prune(self.prune)
+    }
+}
+
+/// Maps a mining outcome's cliques back to global vertex ids.
+fn relabel(sub: &InducedSubgraph, outcome: MiningOutcome) -> (Vec<QuasiClique>, u64) {
+    let cliques = outcome
+        .cliques
+        .into_iter()
+        .map(|q| QuasiClique {
+            vertices: sub.to_original_set(&q.vertices),
+            min_degree_ratio: q.min_degree_ratio,
+            edge_density: q.edge_density,
+        })
+        .collect();
+    (cliques, outcome.stats.nodes_visited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpm_graph::figure1::{figure1, paper_vertex};
+
+    fn engine(g: &AttributedGraph) -> CorrelationEngine<'_> {
+        CorrelationEngine::new(
+            g,
+            QcConfig::new(0.6, 4),
+            SearchOrder::Dfs,
+            PruneFlags::default(),
+            true,
+        )
+    }
+
+    #[test]
+    fn figure1_epsilon_values_match_paper() {
+        let g = figure1();
+        let eng = engine(&g);
+        let a = g.attr_id("A").unwrap();
+        let b = g.attr_id("B").unwrap();
+        let c = g.attr_id("C").unwrap();
+
+        let va = g.vertices_with(a).to_vec();
+        let out_a = eng.epsilon(&va, None);
+        assert!((out_a.epsilon - 9.0 / 11.0).abs() < 1e-12);
+
+        let vc = g.vertices_with(c).to_vec();
+        assert_eq!(eng.epsilon(&vc, None).epsilon, 0.0);
+
+        let vab = g.vertices_with_all(&[a, b]);
+        let out_ab = eng.epsilon(&vab, None).epsilon;
+        assert!((out_ab - 1.0).abs() < 1e-12);
+
+        let vb = g.vertices_with(b).to_vec();
+        assert!((eng.epsilon(&vb, None).epsilon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem3_restriction_preserves_epsilon() {
+        let g = figure1();
+        let eng = engine(&g);
+        let a = g.attr_id("A").unwrap();
+        let b = g.attr_id("B").unwrap();
+        let va = g.vertices_with(a).to_vec();
+        let k_a = eng.epsilon(&va, None).covered;
+        let vab = g.vertices_with_all(&[a, b]);
+        let with_parent = eng.epsilon(&vab, Some(&k_a));
+        let without = eng.epsilon(&vab, None);
+        assert_eq!(with_parent.covered, without.covered);
+        assert_eq!(with_parent.epsilon, without.epsilon);
+    }
+
+    #[test]
+    fn top_k_patterns_for_attribute_a() {
+        let g = figure1();
+        let eng = engine(&g);
+        let a = g.attr_id("A").unwrap();
+        let va = g.vertices_with(a).to_vec();
+        let (top, _) = eng.top_k(&va, None, 2);
+        assert_eq!(top.len(), 2);
+        let six: Vec<u32> = (6..=11).map(paper_vertex).collect();
+        assert_eq!(top[0].vertices, six);
+        let clique: Vec<u32> = (3..=6).map(paper_vertex).collect();
+        assert_eq!(top[1].vertices, clique);
+    }
+
+    #[test]
+    fn enumerate_all_counts_five_for_a() {
+        let g = figure1();
+        let eng = engine(&g);
+        let a = g.attr_id("A").unwrap();
+        let (all, _) = eng.enumerate_all(g.vertices_with(a));
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let g = figure1();
+        let eng = engine(&g);
+        assert_eq!(eng.epsilon(&[], None).epsilon, 0.0);
+        assert_eq!(eng.epsilon(&[0, 1], None).epsilon, 0.0); // below min_size
+        assert!(eng.top_k(&[], None, 3).0.is_empty());
+    }
+}

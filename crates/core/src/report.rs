@@ -1,0 +1,116 @@
+//! Plain-text rendering of mining results in the layout of the paper's
+//! tables (top attribute sets by support, structural correlation, and
+//! normalized structural correlation).
+
+use scpm_graph::attributed::AttributedGraph;
+
+use crate::pattern::{AttributeSetReport, Pattern, ScpmResult};
+
+/// Formats one report row: `{attrs}  σ  ε  δ_lb`.
+pub fn format_row(g: &AttributedGraph, r: &AttributeSetReport) -> String {
+    format!(
+        "{:<40} σ={:<8} ε={:<6.3} δlb={:<12.4}",
+        g.format_attr_set(&r.attrs),
+        r.support,
+        r.epsilon,
+        r.delta_lb
+    )
+}
+
+/// Renders the three top-10-style lists of Tables 2–4: top by support,
+/// top by ε, top by δ_lb.
+pub fn render_top_tables(g: &AttributedGraph, result: &ScpmResult, limit: usize) -> String {
+    let mut out = String::new();
+    let sections: [(&str, Vec<&AttributeSetReport>); 3] = [
+        ("top support (σ)", result.top_by_support(limit)),
+        ("top structural correlation (ε)", result.top_by_epsilon(limit)),
+        ("top normalized structural correlation (δlb)", result.top_by_delta(limit)),
+    ];
+    for (title, rows) in sections {
+        out.push_str(&format!("== {title} ==\n"));
+        for r in rows {
+            out.push_str(&format_row(g, r));
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders patterns like Table 1: `(S, Q)  size  γ  σ  ε`.
+pub fn render_patterns(g: &AttributedGraph, result: &ScpmResult, limit: usize) -> String {
+    let mut out = String::new();
+    out.push_str("pattern                                  size  γ     σ     ε\n");
+    for p in result.patterns.iter().take(limit) {
+        let report = result.report_for(&p.attrs);
+        let (sigma, eps) = report.map(|r| (r.support, r.epsilon)).unwrap_or((0, 0.0));
+        let vertices: Vec<String> = p.clique.vertices.iter().map(|v| v.to_string()).collect();
+        out.push_str(&format!(
+            "({}, {{{}}})  {}  {:.2}  {}  {:.2}\n",
+            g.format_attr_set(&p.attrs),
+            vertices.join(","),
+            p.clique.size(),
+            p.clique.min_degree_ratio,
+            sigma,
+            eps
+        ));
+    }
+    out
+}
+
+/// Summarizes a run for log output.
+pub fn render_summary(result: &ScpmResult) -> String {
+    let s = &result.stats;
+    format!(
+        "examined={} qualified={} patterns={} pruned[support={} eps={} delta={}] qc_nodes[coverage={} topk={}] elapsed={:?}",
+        s.attribute_sets_examined,
+        s.attribute_sets_qualified,
+        result.patterns.len(),
+        s.pruned_support,
+        s.pruned_eps_bound,
+        s.pruned_delta_bound,
+        s.qc_nodes_coverage,
+        s.qc_nodes_topk,
+        s.elapsed
+    )
+}
+
+/// Largest patterns across all attribute sets (the paper's Figures 3(b),
+/// 5(b), 6(b) showcase exactly these).
+pub fn largest_patterns(result: &ScpmResult, limit: usize) -> Vec<&Pattern> {
+    let mut refs: Vec<&Pattern> = result.patterns.iter().collect();
+    refs.sort_by(|a, b| scpm_quasiclique::pattern_order(&a.clique, &b.clique));
+    refs.truncate(limit);
+    refs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Scpm;
+    use crate::params::ScpmParams;
+    use scpm_graph::figure1::figure1;
+
+    #[test]
+    fn render_table1_layout() {
+        let g = figure1();
+        let result = Scpm::new(&g, ScpmParams::new(3, 0.6, 4).with_eps_min(0.5)).run();
+        let tables = render_top_tables(&g, &result, 3);
+        assert!(tables.contains("top support"));
+        assert!(tables.contains("{A}"));
+        let patterns = render_patterns(&g, &result, 10);
+        assert!(patterns.lines().count() >= 8); // header + 7 rows
+        let summary = render_summary(&result);
+        assert!(summary.contains("examined=5"));
+    }
+
+    #[test]
+    fn largest_patterns_sorted() {
+        let g = figure1();
+        let result = Scpm::new(&g, ScpmParams::new(3, 0.6, 4).with_eps_min(0.5)).run();
+        let largest = largest_patterns(&result, 2);
+        assert_eq!(largest.len(), 2);
+        assert_eq!(largest[0].clique.size(), 6);
+        assert!(largest[0].clique.size() >= largest[1].clique.size());
+    }
+}

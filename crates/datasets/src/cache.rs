@@ -1,0 +1,110 @@
+//! Snapshot-backed dataset cache.
+//!
+//! Bench-scale synthetic graphs take seconds to generate; the experiment
+//! harness and examples ask for the same `(spec, scale, seed)` triples
+//! over and over. [`load_or_generate`] keys a binary snapshot
+//! (`scpm_graph::snapshot`) by those parameters and reloads it in
+//! milliseconds on later calls.
+//!
+//! Only the attributed graph is cached — planted-community ground truth
+//! is cheap to regenerate and callers that need it should call
+//! [`crate::generate`] directly.
+
+use std::path::{Path, PathBuf};
+
+use scpm_graph::attributed::AttributedGraph;
+use scpm_graph::snapshot::{load_snapshot, save_snapshot};
+
+use crate::synthetic::{generate, DatasetSpec};
+
+/// The cache file for a `(spec, scale, seed)` triple under `dir`.
+pub fn cache_path(dir: &Path, spec: &DatasetSpec, scale: f64, seed: u64) -> PathBuf {
+    // Scale is embedded with fixed precision so path equality matches
+    // value equality for the scales in practical use.
+    dir.join(format!(
+        "{}-s{:.6}-seed{}.snap",
+        spec.name, scale, seed
+    ))
+}
+
+/// Loads the cached snapshot for `(spec, scale, seed)` or generates the
+/// dataset and writes the cache. Corrupt or unreadable cache entries are
+/// regenerated (and overwritten), never trusted.
+pub fn load_or_generate(
+    dir: impl AsRef<Path>,
+    spec: &DatasetSpec,
+    scale: f64,
+    seed: u64,
+) -> std::io::Result<AttributedGraph> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = cache_path(dir, spec, scale, seed);
+    if let Ok(graph) = load_snapshot(&path) {
+        return Ok(graph);
+    }
+    let dataset = generate(spec, scale, seed);
+    if let Err(e) = save_snapshot(&dataset.graph, &path) {
+        // A failed cache write is not fatal — the caller still gets the
+        // freshly generated graph — but a permissions problem should not
+        // pass silently either.
+        eprintln!("warning: could not write dataset cache {path:?}: {e}");
+    }
+    Ok(dataset.graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("scpm_ds_cache_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn generates_then_reloads_identically() {
+        let dir = temp_dir("roundtrip");
+        let spec = DatasetSpec::dblp();
+        let first = load_or_generate(&dir, &spec, 0.003, 5).unwrap();
+        assert!(cache_path(&dir, &spec, 0.003, 5).exists());
+        let second = load_or_generate(&dir, &spec, 0.003, 5).unwrap();
+        assert_eq!(first.num_vertices(), second.num_vertices());
+        assert_eq!(first.num_edges(), second.num_edges());
+        assert_eq!(first.num_attributes(), second.num_attributes());
+        for v in first.graph().vertices() {
+            assert_eq!(first.attributes_of(v), second.attributes_of(v));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn distinct_parameters_get_distinct_entries() {
+        let dir = temp_dir("keys");
+        let spec = DatasetSpec::dblp();
+        let a = cache_path(&dir, &spec, 0.003, 5);
+        let b = cache_path(&dir, &spec, 0.004, 5);
+        let c = cache_path(&dir, &spec, 0.003, 6);
+        let d = cache_path(&dir, &DatasetSpec::lastfm(), 0.003, 5);
+        let all = [&a, &b, &c, &d];
+        for (i, x) in all.iter().enumerate() {
+            for y in all.iter().skip(i + 1) {
+                assert_ne!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_cache_is_regenerated() {
+        let dir = temp_dir("corrupt");
+        let spec = DatasetSpec::dblp();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = cache_path(&dir, &spec, 0.003, 7);
+        std::fs::write(&path, b"not a snapshot").unwrap();
+        let graph = load_or_generate(&dir, &spec, 0.003, 7).unwrap();
+        assert!(graph.num_vertices() >= 300);
+        // The cache was overwritten with a valid snapshot.
+        assert!(load_snapshot(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

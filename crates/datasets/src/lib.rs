@@ -1,0 +1,18 @@
+//! Synthetic attributed-graph datasets calibrated to the networks of the
+//! SCPM paper's evaluation: a DBLP-like collaboration network, a
+//! LastFm-like social music network, a CiteSeer-like citation network, and
+//! the SmallDBLP performance dataset. Each generator is seeded and
+//! scalable; see [`synthetic`] for the calibration details and DESIGN.md
+//! for the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod synthetic;
+pub mod vocab;
+
+pub use cache::load_or_generate;
+pub use synthetic::{
+    citeseer_like, dblp_like, generate, lastfm_like, small_dblp_like, DatasetSpec,
+    SyntheticDataset,
+};

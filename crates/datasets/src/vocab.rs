@@ -1,0 +1,94 @@
+//! Vocabularies used to name synthetic attributes after the paper's
+//! datasets, so example output reads like the paper's tables (stemmed title
+//! terms for DBLP, artists for LastFm, abstract terms for CiteSeer).
+
+/// Stemmed paper-title terms, ordered roughly by corpus frequency (the
+/// high-support generic terms of Table 2 first).
+pub const DBLP_TERMS: &[&str] = &[
+    "base", "system", "us", "model", "data", "network", "imag", "queri", "web", "search",
+    "algorithm", "analysi", "design", "perform", "applic", "approach", "structur", "process",
+    "comput", "distribut", "time", "method", "gener", "dynam", "learn", "optim", "control",
+    "inform", "adapt", "program", "parallel", "object", "orient", "softwar", "architectur",
+    "servic", "manag", "evalu", "effici", "real", "code", "logic", "graph", "pattern", "mine",
+    "cluster", "classif", "index", "stream", "xml", "databas", "rank", "grid", "environ",
+    "simul", "chip", "file", "internet", "wireless", "mobil", "secur", "agent", "fuzzi",
+    "neural", "genet", "robot", "video", "visual", "languag", "formal", "verif", "test",
+    "fault", "toler", "schedul", "cach", "memori", "processor", "circuit", "signal", "filter",
+    "detect", "estim", "predict", "recognit", "retriev", "semant", "ontolog", "knowledg",
+    "decis", "support", "interact", "user", "interfac", "multimedia", "compress", "encod",
+    "protocol", "rout", "sensor", "hoc", "channel", "alloc", "power", "energi", "embed",
+];
+
+/// Music artists, ordered by popularity (the top-σ column of Table 3).
+pub const LASTFM_ARTISTS: &[&str] = &[
+    "Radiohead", "Coldplay", "Beatles", "R Peppers", "Nirvana", "T Killers", "Muse", "Oasis",
+    "F Fighters", "P Floyd", "Metallica", "DC for Cutie", "Beck", "The Shins", "Linkin Park",
+    "Green Day", "U2", "Placebo", "Depeche Mode", "Daft Punk", "Gorillaz", "Blur", "R.E.M.",
+    "The Cure", "Queen", "Led Zeppelin", "Arctic Monkeys", "The Strokes", "Interpol",
+    "Bloc Party", "Franz Ferdinand", "Kaiser Chiefs", "The Kooks", "Keane", "Travis",
+    "Snow Patrol", "Editors", "White Stripes", "Kings of Leon", "Arcade Fire", "Modest Mouse",
+    "S Stevens", "Wilco", "Of Montreal", "Beirut", "Decemberists", "N Hotel", "F Lips",
+    "A Collective", "BS Scene", "NM Hotel", "Spoon", "Van Morrison", "Bob Dylan", "Neil Young",
+    "Iron & Wine", "Bon Iver", "Fleet Foxes", "Grizzly Bear", "The National", "Sigur Ros",
+    "Mogwai", "Explosions", "GY!BE", "Tortoise", "Aphex Twin", "Boards of Canada", "Autechre",
+    "Squarepusher", "Burial", "Four Tet", "Caribou", "Pantha du Prince", "M83", "Air",
+    "Massive Attack", "Portishead", "Tricky", "UNKLE", "DJ Shadow", "RJD2", "Blockhead",
+];
+
+/// Stemmed abstract terms for the citation network (Table 4's vocabulary).
+pub const CITESEER_TERMS: &[&str] = &[
+    "system", "paper", "base", "result", "model", "us", "approach", "perform", "propos",
+    "algorithm", "present", "problem", "method", "network", "data", "design", "implement",
+    "applic", "develop", "comput", "structur", "gener", "time", "process", "program",
+    "analysi", "distribut", "parallel", "object", "languag", "logic", "queri", "optim",
+    "memori", "cach", "instruct", "processor", "architectur", "compil", "schedul", "thread",
+    "sensor", "hoc", "rout", "wireless", "node", "protocol", "ad", "mobil", "channel",
+    "energi", "power", "secur", "crypto", "agent", "learn", "classif", "cluster", "mine",
+    "index", "databas", "transact", "concurr", "lock", "recoveri", "stream", "web", "search",
+    "rank", "retriev", "document", "semant", "xml", "graph", "tree", "hash", "sort", "string",
+    "automata", "verif", "proof", "theorem", "formal", "specif", "test", "fault", "toler",
+    "replic", "consist", "commit", "consensus", "byzantin", "gossip", "overlay", "peer",
+];
+
+/// Two-word research-topic labels for planted DBLP communities (the kind of
+/// attribute sets that dominate the top-ε/top-δ columns of Table 2).
+pub const DBLP_TOPICS: &[&str] = &[
+    "grid", "applic", "search", "rank", "queri", "xml", "data", "stream", "chip", "system",
+    "dynam", "simul", "environ", "grid2", "perform", "file", "structur", "index", "search2",
+    "mine", "us2", "xml2", "perform2", "distribut", "parallel", "model2", "internet",
+    "process2", "databas", "base2", "analysi2", "web2", "servic2", "cach2", "memori2",
+    "rout2", "wireless2", "sensor2", "cluster2", "learn2",
+];
+
+/// Topic labels for CiteSeer communities.
+pub const CITESEER_TOPICS: &[&str] = &[
+    "network", "sensor", "hoc", "rout", "node", "wireless", "protocol", "ad", "memori",
+    "cach", "optim", "queri", "program", "logic", "perform", "instruct", "web2", "search2",
+    "learn2", "classif2", "secur2", "crypto2", "replic2", "consensus2", "stream2", "index2",
+    "graph2", "tree2", "compil2", "thread2", "lock2", "commit2", "peer2", "overlay2",
+    "agent2", "formal2", "verif2", "fault2", "toler2", "gossip2",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_are_nonempty_and_unique() {
+        for vocab in [DBLP_TERMS, LASTFM_ARTISTS, CITESEER_TERMS, DBLP_TOPICS, CITESEER_TOPICS] {
+            assert!(vocab.len() >= 30);
+            let set: std::collections::HashSet<&&str> = vocab.iter().collect();
+            assert_eq!(set.len(), vocab.len(), "duplicate entries");
+        }
+    }
+
+    #[test]
+    fn paper_table_terms_present() {
+        assert!(DBLP_TERMS.contains(&"grid"));
+        assert!(DBLP_TERMS.contains(&"rank"));
+        assert!(LASTFM_ARTISTS.contains(&"Radiohead"));
+        assert!(LASTFM_ARTISTS.contains(&"S Stevens"));
+        assert!(CITESEER_TERMS.contains(&"wireless"));
+        assert!(CITESEER_TERMS.contains(&"cach"));
+    }
+}

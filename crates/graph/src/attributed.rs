@@ -1,0 +1,288 @@
+//! Attributed graphs: a CSR graph plus per-vertex attribute sets and an
+//! inverted attribute index.
+
+use std::collections::HashMap;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+
+/// Identifier of an attribute. Attributes are dense integers `0..|A|`.
+pub type AttrId = u32;
+
+/// An attributed graph `G = (V, E, A, F)`.
+///
+/// Stores, besides the topology:
+/// * `F(v)` for every vertex as a sorted [`AttrId`] list,
+/// * the inverted index `V({a}) = { v : a ∈ F(v) }` as sorted vertex lists
+///   (this is the *tidset* of the single attribute `a`, the starting point
+///   of all vertical itemset mining in the workspace),
+/// * a name table mapping attribute ids to human-readable strings.
+#[derive(Clone, Debug)]
+pub struct AttributedGraph {
+    graph: CsrGraph,
+    /// CSR-style storage of `F(v)`: `attr_offsets[v]..attr_offsets[v+1]`
+    /// indexes `vertex_attrs`.
+    attr_offsets: Vec<usize>,
+    vertex_attrs: Vec<AttrId>,
+    /// Inverted index: `attr_vertices[a]` is the sorted list of vertices
+    /// carrying attribute `a`.
+    attr_vertices: Vec<Vec<VertexId>>,
+    attr_names: Vec<String>,
+}
+
+impl AttributedGraph {
+    /// The underlying topology.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Number of distinct attributes.
+    #[inline]
+    pub fn num_attributes(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// `F(v)`: the sorted attribute ids of vertex `v`.
+    #[inline]
+    pub fn attributes_of(&self, v: VertexId) -> &[AttrId] {
+        let v = v as usize;
+        &self.vertex_attrs[self.attr_offsets[v]..self.attr_offsets[v + 1]]
+    }
+
+    /// Whether vertex `v` carries attribute `a`.
+    pub fn has_attribute(&self, v: VertexId, a: AttrId) -> bool {
+        self.attributes_of(v).binary_search(&a).is_ok()
+    }
+
+    /// The sorted vertex list `V({a})` carrying attribute `a` (its tidset).
+    #[inline]
+    pub fn vertices_with(&self, a: AttrId) -> &[VertexId] {
+        &self.attr_vertices[a as usize]
+    }
+
+    /// The support `σ({a}) = |V({a})|` of the single attribute `a`.
+    #[inline]
+    pub fn support(&self, a: AttrId) -> usize {
+        self.attr_vertices[a as usize].len()
+    }
+
+    /// Human-readable name of attribute `a`.
+    #[inline]
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        &self.attr_names[a as usize]
+    }
+
+    /// Looks up an attribute id by name (linear scan; intended for tests and
+    /// examples — hot paths use ids).
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attr_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as AttrId)
+    }
+
+    /// Formats an attribute-id set as `{name, name, ...}`.
+    pub fn format_attr_set(&self, attrs: &[AttrId]) -> String {
+        let names: Vec<&str> = attrs.iter().map(|&a| self.attr_name(a)).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+
+    /// Iterates over all attribute ids.
+    pub fn attributes(&self) -> impl Iterator<Item = AttrId> {
+        0..self.num_attributes() as AttrId
+    }
+
+    /// Computes `V(S)` for an attribute set `S` by intersecting tidsets,
+    /// smallest first. Returns a sorted vertex list. For `S = {}` the result
+    /// is all vertices.
+    pub fn vertices_with_all(&self, attrs: &[AttrId]) -> Vec<VertexId> {
+        if attrs.is_empty() {
+            return (0..self.num_vertices() as VertexId).collect();
+        }
+        let mut order: Vec<AttrId> = attrs.to_vec();
+        order.sort_unstable_by_key(|&a| self.support(a));
+        let mut acc: Vec<VertexId> = self.vertices_with(order[0]).to_vec();
+        let mut tmp = Vec::new();
+        for &a in &order[1..] {
+            crate::csr::intersect_into(&acc, self.vertices_with(a), &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+/// Builder for [`AttributedGraph`]s: edges plus named attributes.
+#[derive(Debug, Default)]
+pub struct AttributedGraphBuilder {
+    edges: GraphBuilder,
+    /// Attribute ids per vertex, unsorted while building.
+    attrs: Vec<Vec<AttrId>>,
+    names: Vec<String>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl AttributedGraphBuilder {
+    /// Builder for a graph with exactly `n` vertices.
+    pub fn new(n: usize) -> Self {
+        AttributedGraphBuilder {
+            edges: GraphBuilder::new(n),
+            attrs: vec![Vec::new(); n],
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.edges.add_edge(u, v);
+    }
+
+    /// Interns an attribute name, returning its id.
+    pub fn intern_attr(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as AttrId;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Assigns attribute `a` (by id) to vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `a` was not interned or `v` is out of range.
+    pub fn add_attr(&mut self, v: VertexId, a: AttrId) {
+        assert!((a as usize) < self.names.len(), "attribute {a} not interned");
+        self.attrs[v as usize].push(a);
+    }
+
+    /// Assigns an attribute by name (interning it if new).
+    pub fn add_attr_named(&mut self, v: VertexId, name: &str) {
+        let a = self.intern_attr(name);
+        self.add_attr(v, a);
+    }
+
+    /// Builds the attributed graph. Attribute lists are sorted and
+    /// deduplicated; the inverted index is derived.
+    pub fn build(mut self) -> AttributedGraph {
+        let graph = self.edges.build();
+        let n = graph.num_vertices();
+        assert_eq!(n, self.attrs.len(), "edge/attribute vertex count mismatch");
+        let mut attr_offsets = Vec::with_capacity(n + 1);
+        attr_offsets.push(0usize);
+        let mut vertex_attrs = Vec::new();
+        let mut attr_vertices: Vec<Vec<VertexId>> = vec![Vec::new(); self.names.len()];
+        for (v, list) in self.attrs.iter_mut().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            for &a in list.iter() {
+                vertex_attrs.push(a);
+                attr_vertices[a as usize].push(v as VertexId);
+            }
+            attr_offsets.push(vertex_attrs.len());
+        }
+        // Inverted lists are sorted by construction (vertices visited in
+        // ascending order).
+        AttributedGraph {
+            graph,
+            attr_offsets,
+            vertex_attrs,
+            attr_vertices,
+            attr_names: self.names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttributedGraph {
+        let mut b = AttributedGraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_attr_named(0, "red");
+        b.add_attr_named(1, "red");
+        b.add_attr_named(1, "blue");
+        b.add_attr_named(2, "blue");
+        b.add_attr_named(3, "green");
+        b.build()
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let g = sample();
+        assert_eq!(g.num_attributes(), 3);
+        let red = g.attr_id("red").unwrap();
+        let blue = g.attr_id("blue").unwrap();
+        assert_eq!(g.vertices_with(red), &[0, 1]);
+        assert_eq!(g.vertices_with(blue), &[1, 2]);
+        assert_eq!(g.support(red), 2);
+        assert!(g.has_attribute(1, red));
+        assert!(!g.has_attribute(0, blue));
+        assert_eq!(g.attr_name(red), "red");
+    }
+
+    #[test]
+    fn attributes_of_sorted_and_deduped() {
+        let mut b = AttributedGraphBuilder::new(1);
+        let x = b.intern_attr("x");
+        let y = b.intern_attr("y");
+        b.add_attr(0, y);
+        b.add_attr(0, x);
+        b.add_attr(0, y);
+        let g = b.build();
+        assert_eq!(g.attributes_of(0), &[x, y]);
+    }
+
+    #[test]
+    fn vertices_with_all_intersects() {
+        let g = sample();
+        let red = g.attr_id("red").unwrap();
+        let blue = g.attr_id("blue").unwrap();
+        assert_eq!(g.vertices_with_all(&[red, blue]), vec![1]);
+        assert_eq!(g.vertices_with_all(&[red]), vec![0, 1]);
+        assert_eq!(g.vertices_with_all(&[]), vec![0, 1, 2, 3]);
+        let green = g.attr_id("green").unwrap();
+        assert!(g.vertices_with_all(&[red, green]).is_empty());
+    }
+
+    #[test]
+    fn format_attr_set_names() {
+        let g = sample();
+        let red = g.attr_id("red").unwrap();
+        let blue = g.attr_id("blue").unwrap();
+        assert_eq!(g.format_attr_set(&[red, blue]), "{red, blue}");
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut b = AttributedGraphBuilder::new(1);
+        let a1 = b.intern_attr("term");
+        let a2 = b.intern_attr("term");
+        assert_eq!(a1, a2);
+    }
+}

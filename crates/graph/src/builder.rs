@@ -1,0 +1,156 @@
+//! Incremental edge-list builder producing [`CsrGraph`]s.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Collects undirected edges and builds a [`CsrGraph`].
+///
+/// Self-loops are dropped, parallel edges are deduplicated, and the vertex
+/// count can grow automatically when edges mention unseen ids (see
+/// [`GraphBuilder::add_edge_growing`]).
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with exactly `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// A builder whose vertex count grows with the edges added.
+    pub fn growing() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are silently ignored.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range for a fixed-size builder.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.n
+        );
+        if u != v {
+            self.edges.push((u.min(v), u.max(v)));
+        }
+    }
+
+    /// Adds `{u, v}`, growing the vertex count to cover both endpoints.
+    pub fn add_edge_growing(&mut self, u: VertexId, v: VertexId) {
+        self.n = self.n.max(u.max(v) as usize + 1);
+        if u != v {
+            self.edges.push((u.min(v), u.max(v)));
+        }
+    }
+
+    /// Ensures the graph has at least `n` vertices.
+    pub fn reserve_vertices(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Builds the deduplicated CSR graph, consuming the builder.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as VertexId; acc];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each vertex's slice was filled in ascending order of the opposite
+        // endpoint only for the `u < v` direction; sort per-vertex to be safe.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        CsrGraph::from_parts(offsets, neighbors)
+    }
+}
+
+/// Convenience: builds a graph with `n` vertices from an edge iterator.
+pub fn graph_from_edges<I>(n: usize, edges: I) -> CsrGraph
+where
+    I: IntoIterator<Item = (VertexId, VertexId)>,
+{
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_parallel_edges_and_drops_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        b.add_edge(2, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn growing_builder_expands() {
+        let mut b = GraphBuilder::growing();
+        b.add_edge_growing(0, 5);
+        b.add_edge_growing(2, 3);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn graph_from_edges_matches_builder() {
+        let g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fixed_builder_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = graph_from_edges(5, [(4, 0), (2, 0), (3, 0), (1, 0)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+}

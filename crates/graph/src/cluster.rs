@@ -1,0 +1,177 @@
+//! Triangle counting and clustering coefficients.
+//!
+//! Triangles are counted with the forward algorithm over sorted adjacency
+//! lists: for every edge `(u, v)` with `u < v`, the triangles through the
+//! edge are `|N(u) ∩ N(v)|`, and restricting to higher-numbered third
+//! vertices counts each triangle exactly once. The dataset generators use
+//! clustering to verify that planted communities raise transitivity the
+//! way the paper's real networks do (collaboration networks are strongly
+//! clustered; random background graphs are not).
+
+use crate::csr::{intersect_count, CsrGraph, VertexId};
+
+/// Per-vertex and global triangle statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusteringStats {
+    /// `triangles[v]` = number of triangles containing `v`.
+    pub triangles: Vec<u64>,
+    /// Total triangle count of the graph.
+    pub total_triangles: u64,
+    /// Global clustering coefficient (transitivity):
+    /// `3·triangles / open-or-closed wedges`. Zero when there are no
+    /// wedges.
+    pub transitivity: f64,
+    /// Mean of the local clustering coefficients over vertices of degree
+    /// ≥ 2 (the Watts–Strogatz "average clustering").
+    pub average_local: f64,
+}
+
+/// Counts triangles and clustering coefficients in
+/// `O(Σ_v deg(v) · log)`-ish time via sorted intersections.
+pub fn clustering(g: &CsrGraph) -> ClusteringStats {
+    let n = g.num_vertices();
+    let mut triangles = vec![0u64; n];
+    let mut total = 0u64;
+    for u in g.vertices() {
+        let nu = g.neighbors(u);
+        for &v in nu.iter().filter(|&&v| v > u) {
+            // Third vertex w > v avoids double counting; instead of
+            // slicing both lists we intersect full lists and divide at the
+            // end — but per-vertex counts need the full per-edge count.
+            let common = intersect_count(nu, g.neighbors(v));
+            // Each common neighbor w forms a triangle {u, v, w}; the edge
+            // (u, v) sees it once, and the triangle has 3 edges, so the
+            // per-edge sum counts each triangle 3 times.
+            triangles[u as usize] += common as u64;
+            triangles[v as usize] += common as u64;
+            total += common as u64;
+        }
+    }
+    // `total` currently counts each triangle 3 times (once per edge);
+    // per-vertex counts are currently 2·(triangles at the vertex seen from
+    // its incident edges)... derive exact per-vertex counts instead:
+    // the per-edge accumulation adds 1 to u and v for each triangle on the
+    // edge (u,v); a triangle {a,b,c} has 3 edges, and vertex a is an
+    // endpoint of 2 of them, so triangles[a] double-counts.
+    for t in triangles.iter_mut() {
+        debug_assert!(*t % 2 == 0, "per-vertex triangle parity");
+        *t /= 2;
+    }
+    let total_triangles = total / 3;
+
+    let mut wedges = 0u64;
+    let mut local_sum = 0.0f64;
+    let mut local_count = 0usize;
+    for v in g.vertices() {
+        let d = g.degree(v) as u64;
+        if d >= 2 {
+            let w = d * (d - 1) / 2;
+            wedges += w;
+            local_sum += triangles[v as usize] as f64 / w as f64;
+            local_count += 1;
+        }
+    }
+    let transitivity = if wedges == 0 {
+        0.0
+    } else {
+        (3 * total_triangles) as f64 / wedges as f64
+    };
+    let average_local = if local_count == 0 {
+        0.0
+    } else {
+        local_sum / local_count as f64
+    };
+    ClusteringStats {
+        triangles,
+        total_triangles,
+        transitivity,
+        average_local,
+    }
+}
+
+/// Local clustering coefficient of one vertex:
+/// `triangles(v) / C(deg(v), 2)`, zero for degree < 2.
+pub fn local_clustering(g: &CsrGraph, v: VertexId) -> f64 {
+    let d = g.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let nv = g.neighbors(v);
+    let mut tri = 0usize;
+    for (i, &a) in nv.iter().enumerate() {
+        for &b in nv.iter().skip(i + 1) {
+            if g.has_edge(a, b) {
+                tri += 1;
+            }
+        }
+    }
+    tri as f64 / (d * (d - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn triangle_counts() {
+        // One triangle plus a pendant.
+        let g = graph_from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let s = clustering(&g);
+        assert_eq!(s.total_triangles, 1);
+        assert_eq!(s.triangles, vec![1, 1, 1, 0]);
+        // Wedges: deg 2,2,3,1 → 1 + 1 + 3 = 5; transitivity = 3/5.
+        assert!((s.transitivity - 0.6).abs() < 1e-12);
+        // Local: v0: 1/1, v1: 1/1, v2: 1/3; average over deg≥2 = 7/9.
+        assert!((s.average_local - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_is_fully_clustered() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = graph_from_edges(5, edges);
+        let s = clustering(&g);
+        assert_eq!(s.total_triangles, 10); // C(5,3)
+        assert!((s.transitivity - 1.0).abs() < 1e-12);
+        assert!((s.average_local - 1.0).abs() < 1e-12);
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_has_no_triangles() {
+        let g = graph_from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)]);
+        let s = clustering(&g);
+        assert_eq!(s.total_triangles, 0);
+        assert_eq!(s.transitivity, 0.0);
+        assert_eq!(local_clustering(&g, 0), 0.0);
+    }
+
+    #[test]
+    fn per_vertex_matches_local_everywhere() {
+        let g = crate::generators::erdos_renyi::gnm(40, 120, 11);
+        let s = clustering(&g);
+        for v in g.vertices() {
+            let d = g.degree(v);
+            if d >= 2 {
+                let expect = local_clustering(&g, v);
+                let got = s.triangles[v as usize] as f64 / (d * (d - 1) / 2) as f64;
+                assert!((expect - got).abs() < 1e-12, "vertex {v}");
+            } else {
+                assert_eq!(s.triangles[v as usize], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = clustering(&CsrGraph::empty(3));
+        assert_eq!(s.total_triangles, 0);
+        assert_eq!(s.transitivity, 0.0);
+        assert_eq!(s.average_local, 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Connected components of a [`CsrGraph`].
+//!
+//! The mining engines work per component (carrying candidates across
+//! components is pure waste), and the dataset generators use component
+//! structure to validate that planted communities stay attached to the
+//! background graph.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// The connected components of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` = component index of vertex `v` (dense, `0..count`).
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Computes components with an iterative BFS (no recursion, safe for
+    /// deep/path-like graphs).
+    pub fn of(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut label = vec![u32::MAX; n];
+        let mut count = 0usize;
+        let mut queue: Vec<VertexId> = Vec::new();
+        for start in 0..n as VertexId {
+            if label[start as usize] != u32::MAX {
+                continue;
+            }
+            label[start as usize] = count as u32;
+            queue.push(start);
+            while let Some(v) = queue.pop() {
+                for &u in g.neighbors(v) {
+                    if label[u as usize] == u32::MAX {
+                        label[u as usize] = count as u32;
+                        queue.push(u);
+                    }
+                }
+            }
+            count += 1;
+        }
+        Components { label, count }
+    }
+
+    /// Vertices grouped by component, each list sorted ascending.
+    pub fn groups(&self) -> Vec<Vec<VertexId>> {
+        let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); self.count];
+        for (v, &c) in self.label.iter().enumerate() {
+            out[c as usize].push(v as VertexId);
+        }
+        out
+    }
+
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.label {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The vertices of the largest component (sorted; ties broken by the
+    /// smallest component index). Empty for an empty graph.
+    pub fn largest(&self) -> Vec<VertexId> {
+        let sizes = self.sizes();
+        let Some((best, _)) = sizes.iter().enumerate().max_by_key(|&(i, &s)| (s, usize::MAX - i))
+        else {
+            return Vec::new();
+        };
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c as usize == best)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
+    /// Whether `u` and `v` are connected.
+    pub fn same(&self, u: VertexId, v: VertexId) -> bool {
+        self.label[u as usize] == self.label[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn single_component() {
+        let g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let c = Components::of(&g);
+        assert_eq!(c.count, 1);
+        assert!(c.same(0, 3));
+        assert_eq!(c.largest(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let g = graph_from_edges(5, [(0, 1)]);
+        let c = Components::of(&g);
+        assert_eq!(c.count, 4);
+        assert_eq!(c.sizes().iter().sum::<usize>(), 5);
+        assert!(!c.same(0, 2));
+    }
+
+    #[test]
+    fn groups_partition_vertices() {
+        let g = graph_from_edges(6, [(0, 1), (2, 3), (3, 4)]);
+        let c = Components::of(&g);
+        let groups = c.groups();
+        assert_eq!(groups.len(), 3);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        let mut sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert_eq!(c.largest(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        let c = Components::of(&g);
+        assert_eq!(c.count, 0);
+        assert!(c.largest().is_empty());
+        assert!(c.groups().is_empty());
+    }
+}

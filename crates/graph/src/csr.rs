@@ -1,0 +1,302 @@
+//! Compressed-sparse-row undirected graph with sorted neighbor lists.
+
+/// Identifier of a vertex. Vertices are dense integers `0..n`.
+pub type VertexId = u32;
+
+/// An immutable undirected graph in compressed-sparse-row form.
+///
+/// Neighbor lists are sorted ascending, which makes adjacency queries
+/// `O(log d)` (binary search) and neighborhood intersections linear merges.
+/// Self-loops and parallel edges are never present (the
+/// [`GraphBuilder`](crate::builder::GraphBuilder) removes them).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    neighbors: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent (wrong offset bounds, unsorted
+    /// or duplicate neighbors, self-loops, or out-of-range vertex ids).
+    pub fn from_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n+1 entries");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            neighbors.len(),
+            "last offset must equal neighbor array length"
+        );
+        let n = offsets.len() - 1;
+        for v in 0..n {
+            let (s, e) = (offsets[v], offsets[v + 1]);
+            assert!(s <= e, "offsets must be non-decreasing");
+            let list = &neighbors[s..e];
+            for (i, &u) in list.iter().enumerate() {
+                assert!((u as usize) < n, "neighbor id out of range");
+                assert!(u as usize != v, "self-loop at vertex {v}");
+                if i > 0 {
+                    assert!(list[i - 1] < u, "neighbor list of {v} not strictly sorted");
+                }
+            }
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present. `O(log d(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Number of edges inside the vertex set `set` (must be sorted,
+    /// duplicate-free). Linear merges of each member's neighbor list with
+    /// `set`.
+    pub fn edges_within(&self, set: &[VertexId]) -> usize {
+        debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "set must be sorted");
+        let mut twice = 0usize;
+        for &v in set {
+            twice += intersect_count(self.neighbors(v), set);
+        }
+        twice / 2
+    }
+
+    /// Degree of `v` restricted to the sorted vertex set `set`.
+    pub fn degree_within(&self, v: VertexId, set: &[VertexId]) -> usize {
+        intersect_count(self.neighbors(v), set)
+    }
+}
+
+/// Counts `|a ∩ b|` for two sorted, duplicate-free slices.
+///
+/// Uses a galloping merge when lengths are very skewed, otherwise a linear
+/// two-pointer merge.
+pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() / small.len().max(1) >= 16 {
+        // Galloping: binary search each small element in the large list.
+        let mut count = 0;
+        let mut lo = 0usize;
+        for &x in small {
+            match large[lo..].binary_search(&x) {
+                Ok(i) => {
+                    count += 1;
+                    lo += i + 1;
+                }
+                Err(i) => lo += i,
+            }
+            if lo >= large.len() {
+                break;
+            }
+        }
+        count
+    } else {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Writes `a ∩ b` into `out` (cleared first) for sorted slices.
+pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path3() -> CsrGraph {
+        // 0 - 1 - 2
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(0), 0);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn path_graph_basics() {
+        let g = path3();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn edge_iteration_yields_each_edge_once() {
+        let g = path3();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn edges_within_subsets() {
+        let mut b = GraphBuilder::new(5);
+        // Triangle 0-1-2 plus pendant 3 on 0; vertex 4 isolated.
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (0, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        assert_eq!(g.edges_within(&[0, 1, 2]), 3);
+        assert_eq!(g.edges_within(&[0, 3]), 1);
+        assert_eq!(g.edges_within(&[1, 3, 4]), 0);
+        assert_eq!(g.edges_within(&[]), 0);
+        assert_eq!(g.degree_within(0, &[1, 2, 3]), 3);
+        assert_eq!(g.degree_within(4, &[0, 1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn intersect_count_basic() {
+        assert_eq!(intersect_count(&[1, 3, 5], &[2, 3, 4, 5]), 2);
+        assert_eq!(intersect_count(&[], &[1, 2]), 0);
+        assert_eq!(intersect_count(&[7], &[7]), 1);
+    }
+
+    #[test]
+    fn intersect_count_galloping_path() {
+        let small = vec![5u32, 100, 900];
+        let large: Vec<u32> = (0..1000).collect();
+        assert_eq!(intersect_count(&small, &large), 3);
+        let missing = vec![2000u32, 3000];
+        assert_eq!(intersect_count(&missing, &large), 0);
+    }
+
+    #[test]
+    fn intersect_into_basic() {
+        let mut out = Vec::new();
+        intersect_into(&[1, 2, 3, 8], &[2, 3, 4, 8], &mut out);
+        assert_eq!(out, vec![2, 3, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn from_parts_rejects_self_loop() {
+        CsrGraph::from_parts(vec![0, 1], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly sorted")]
+    fn from_parts_rejects_unsorted() {
+        CsrGraph::from_parts(vec![0, 2, 3, 5], vec![2, 1, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Degree statistics: the empirical degree distribution `p(α)` used by the
+//! analytical null model (Theorem 2 of the paper).
+
+use crate::csr::CsrGraph;
+
+/// The empirical degree distribution of a graph.
+///
+/// Stores `count[α]` = number of vertices with degree `α` for
+/// `α ∈ 0..=max_degree`, and exposes `p(α) = count[α] / n`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeDistribution {
+    counts: Vec<usize>,
+    n: usize,
+}
+
+impl DegreeDistribution {
+    /// Computes the distribution of `g`.
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut counts = vec![0usize; g.max_degree() + 1];
+        for v in g.vertices() {
+            counts[g.degree(v)] += 1;
+        }
+        DegreeDistribution { counts, n }
+    }
+
+    /// Builds a distribution from raw per-degree counts (for tests and
+    /// synthetic scenarios).
+    pub fn from_counts(counts: Vec<usize>) -> Self {
+        let n = counts.iter().sum();
+        DegreeDistribution { counts, n }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum degree `m` (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Number of vertices with degree exactly `alpha`.
+    pub fn count(&self, alpha: usize) -> usize {
+        self.counts.get(alpha).copied().unwrap_or(0)
+    }
+
+    /// `p(α)`: fraction of vertices with degree `alpha`.
+    pub fn p(&self, alpha: usize) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.count(alpha) as f64 / self.n as f64
+        }
+    }
+
+    /// Iterates over `(α, count)` pairs with nonzero count.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(a, &c)| (a, c))
+    }
+
+    /// Mean degree.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let total: usize = self.nonzero().map(|(a, c)| a * c).sum();
+        total as f64 / self.n as f64
+    }
+
+    /// Fraction of vertices with degree `>= alpha`.
+    pub fn tail(&self, alpha: usize) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let c: usize = self
+            .counts
+            .iter()
+            .skip(alpha)
+            .sum();
+        c as f64 / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn star_graph_distribution() {
+        // Star K_{1,3}: center degree 3, three leaves degree 1.
+        let g = graph_from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        let d = DegreeDistribution::from_graph(&g);
+        assert_eq!(d.num_vertices(), 4);
+        assert_eq!(d.max_degree(), 3);
+        assert_eq!(d.count(1), 3);
+        assert_eq!(d.count(3), 1);
+        assert_eq!(d.count(2), 0);
+        assert!((d.p(1) - 0.75).abs() < 1e-12);
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let g = graph_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let d = DegreeDistribution::from_graph(&g);
+        let total: f64 = (0..=d.max_degree()).map(|a| d.p(a)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_fractions() {
+        let d = DegreeDistribution::from_counts(vec![2, 3, 5]); // deg0:2 deg1:3 deg2:5
+        assert!((d.tail(0) - 1.0).abs() < 1e-12);
+        assert!((d.tail(1) - 0.8).abs() < 1e-12);
+        assert!((d.tail(2) - 0.5).abs() < 1e-12);
+        assert!((d.tail(3) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_distribution() {
+        let g = crate::csr::CsrGraph::empty(0);
+        let d = DegreeDistribution::from_graph(&g);
+        assert_eq!(d.num_vertices(), 0);
+        assert_eq!(d.p(0), 0.0);
+        assert_eq!(d.mean(), 0.0);
+    }
+
+    #[test]
+    fn nonzero_iterates_present_degrees() {
+        let d = DegreeDistribution::from_counts(vec![0, 4, 0, 2]);
+        let nz: Vec<_> = d.nonzero().collect();
+        assert_eq!(nz, vec![(1, 4), (3, 2)]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Attribute-assignment models.
+//!
+//! Two ingredients reproduce the attribute statistics of the paper's
+//! datasets:
+//!
+//! 1. **Zipf-distributed background attributes** — attribute popularity in
+//!    text-derived vocabularies (paper titles, abstracts, artists) is
+//!    heavy-tailed, which is what makes *top-support* attribute sets differ
+//!    from *top-correlation* ones (Tables 2–4).
+//! 2. **Community topics** — each planted community is assigned a small
+//!    "topic" attribute set that its members carry with high probability,
+//!    inducing the attribute→dense-subgraph correlation the paper mines.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::attributed::{AttributedGraph, AttributedGraphBuilder};
+use crate::generators::planted::PlantedGraph;
+
+/// Samples `0..n` with probability proportional to `1 / rank^exponent`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with the given exponent (`s > 0`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the exponent is not finite and positive.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(
+            exponent.is_finite() && exponent > 0.0,
+            "exponent must be positive"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point drift on the last entry.
+        *cdf.last_mut().unwrap() = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true; see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// Configuration of the attribute model.
+#[derive(Clone, Debug)]
+pub struct AttributeModel {
+    /// Size of the background vocabulary.
+    pub vocab_size: usize,
+    /// Zipf exponent of background attribute popularity.
+    pub zipf_exponent: f64,
+    /// Mean number of background attributes per vertex (Poisson).
+    pub mean_attrs_per_vertex: f64,
+    /// Number of topic attributes assigned to each community.
+    pub topic_attrs_per_community: usize,
+    /// Probability that a community member carries each topic attribute.
+    pub p_topic: f64,
+    /// Probability that a *non-member* carries a given topic attribute
+    /// (background noise; keeps topic supports realistic).
+    pub p_topic_noise: f64,
+}
+
+impl Default for AttributeModel {
+    fn default() -> Self {
+        AttributeModel {
+            vocab_size: 1000,
+            zipf_exponent: 1.05,
+            mean_attrs_per_vertex: 6.0,
+            topic_attrs_per_community: 2,
+            p_topic: 0.85,
+            p_topic_noise: 0.002,
+        }
+    }
+}
+
+impl AttributeModel {
+    /// Applies the model to a planted graph, producing an attributed graph.
+    ///
+    /// Background attributes are named `w<rank>` (with `vocab` overriding
+    /// names when provided); topic attributes are named `topic<c>_<i>` or
+    /// taken from `topic_vocab`.
+    pub fn assign(
+        &self,
+        planted: &PlantedGraph,
+        vocab: Option<&[String]>,
+        topic_vocab: Option<&[String]>,
+        seed: u64,
+    ) -> AttributedGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = planted.graph.num_vertices();
+        let mut b = AttributedGraphBuilder::new(n);
+        // Recreate the topology inside the attributed builder.
+        for (u, v) in planted.graph.edges() {
+            b.add_edge(u, v);
+        }
+
+        // Background vocabulary.
+        let bg_ids: Vec<_> = (0..self.vocab_size)
+            .map(|rank| {
+                let name = match vocab {
+                    Some(words) if rank < words.len() => words[rank].clone(),
+                    _ => format!("w{rank}"),
+                };
+                b.intern_attr(&name)
+            })
+            .collect();
+        let zipf = ZipfSampler::new(self.vocab_size, self.zipf_exponent);
+        for v in 0..n as u32 {
+            let count = poisson(self.mean_attrs_per_vertex, &mut rng);
+            for _ in 0..count {
+                let rank = zipf.sample(&mut rng);
+                b.add_attr(v, bg_ids[rank]);
+            }
+        }
+
+        // Topic attributes per community.
+        for (c, members) in planted.communities.iter().enumerate() {
+            let mut topic_ids = Vec::with_capacity(self.topic_attrs_per_community);
+            for i in 0..self.topic_attrs_per_community {
+                let idx = c * self.topic_attrs_per_community + i;
+                let name = match topic_vocab {
+                    Some(words) if idx < words.len() => words[idx].clone(),
+                    _ => format!("topic{c}_{i}"),
+                };
+                topic_ids.push(b.intern_attr(&name));
+            }
+            for &a in &topic_ids {
+                for &v in members {
+                    if rng.random::<f64>() < self.p_topic {
+                        b.add_attr(v, a);
+                    }
+                }
+                if self.p_topic_noise > 0.0 {
+                    for v in 0..n as u32 {
+                        if rng.random::<f64>() < self.p_topic_noise {
+                            b.add_attr(v, a);
+                        }
+                    }
+                }
+            }
+        }
+
+        b.build()
+    }
+}
+
+/// Knuth's Poisson sampler; adequate for small means.
+fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut product: f64 = rng.random();
+    let mut count = 0usize;
+    while product > limit {
+        product *= rng.random::<f64>();
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::planted::{BackgroundModel, PlantedCommunityConfig};
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = ZipfSampler::new(50, 1.1);
+        let total: f64 = (0..50).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let z = ZipfSampler::new(100, 1.0);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(50));
+    }
+
+    #[test]
+    fn zipf_empirical_skew() {
+        let z = ZipfSampler::new(20, 1.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 20];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > 2 * counts[10]);
+    }
+
+    #[test]
+    fn poisson_mean_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let lambda = 4.0;
+        let trials = 20_000;
+        let total: usize = (0..trials).map(|_| poisson(lambda, &mut rng)).sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - lambda).abs() < 0.1, "empirical mean {mean}");
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+
+    fn small_planted() -> PlantedGraph {
+        PlantedGraph::generate(
+            &PlantedCommunityConfig {
+                n: 200,
+                background: BackgroundModel::Uniform { mean_degree: 2.0 },
+                num_communities: 3,
+                community_size: (6, 8),
+                p_in: 0.9,
+            },
+            17,
+        )
+    }
+
+    #[test]
+    fn assign_produces_topics_correlated_with_communities() {
+        let pg = small_planted();
+        let model = AttributeModel {
+            vocab_size: 50,
+            p_topic: 1.0,
+            p_topic_noise: 0.0,
+            ..AttributeModel::default()
+        };
+        let ag = model.assign(&pg, None, None, 3);
+        assert_eq!(ag.num_vertices(), 200);
+        // Every community-0 member carries topic0_0.
+        let topic = ag.attr_id("topic0_0").unwrap();
+        let with_topic = ag.vertices_with(topic);
+        assert_eq!(with_topic, pg.communities[0].as_slice());
+    }
+
+    #[test]
+    fn assign_uses_custom_vocab() {
+        let pg = small_planted();
+        let model = AttributeModel {
+            vocab_size: 3,
+            ..AttributeModel::default()
+        };
+        let vocab = vec!["alpha".to_string(), "beta".to_string(), "gamma".to_string()];
+        let ag = model.assign(&pg, Some(&vocab), None, 4);
+        assert!(ag.attr_id("alpha").is_some());
+        assert!(ag.attr_id("beta").is_some());
+    }
+
+    #[test]
+    fn background_popularity_is_skewed() {
+        let pg = small_planted();
+        let model = AttributeModel {
+            vocab_size: 100,
+            zipf_exponent: 1.2,
+            mean_attrs_per_vertex: 8.0,
+            topic_attrs_per_community: 0,
+            ..AttributeModel::default()
+        };
+        let ag = model.assign(&pg, None, None, 9);
+        let s0 = ag.support(ag.attr_id("w0").unwrap());
+        let s50 = ag.attr_id("w50").map(|a| ag.support(a)).unwrap_or(0);
+        assert!(s0 > s50, "rank 0 support {s0} vs rank 50 support {s50}");
+    }
+}

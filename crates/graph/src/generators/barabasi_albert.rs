@@ -1,0 +1,99 @@
+//! Barabási–Albert preferential attachment, producing the heavy-tailed
+//! degree distributions characteristic of the paper's real datasets.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+
+/// Samples a Barabási–Albert graph: starts from a clique on `m0 = m + 1`
+/// vertices, then each new vertex attaches to `m` distinct existing
+/// vertices chosen proportionally to degree.
+///
+/// # Panics
+/// Panics if `n < m + 1` or `m == 0`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "m must be at least 1");
+    assert!(n > m, "need at least m + 1 = {} vertices", m + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    let m0 = m + 1;
+    for u in 0..m0 as VertexId {
+        for v in (u + 1)..m0 as VertexId {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+    for v in m0 as VertexId..n as VertexId {
+        chosen.clear();
+        // Rejection sampling until m distinct targets are found; m is small
+        // so the loop terminates quickly.
+        while chosen.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeDistribution;
+
+    #[test]
+    fn vertex_and_edge_counts() {
+        let n = 200;
+        let m = 3;
+        let g = barabasi_albert(n, m, 9);
+        assert_eq!(g.num_vertices(), n);
+        let clique_edges = (m + 1) * m / 2;
+        assert_eq!(g.num_edges(), clique_edges + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let g = barabasi_albert(150, 2, 1);
+        for v in g.vertices() {
+            assert!(g.degree(v) >= 2);
+        }
+    }
+
+    #[test]
+    fn produces_heavy_tail() {
+        // Degree distribution should be highly skewed: max degree far above
+        // the mean.
+        let g = barabasi_albert(2000, 2, 13);
+        let d = DegreeDistribution::from_graph(&g);
+        assert!(
+            d.max_degree() as f64 > 5.0 * d.mean(),
+            "max {} vs mean {}",
+            d.max_degree(),
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 5), barabasi_albert(100, 2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least m + 1")]
+    fn rejects_too_few_vertices() {
+        barabasi_albert(2, 3, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Erdős–Rényi random graphs: `G(n, p)` and `G(n, m)`.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+
+/// Samples `G(n, p)`: every pair is an edge independently with probability
+/// `p`. Uses geometric skipping, so the cost is `O(n + m)` rather than
+/// `O(n^2)` for sparse graphs.
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    if p <= 0.0 {
+        return b.build();
+    }
+    // Iterate pair index k over the upper triangle with geometric jumps.
+    let log_q = (1.0 - p).ln();
+    let total_pairs = n as u64 * (n as u64 - 1) / 2;
+    let mut k: u64 = 0;
+    loop {
+        let u: f64 = rng.random();
+        // Number of pairs skipped before the next edge.
+        let skip = ((1.0 - u).ln() / log_q).floor() as u64;
+        k = k.saturating_add(skip);
+        if k >= total_pairs {
+            break;
+        }
+        let (a, bb) = pair_from_index(k, n as u64);
+        b.add_edge(a as VertexId, bb as VertexId);
+        k += 1;
+        if k >= total_pairs {
+            break;
+        }
+    }
+    b.build()
+}
+
+/// Maps a linear index `k ∈ [0, n(n-1)/2)` to the `k`-th pair `(i, j)` with
+/// `i < j` in row-major upper-triangle order.
+fn pair_from_index(k: u64, n: u64) -> (u64, u64) {
+    // Row i contributes (n - 1 - i) pairs. Find i such that the cumulative
+    // count exceeds k, then the column.
+    let mut i = 0u64;
+    let mut remaining = k;
+    loop {
+        let row = n - 1 - i;
+        if remaining < row {
+            return (i, i + 1 + remaining);
+        }
+        remaining -= row;
+        i += 1;
+    }
+}
+
+/// Samples `G(n, m)`: exactly `m` distinct edges drawn uniformly.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of vertex pairs.
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let total_pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= total_pairs, "m = {m} exceeds {total_pairs} pairs");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if m == 0 {
+        return b.build();
+    }
+    // Rejection sampling of distinct pairs; fine while m << n^2. Densities
+    // above half the pairs use a complement trick to stay fast.
+    if m * 2 <= total_pairs {
+        let mut seen = std::collections::HashSet::with_capacity(m * 2);
+        while seen.len() < m {
+            let u = rng.random_range(0..n as u64) as VertexId;
+            let v = rng.random_range(0..n as u64) as VertexId;
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                b.add_edge(key.0, key.1);
+            }
+        }
+    } else {
+        // Dense: choose the complement (pairs to *exclude*).
+        let exclude = total_pairs - m;
+        let mut excluded = std::collections::HashSet::with_capacity(exclude * 2);
+        while excluded.len() < exclude {
+            let u = rng.random_range(0..n as u64) as VertexId;
+            let v = rng.random_range(0..n as u64) as VertexId;
+            if u == v {
+                continue;
+            }
+            excluded.insert((u.min(v), u.max(v)));
+        }
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                if !excluded.contains(&(u, v)) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(50, 200, 7);
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn gnm_dense_complement_path() {
+        let n = 12;
+        let total = n * (n - 1) / 2;
+        let g = gnm(n, total - 3, 11);
+        assert_eq!(g.num_edges(), total - 3);
+        let full = gnm(n, total, 11);
+        assert_eq!(full.num_edges(), total);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 3).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 3).num_edges(), 45);
+        assert_eq!(gnp(1, 0.5, 3).num_edges(), 0);
+        assert_eq!(gnp(0, 0.5, 3).num_vertices(), 0);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 42);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let got = g.num_edges() as f64;
+        // 5 standard deviations of slack.
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sd,
+            "edge count {got} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = gnp(100, 0.1, 5);
+        let b = gnp(100, 0.1, 5);
+        assert_eq!(a, b);
+        let c = gnp(100, 0.1, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pair_from_index_enumerates_upper_triangle() {
+        let n = 5u64;
+        let mut pairs = Vec::new();
+        for k in 0..(n * (n - 1) / 2) {
+            pairs.push(pair_from_index(k, n));
+        }
+        let mut expect = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                expect.push((i, j));
+            }
+        }
+        assert_eq!(pairs, expect);
+    }
+}

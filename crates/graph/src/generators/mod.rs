@@ -1,0 +1,18 @@
+//! Random graph and attribute generators.
+//!
+//! All generators take explicit seeds and are deterministic for a given
+//! seed, which the experiment harness relies on.
+
+pub mod attributes;
+pub mod barabasi_albert;
+pub mod coauthorship;
+pub mod erdos_renyi;
+pub mod planted;
+pub mod watts_strogatz;
+
+pub use attributes::{AttributeModel, ZipfSampler};
+pub use barabasi_albert::barabasi_albert;
+pub use coauthorship::CliqueOverlay;
+pub use erdos_renyi::{gnm, gnp};
+pub use planted::{PlantedCommunityConfig, PlantedGraph};
+pub use watts_strogatz::watts_strogatz;

@@ -1,0 +1,254 @@
+//! Planted-community graphs: a sparse background graph plus embedded dense
+//! vertex groups. These are the synthetic stand-ins for the paper's
+//! real-world networks — each planted group is (with high probability) a
+//! γ-quasi-clique, and the attribute model
+//! ([`attributes`](crate::generators::attributes)) correlates attribute sets
+//! with group membership.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+
+/// Background topology model for the non-community edges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BackgroundModel {
+    /// Uniform random edges: expected `mean_degree * n / 2` edges.
+    Uniform {
+        /// Target mean degree of the background.
+        mean_degree: f64,
+    },
+    /// Preferential attachment with `m` edges per vertex (heavy-tailed
+    /// degrees, like the collaboration/citation networks in the paper).
+    PreferentialAttachment {
+        /// Edges attached per arriving vertex.
+        m: usize,
+    },
+}
+
+/// Configuration for [`PlantedGraph::generate`].
+#[derive(Clone, Debug)]
+pub struct PlantedCommunityConfig {
+    /// Total number of vertices.
+    pub n: usize,
+    /// Background edge model.
+    pub background: BackgroundModel,
+    /// Number of planted communities.
+    pub num_communities: usize,
+    /// Inclusive community size range; sizes are sampled uniformly.
+    pub community_size: (usize, usize),
+    /// Probability of each intra-community edge (the planted density). A
+    /// value of `p_in ≥ γ + margin` makes groups γ-quasi-cliques w.h.p.
+    pub p_in: f64,
+}
+
+impl PlantedCommunityConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.community_size.0 < 2 || self.community_size.0 > self.community_size.1 {
+            return Err(format!(
+                "invalid community size range {:?}",
+                self.community_size
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.p_in) {
+            return Err(format!("p_in {} out of [0,1]", self.p_in));
+        }
+        let worst = self.num_communities * self.community_size.1;
+        if worst > self.n {
+            return Err(format!(
+                "{} communities of up to {} vertices exceed n = {}",
+                self.num_communities, self.community_size.1, self.n
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A generated planted-community graph.
+#[derive(Clone, Debug)]
+pub struct PlantedGraph {
+    /// The merged topology (background plus planted edges).
+    pub graph: CsrGraph,
+    /// The planted groups, each a sorted vertex list. Disjoint.
+    pub communities: Vec<Vec<VertexId>>,
+}
+
+impl PlantedGraph {
+    /// Generates a planted-community graph.
+    ///
+    /// Community members are drawn disjointly from a random permutation of
+    /// the vertices; intra-community pairs become edges with probability
+    /// `p_in`; the background model adds global edges on top.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`PlantedCommunityConfig::validate`]).
+    pub fn generate(config: &PlantedCommunityConfig, seed: u64) -> Self {
+        config.validate().expect("invalid planted-community config");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = config.n;
+        let mut b = GraphBuilder::new(n);
+
+        // Disjoint membership from a shuffled vertex pool.
+        let mut pool: Vec<VertexId> = (0..n as VertexId).collect();
+        pool.shuffle(&mut rng);
+        let mut cursor = 0usize;
+        let mut communities = Vec::with_capacity(config.num_communities);
+        for _ in 0..config.num_communities {
+            let size = rng.random_range(config.community_size.0..=config.community_size.1);
+            let mut members: Vec<VertexId> = pool[cursor..cursor + size].to_vec();
+            cursor += size;
+            members.sort_unstable();
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    if rng.random::<f64>() < config.p_in {
+                        b.add_edge(members[i], members[j]);
+                    }
+                }
+            }
+            communities.push(members);
+        }
+
+        match config.background {
+            BackgroundModel::Uniform { mean_degree } => {
+                let m = ((mean_degree * n as f64) / 2.0).round() as usize;
+                for _ in 0..m {
+                    let u = rng.random_range(0..n as u64) as VertexId;
+                    let v = rng.random_range(0..n as u64) as VertexId;
+                    if u != v {
+                        b.add_edge(u, v);
+                    }
+                }
+            }
+            BackgroundModel::PreferentialAttachment { m } => {
+                // Inline BA process over all n vertices; merged with the
+                // planted edges by the builder's dedup.
+                let m0 = m + 1;
+                let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+                for u in 0..m0.min(n) as VertexId {
+                    for v in (u + 1)..m0.min(n) as VertexId {
+                        b.add_edge(u, v);
+                        endpoints.push(u);
+                        endpoints.push(v);
+                    }
+                }
+                let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+                for v in m0 as VertexId..n as VertexId {
+                    chosen.clear();
+                    while chosen.len() < m {
+                        let t = endpoints[rng.random_range(0..endpoints.len())];
+                        if !chosen.contains(&t) {
+                            chosen.push(t);
+                        }
+                    }
+                    for &t in &chosen {
+                        b.add_edge(v, t);
+                        endpoints.push(v);
+                        endpoints.push(t);
+                    }
+                }
+            }
+        }
+
+        PlantedGraph {
+            graph: b.build(),
+            communities,
+        }
+    }
+
+    /// The community index of each vertex (`None` for background vertices).
+    pub fn membership(&self) -> Vec<Option<usize>> {
+        let n = self.graph.num_vertices();
+        let mut m = vec![None; n];
+        for (c, members) in self.communities.iter().enumerate() {
+            for &v in members {
+                m[v as usize] = Some(c);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> PlantedCommunityConfig {
+        PlantedCommunityConfig {
+            n: 500,
+            background: BackgroundModel::Uniform { mean_degree: 2.0 },
+            num_communities: 5,
+            community_size: (8, 12),
+            p_in: 0.9,
+        }
+    }
+
+    #[test]
+    fn communities_are_disjoint_and_sized() {
+        let pg = PlantedGraph::generate(&config(), 21);
+        assert_eq!(pg.communities.len(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for c in &pg.communities {
+            assert!((8..=12).contains(&c.len()));
+            for &v in c {
+                assert!(seen.insert(v), "vertex {v} in two communities");
+            }
+        }
+    }
+
+    #[test]
+    fn communities_are_dense() {
+        let pg = PlantedGraph::generate(&config(), 3);
+        for c in &pg.communities {
+            let possible = c.len() * (c.len() - 1) / 2;
+            let actual = pg.graph.edges_within(c);
+            assert!(
+                actual as f64 >= 0.6 * possible as f64,
+                "community too sparse: {actual}/{possible}"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_covers_members_only() {
+        let pg = PlantedGraph::generate(&config(), 4);
+        let member = pg.membership();
+        let planted: usize = pg.communities.iter().map(Vec::len).sum();
+        let assigned = member.iter().filter(|m| m.is_some()).count();
+        assert_eq!(planted, assigned);
+    }
+
+    #[test]
+    fn preferential_attachment_background() {
+        let cfg = PlantedCommunityConfig {
+            background: BackgroundModel::PreferentialAttachment { m: 2 },
+            ..config()
+        };
+        let pg = PlantedGraph::generate(&cfg, 10);
+        assert_eq!(pg.graph.num_vertices(), 500);
+        // PA background guarantees min degree >= 2 for non-seed vertices.
+        assert!(pg.graph.num_edges() >= 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid planted-community config")]
+    fn rejects_oversubscribed_communities() {
+        let cfg = PlantedCommunityConfig {
+            n: 10,
+            num_communities: 5,
+            community_size: (4, 4),
+            ..config()
+        };
+        PlantedGraph::generate(&cfg, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = PlantedGraph::generate(&config(), 77);
+        let b = PlantedGraph::generate(&config(), 77);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.communities, b.communities);
+    }
+}

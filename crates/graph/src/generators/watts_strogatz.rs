@@ -1,0 +1,128 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! A ring lattice where each vertex connects to its `k` nearest neighbors
+//! (`k/2` on each side), with every lattice edge rewired to a uniform
+//! random endpoint with probability `beta`. Used by the null-model
+//! sensitivity tests: the analytical `max-exp` bound only sees the degree
+//! distribution, so graphs with identical degrees but very different
+//! clustering (lattice `beta = 0` vs rewired `beta = 1`) expose how much
+//! of the real coverage signal the bound ignores.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, VertexId};
+
+/// Samples a Watts–Strogatz graph.
+///
+/// # Panics
+/// Panics if `k` is odd, `k ≥ n`, or `beta ∉ [0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k.is_multiple_of(2), "k must be even (k/2 neighbors per side)");
+    assert!(k < n, "k must be smaller than n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || k == 0 {
+        return b.build();
+    }
+    // Collect ring edges, then rewire.
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for step in 1..=(k / 2) {
+            let v = (u + step) % n;
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    // Track adjacency to avoid duplicate edges while rewiring.
+    let mut adj: Vec<std::collections::HashSet<VertexId>> =
+        vec![std::collections::HashSet::new(); n];
+    for &(u, v) in &edges {
+        adj[u as usize].insert(v);
+        adj[v as usize].insert(u);
+    }
+    for edge in edges.iter_mut() {
+        if beta > 0.0 && rng.random::<f64>() < beta {
+            let (u, v) = *edge;
+            // Redraw the far endpoint; keep the edge if the vertex is
+            // saturated (can happen only for tiny n).
+            let mut tries = 0;
+            loop {
+                let w: VertexId = rng.random_range(0..n as u32);
+                if w != u && !adj[u as usize].contains(&w) {
+                    adj[u as usize].remove(&v);
+                    adj[v as usize].remove(&u);
+                    adj[u as usize].insert(w);
+                    adj[w as usize].insert(u);
+                    *edge = (u, w);
+                    break;
+                }
+                tries += 1;
+                if tries > 32 && adj[u as usize].len() >= n - 1 {
+                    break; // saturated vertex: keep the lattice edge
+                }
+            }
+        }
+    }
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::clustering;
+
+    #[test]
+    fn lattice_has_exact_degrees() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4, "vertex {v}");
+        }
+        // Ring lattice with k = 4: triangles between consecutive
+        // neighbors give clustering 0.5.
+        let c = clustering(&g);
+        assert!((c.average_local - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rewiring_preserves_edge_count() {
+        for beta in [0.1, 0.5, 1.0] {
+            let g = watts_strogatz(50, 6, beta, 7);
+            assert_eq!(g.num_edges(), 50 * 3, "beta {beta}");
+        }
+    }
+
+    #[test]
+    fn rewiring_lowers_clustering() {
+        let lattice = clustering(&watts_strogatz(200, 8, 0.0, 3)).average_local;
+        let random = clustering(&watts_strogatz(200, 8, 1.0, 3)).average_local;
+        assert!(
+            random < lattice * 0.5,
+            "rewired clustering {random} should be well below lattice {lattice}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = watts_strogatz(40, 4, 0.3, 11);
+        let b = watts_strogatz(40, 4, 0.3, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn rejects_odd_k() {
+        watts_strogatz(10, 3, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be smaller")]
+    fn rejects_k_too_large() {
+        watts_strogatz(4, 4, 0.1, 0);
+    }
+}

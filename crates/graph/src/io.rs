@@ -1,0 +1,289 @@
+//! Text I/O for attributed graphs.
+//!
+//! The format is line-oriented and mirrors the public releases of the
+//! paper's datasets (an edge file plus a vertex-attribute file), merged into
+//! a single file for convenience:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! v <n>              # vertex count (required, first directive)
+//! e <u> <v>          # undirected edge, 0-based ids
+//! a <v> <name...>    # whitespace-separated attribute names for vertex v
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::attributed::{AttributedGraph, AttributedGraphBuilder};
+
+/// Errors produced while parsing the text format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content with a line number and message.
+    Syntax {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Syntax { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads an attributed graph from any reader in the text format.
+pub fn read_attributed<R: Read>(reader: R) -> Result<AttributedGraph, ParseError> {
+    let reader = BufReader::new(reader);
+    let mut builder: Option<AttributedGraphBuilder> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap();
+        match tag {
+            "v" => {
+                if builder.is_some() {
+                    return Err(syntax(lineno, "duplicate `v` directive"));
+                }
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "`v` needs a count"))?
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid vertex count"))?;
+                builder = Some(AttributedGraphBuilder::new(n));
+            }
+            "e" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax(lineno, "`e` before `v`"))?;
+                let u: u32 = parts
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "`e` needs two endpoints"))?
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid endpoint"))?;
+                let v: u32 = parts
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "`e` needs two endpoints"))?
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid endpoint"))?;
+                if u as usize >= b.num_vertices() || v as usize >= b.num_vertices() {
+                    return Err(syntax(lineno, format!("edge ({u}, {v}) out of range")));
+                }
+                b.add_edge(u, v);
+            }
+            "a" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| syntax(lineno, "`a` before `v`"))?;
+                let v: u32 = parts
+                    .next()
+                    .ok_or_else(|| syntax(lineno, "`a` needs a vertex"))?
+                    .parse()
+                    .map_err(|_| syntax(lineno, "invalid vertex"))?;
+                if v as usize >= b.num_vertices() {
+                    return Err(syntax(lineno, format!("vertex {v} out of range")));
+                }
+                for name in parts {
+                    b.add_attr_named(v, name);
+                }
+            }
+            other => return Err(syntax(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+    builder
+        .map(|b| b.build())
+        .ok_or_else(|| syntax(0, "missing `v` directive"))
+}
+
+/// Writes an attributed graph in the text format.
+pub fn write_attributed<W: Write>(g: &AttributedGraph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# scpm attributed graph")?;
+    writeln!(w, "v {}", g.num_vertices())?;
+    for (u, v) in g.graph().edges() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    for v in g.graph().vertices() {
+        let attrs = g.attributes_of(v);
+        if attrs.is_empty() {
+            continue;
+        }
+        write!(w, "a {v}")?;
+        for &a in attrs {
+            write!(w, " {}", g.attr_name(a))?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Writes a vertex-induced subgraph in Graphviz DOT format, highlighting an
+/// optional set of vertices (the paper's Figures 3, 5 and 6 are exactly
+/// such drawings: the graph induced by an attribute set with the vertices
+/// covered by dense subgraphs marked).
+pub fn write_dot<W: Write>(
+    g: &AttributedGraph,
+    vertices: &[crate::csr::VertexId],
+    highlight: &[crate::csr::VertexId],
+    writer: W,
+) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "graph induced {{")?;
+    writeln!(w, "  node [shape=circle, style=filled, fillcolor=white];")?;
+    for &v in vertices {
+        if highlight.binary_search(&v).is_ok() {
+            writeln!(w, "  {v} [fillcolor=lightblue];")?;
+        } else {
+            writeln!(w, "  {v};")?;
+        }
+    }
+    for (i, &u) in vertices.iter().enumerate() {
+        for &v in vertices.iter().skip(i + 1) {
+            if g.graph().has_edge(u, v) {
+                writeln!(w, "  {u} -- {v};")?;
+            }
+        }
+    }
+    writeln!(w, "}}")?;
+    w.flush()
+}
+
+/// Loads an attributed graph from a file path.
+pub fn load_attributed(path: impl AsRef<Path>) -> Result<AttributedGraph, ParseError> {
+    let file = std::fs::File::open(path)?;
+    read_attributed(file)
+}
+
+/// Saves an attributed graph to a file path.
+pub fn save_attributed(g: &AttributedGraph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_attributed(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::figure1;
+
+    #[test]
+    fn roundtrip_figure1() {
+        let g = figure1();
+        let mut buf = Vec::new();
+        write_attributed(&g, &mut buf).unwrap();
+        let g2 = read_attributed(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.num_attributes(), g.num_attributes());
+        for v in g.graph().vertices() {
+            let names: Vec<&str> = g.attributes_of(v).iter().map(|&a| g.attr_name(a)).collect();
+            let names2: Vec<&str> = g2
+                .attributes_of(v)
+                .iter()
+                .map(|&a| g2.attr_name(a))
+                .collect();
+            let mut s1 = names.clone();
+            let mut s2 = names2.clone();
+            s1.sort_unstable();
+            s2.sort_unstable();
+            assert_eq!(s1, s2, "attributes of {v}");
+        }
+        for (u, v) in g.graph().edges() {
+            assert!(g2.graph().has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let text = "# demo\nv 3\ne 0 1\ne 1 2\na 0 red blue\na 2 red\n";
+        let g = read_attributed(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        let red = g.attr_id("red").unwrap();
+        assert_eq!(g.vertices_with(red), &[0, 2]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            read_attributed("e 0 1\n".as_bytes()),
+            Err(ParseError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_attributed("v 2\ne 0 5\n".as_bytes()),
+            Err(ParseError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_attributed("v 2\nx 1\n".as_bytes()),
+            Err(ParseError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_attributed("".as_bytes()),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            read_attributed("v 1\nv 1\n".as_bytes()),
+            Err(ParseError::Syntax { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn dot_export_marks_highlights() {
+        let g = figure1();
+        let mut buf = Vec::new();
+        write_dot(&g, &[2, 3, 4, 5], &[3, 4], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("graph induced {"));
+        assert!(text.contains("3 [fillcolor=lightblue];"));
+        assert!(text.contains("2;"));
+        // The clique {3,4,5,6} (1-based) is {2,3,4,5} 0-based: 6 edges.
+        assert_eq!(text.matches(" -- ").count(), 6);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = figure1();
+        let dir = std::env::temp_dir().join("scpm_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.txt");
+        save_attributed(&g, &path).unwrap();
+        let g2 = load_attributed(&path).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,52 @@
+//! Attributed-graph substrate for structural correlation pattern mining.
+//!
+//! This crate provides the data model from Silva, Meira & Zaki,
+//! *"Mining Attribute-structure Correlated Patterns in Large Attributed
+//! Graphs"* (VLDB 2012): an attributed graph is a 4-tuple
+//! `G = (V, E, A, F)` where `V` is a vertex set, `E` an undirected edge set,
+//! `A` a set of attributes and `F : V -> P(A)` assigns each vertex a set of
+//! attributes.
+//!
+//! The crate contains:
+//!
+//! * [`CsrGraph`] — an immutable compressed-sparse-row undirected graph with
+//!   sorted neighbor lists (binary-searchable adjacency).
+//! * [`GraphBuilder`] — incremental edge-list construction with
+//!   deduplication and self-loop removal.
+//! * [`AttributedGraph`] — a [`CsrGraph`] plus a per-vertex attribute store
+//!   and an inverted index (attribute → sorted vertex list).
+//! * [`induced`] — induced-subgraph extraction used by every mining
+//!   algorithm in the workspace.
+//! * [`generators`] — random graph models (G(n,p), G(n,m), Barabási–Albert,
+//!   planted communities) and attribute-assignment models.
+//! * [`io`] — a simple text format for attributed graphs.
+//! * [`figure1`] — the 11-vertex example of Figure 1 in the paper, used as a
+//!   golden fixture for Table 1.
+
+#![warn(missing_docs)]
+
+pub mod attributed;
+pub mod builder;
+pub mod cluster;
+pub mod components;
+pub mod csr;
+pub mod degree;
+pub mod figure1;
+pub mod generators;
+pub mod induced;
+pub mod io;
+pub mod kcore;
+pub mod snapshot;
+pub mod stats;
+pub mod traversal;
+
+pub use attributed::{AttrId, AttributedGraph, AttributedGraphBuilder};
+pub use builder::GraphBuilder;
+pub use cluster::{clustering, local_clustering, ClusteringStats};
+pub use components::Components;
+pub use csr::{CsrGraph, VertexId};
+pub use degree::DegreeDistribution;
+pub use induced::InducedSubgraph;
+pub use kcore::CoreDecomposition;
+pub use snapshot::{decode, encode, load_snapshot, save_snapshot, SnapshotError};
+pub use stats::GraphSummary;

@@ -1,0 +1,348 @@
+//! Binary snapshot format for attributed graphs.
+//!
+//! The synthetic datasets take seconds to generate at bench scale; the
+//! experiment harness snapshots them once and reloads in milliseconds.
+//! The format is a little-endian, length-prefixed layout behind an 8-byte
+//! magic and a version word:
+//!
+//! ```text
+//! "SCPMSNAP" u32 version
+//! u64 n                       vertex count
+//! u64 m                       edge count, then m × (u32 u, u32 v), u < v
+//! u64 a                       attribute count, then a × (u32 len, bytes)
+//! u64 pairs                   then pairs × (u32 vertex, u32 attr)
+//! ```
+//!
+//! Decoding is defensive: every read checks the remaining length, ids are
+//! range-checked, and failures return a [`SnapshotError`] instead of
+//! panicking — the failure-injection tests feed truncated and corrupted
+//! buffers through the decoder.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::path::Path;
+
+use crate::attributed::{AttributedGraph, AttributedGraphBuilder};
+
+const MAGIC: &[u8; 8] = b"SCPMSNAP";
+const VERSION: u32 = 1;
+
+/// Errors produced while decoding a snapshot.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the snapshot magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer ended before the declared content.
+    Truncated {
+        /// What the decoder was reading.
+        reading: &'static str,
+    },
+    /// An id exceeded its declared range.
+    OutOfRange {
+        /// What the decoder was reading.
+        reading: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// An attribute name was not valid UTF-8.
+    BadName,
+    /// Underlying I/O failure (file variants only).
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a scpm snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated { reading } => {
+                write!(f, "snapshot truncated while reading {reading}")
+            }
+            SnapshotError::OutOfRange { reading, value } => {
+                write!(f, "snapshot {reading} value {value} out of range")
+            }
+            SnapshotError::BadName => write!(f, "attribute name is not valid UTF-8"),
+            SnapshotError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e.kind())
+    }
+}
+
+/// Encodes an attributed graph into a snapshot buffer.
+pub fn encode(g: &AttributedGraph) -> Bytes {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let a = g.num_attributes();
+    let pairs: usize = (0..n as u32).map(|v| g.attributes_of(v).len()).sum();
+
+    let name_bytes: usize = (0..a as u32).map(|x| g.attr_name(x).len() + 4).sum();
+    let mut buf = BytesMut::with_capacity(8 + 4 + 8 * 4 + m * 8 + name_bytes + pairs * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+    for (u, v) in g.graph().edges() {
+        buf.put_u32_le(u);
+        buf.put_u32_le(v);
+    }
+    buf.put_u64_le(a as u64);
+    for x in 0..a as u32 {
+        let name = g.attr_name(x).as_bytes();
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name);
+    }
+    buf.put_u64_le(pairs as u64);
+    for v in 0..n as u32 {
+        for &x in g.attributes_of(v) {
+            buf.put_u32_le(v);
+            buf.put_u32_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, bytes: usize, reading: &'static str) -> Result<(), SnapshotError> {
+    if buf.remaining() < bytes {
+        Err(SnapshotError::Truncated { reading })
+    } else {
+        Ok(())
+    }
+}
+
+/// Decodes a snapshot buffer into an attributed graph.
+pub fn decode(mut buf: impl Buf) -> Result<AttributedGraph, SnapshotError> {
+    need(&buf, 8 + 4, "header")?;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    need(&buf, 8, "vertex count")?;
+    let n = buf.get_u64_le();
+    if n > u32::MAX as u64 {
+        return Err(SnapshotError::OutOfRange {
+            reading: "vertex count",
+            value: n,
+        });
+    }
+    let mut b = AttributedGraphBuilder::new(n as usize);
+
+    need(&buf, 8, "edge count")?;
+    let m = buf.get_u64_le();
+    for _ in 0..m {
+        need(&buf, 8, "edge")?;
+        let u = buf.get_u32_le();
+        let v = buf.get_u32_le();
+        if u as u64 >= n || v as u64 >= n {
+            return Err(SnapshotError::OutOfRange {
+                reading: "edge endpoint",
+                value: u.max(v) as u64,
+            });
+        }
+        b.add_edge(u, v);
+    }
+
+    need(&buf, 8, "attribute count")?;
+    let a = buf.get_u64_le();
+    if a > u32::MAX as u64 {
+        return Err(SnapshotError::OutOfRange {
+            reading: "attribute count",
+            value: a,
+        });
+    }
+    for i in 0..a {
+        need(&buf, 4, "attribute name length")?;
+        let len = buf.get_u32_le() as usize;
+        need(&buf, len, "attribute name")?;
+        let mut raw = vec![0u8; len];
+        buf.copy_to_slice(&mut raw);
+        let name = String::from_utf8(raw).map_err(|_| SnapshotError::BadName)?;
+        let id = b.intern_attr(&name);
+        if id as u64 != i {
+            // Duplicate names collapse ids and would desynchronize the
+            // pair section; treat as corruption.
+            return Err(SnapshotError::OutOfRange {
+                reading: "duplicate attribute name",
+                value: i,
+            });
+        }
+    }
+
+    need(&buf, 8, "pair count")?;
+    let pairs = buf.get_u64_le();
+    for _ in 0..pairs {
+        need(&buf, 8, "vertex-attribute pair")?;
+        let v = buf.get_u32_le();
+        let x = buf.get_u32_le();
+        if v as u64 >= n {
+            return Err(SnapshotError::OutOfRange {
+                reading: "pair vertex",
+                value: v as u64,
+            });
+        }
+        if x as u64 >= a {
+            return Err(SnapshotError::OutOfRange {
+                reading: "pair attribute",
+                value: x as u64,
+            });
+        }
+        b.add_attr(v, x);
+    }
+    Ok(b.build())
+}
+
+/// Writes a snapshot to a file.
+pub fn save_snapshot(g: &AttributedGraph, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+    std::fs::write(path, encode(g))?;
+    Ok(())
+}
+
+/// Loads a snapshot from a file.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<AttributedGraph, SnapshotError> {
+    let data = std::fs::read(path)?;
+    decode(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::figure1;
+
+    fn equivalent(a: &AttributedGraph, b: &AttributedGraph) -> bool {
+        if a.num_vertices() != b.num_vertices()
+            || a.num_edges() != b.num_edges()
+            || a.num_attributes() != b.num_attributes()
+        {
+            return false;
+        }
+        for (u, v) in a.graph().edges() {
+            if !b.graph().has_edge(u, v) {
+                return false;
+            }
+        }
+        for v in a.graph().vertices() {
+            let na: Vec<&str> = a.attributes_of(v).iter().map(|&x| a.attr_name(x)).collect();
+            let nb: Vec<&str> = b.attributes_of(v).iter().map(|&x| b.attr_name(x)).collect();
+            let (mut sa, mut sb) = (na.clone(), nb.clone());
+            sa.sort_unstable();
+            sb.sort_unstable();
+            if sa != sb {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn roundtrip_figure1() {
+        let g = figure1();
+        let buf = encode(&g);
+        let g2 = decode(buf).unwrap();
+        assert!(equivalent(&g, &g2));
+    }
+
+    #[test]
+    fn roundtrip_empty_graph() {
+        let g = AttributedGraphBuilder::new(0).build();
+        let g2 = decode(encode(&g)).unwrap();
+        assert_eq!(g2.num_vertices(), 0);
+        assert_eq!(g2.num_attributes(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = encode(&figure1()).to_vec();
+        raw[0] = b'X';
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut raw = encode(&figure1()).to_vec();
+        raw[8] = 99;
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SnapshotError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let raw = encode(&figure1()).to_vec();
+        // Any strict prefix must fail with Truncated (never panic).
+        for cut in 0..raw.len() {
+            let r = decode(Bytes::from(raw[..cut].to_vec()));
+            assert!(
+                matches!(
+                    r,
+                    Err(SnapshotError::Truncated { .. })
+                        | Err(SnapshotError::BadMagic)
+                        | Err(SnapshotError::OutOfRange { .. })
+                ),
+                "cut at {cut} gave {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        let g = figure1();
+        let mut raw = encode(&g).to_vec();
+        // First edge endpoint lives right after header + n + m.
+        let off = 8 + 4 + 8 + 8;
+        raw[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(SnapshotError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_utf8_name() {
+        let g = figure1();
+        let raw = encode(&g).to_vec();
+        // Find the first attribute name (after edges): header(12) + n(8) +
+        // m(8) + edges(8m) + a(8) + len(4).
+        let m = g.num_edges();
+        let off = 12 + 8 + 8 + 8 * m + 8 + 4;
+        let mut bad = raw.clone();
+        bad[off] = 0xFF;
+        assert!(matches!(
+            decode(Bytes::from(bad)),
+            Err(SnapshotError::BadName)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = figure1();
+        let dir = std::env::temp_dir().join("scpm_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.snap");
+        save_snapshot(&g, &path).unwrap();
+        let g2 = load_snapshot(&path).unwrap();
+        assert!(equivalent(&g, &g2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let r = load_snapshot("/nonexistent/path/to/snapshot.snap");
+        assert!(matches!(r, Err(SnapshotError::Io(_))));
+    }
+}

@@ -1,0 +1,154 @@
+//! One-stop graph summaries for the CLI `stats` subcommand and dataset
+//! calibration: size, degree profile, connectivity, cores, clustering.
+
+use crate::attributed::AttributedGraph;
+use crate::cluster::clustering;
+use crate::components::Components;
+use crate::csr::CsrGraph;
+use crate::degree::DegreeDistribution;
+use crate::kcore::CoreDecomposition;
+use crate::traversal::diameter_lower_bound;
+
+/// Aggregate statistics of a graph (plus attribute counts when derived
+/// from an [`AttributedGraph`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Mean degree `2m/n`.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Connected components.
+    pub components: usize,
+    /// Vertices in the largest component.
+    pub largest_component: usize,
+    /// Degeneracy (maximum core number).
+    pub degeneracy: u32,
+    /// Global clustering coefficient (transitivity).
+    pub transitivity: f64,
+    /// Mean local clustering over vertices of degree ≥ 2.
+    pub average_clustering: f64,
+    /// Total triangles.
+    pub triangles: u64,
+    /// Double-sweep diameter lower bound from vertex 0 (0 for empty).
+    pub diameter_lb: u32,
+    /// Distinct attributes (0 when built from a bare topology).
+    pub attributes: usize,
+    /// Mean attributes per vertex (0 when built from a bare topology).
+    pub mean_attrs_per_vertex: f64,
+}
+
+impl GraphSummary {
+    /// Summarizes a bare topology.
+    pub fn of_graph(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let dist = DegreeDistribution::from_graph(g);
+        let comp = Components::of(g);
+        let cores = CoreDecomposition::of(g);
+        let clust = clustering(g);
+        GraphSummary {
+            vertices: n,
+            edges: g.num_edges(),
+            mean_degree: dist.mean(),
+            max_degree: dist.max_degree(),
+            components: comp.count,
+            largest_component: comp.sizes().into_iter().max().unwrap_or(0),
+            degeneracy: cores.degeneracy,
+            transitivity: clust.transitivity,
+            average_clustering: clust.average_local,
+            triangles: clust.total_triangles,
+            diameter_lb: if n == 0 {
+                0
+            } else {
+                diameter_lower_bound(g, 0)
+            },
+            attributes: 0,
+            mean_attrs_per_vertex: 0.0,
+        }
+    }
+
+    /// Summarizes an attributed graph (topology plus attribute profile).
+    pub fn of_attributed(g: &AttributedGraph) -> Self {
+        let mut s = Self::of_graph(g.graph());
+        s.attributes = g.num_attributes();
+        let pairs: usize = g
+            .graph()
+            .vertices()
+            .map(|v| g.attributes_of(v).len())
+            .sum();
+        s.mean_attrs_per_vertex = if s.vertices == 0 {
+            0.0
+        } else {
+            pairs as f64 / s.vertices as f64
+        };
+        s
+    }
+}
+
+impl std::fmt::Display for GraphSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "vertices            {}", self.vertices)?;
+        writeln!(f, "edges               {}", self.edges)?;
+        writeln!(f, "mean degree         {:.3}", self.mean_degree)?;
+        writeln!(f, "max degree          {}", self.max_degree)?;
+        writeln!(f, "components          {}", self.components)?;
+        writeln!(f, "largest component   {}", self.largest_component)?;
+        writeln!(f, "degeneracy          {}", self.degeneracy)?;
+        writeln!(f, "transitivity        {:.4}", self.transitivity)?;
+        writeln!(f, "avg clustering      {:.4}", self.average_clustering)?;
+        writeln!(f, "triangles           {}", self.triangles)?;
+        writeln!(f, "diameter (lb)       {}", self.diameter_lb)?;
+        if self.attributes > 0 {
+            writeln!(f, "attributes          {}", self.attributes)?;
+            writeln!(f, "mean attrs/vertex   {:.3}", self.mean_attrs_per_vertex)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::figure1::figure1;
+
+    #[test]
+    fn summary_of_triangle_with_tail() {
+        let g = graph_from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]);
+        let s = GraphSummary::of_graph(&g);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.largest_component, 5);
+        assert_eq!(s.degeneracy, 2);
+        assert_eq!(s.triangles, 1);
+        assert_eq!(s.diameter_lb, 3);
+        assert_eq!(s.attributes, 0);
+    }
+
+    #[test]
+    fn summary_of_figure1() {
+        let g = figure1();
+        let s = GraphSummary::of_attributed(&g);
+        assert_eq!(s.vertices, 11);
+        assert_eq!(s.edges, 19);
+        assert_eq!(s.attributes, 5);
+        // 25 vertex-attribute pairs in Figure 1(a).
+        assert!((s.mean_attrs_per_vertex - 25.0 / 11.0).abs() < 1e-12);
+        assert_eq!(s.components, 1);
+        let text = s.to_string();
+        assert!(text.contains("vertices            11"));
+        assert!(text.contains("attributes          5"));
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = GraphSummary::of_graph(&CsrGraph::empty(0));
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.diameter_lb, 0);
+        assert_eq!(s.mean_degree, 0.0);
+    }
+}

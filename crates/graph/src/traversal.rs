@@ -1,0 +1,123 @@
+//! Breadth-first traversal utilities: distances, eccentricity, and a
+//! double-sweep diameter lower bound.
+//!
+//! The diameter-2 candidate pruning of the quasi-clique engine (γ ≥ 0.5 ⇒
+//! quasi-clique diameter ≤ 2, Pei et al. KDD 2005) motivates these
+//! helpers; the graph-stats CLI and the dataset calibration tests use them
+//! to characterize generated topologies.
+
+use std::collections::VecDeque;
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Distance value for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `source` (`UNREACHABLE` for disconnected vertices).
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == UNREACHABLE {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `source` within its component: the largest finite BFS
+/// distance.
+pub fn eccentricity(g: &CsrGraph, source: VertexId) -> u32 {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `start`, then BFS
+/// from the farthest vertex found. Exact on trees; a tight lower bound in
+/// practice on real networks.
+pub fn diameter_lower_bound(g: &CsrGraph, start: VertexId) -> u32 {
+    let first = bfs_distances(g, start);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(start);
+    eccentricity(g, far)
+}
+
+/// Exact diameter of the largest component by running a BFS from every
+/// vertex of that component. `O(n·(n + m))` — intended for test-scale
+/// graphs and calibration, not for the full datasets.
+pub fn exact_diameter(g: &CsrGraph) -> u32 {
+    let comp = crate::components::Components::of(g);
+    let largest = comp.largest();
+    largest
+        .iter()
+        .map(|&v| eccentricity(g, v))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn path_distances() {
+        let g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(eccentricity(&g, 0), 3);
+        assert_eq!(eccentricity(&g, 1), 2);
+        assert_eq!(diameter_lower_bound(&g, 1), 3);
+        assert_eq!(exact_diameter(&g), 3);
+    }
+
+    #[test]
+    fn disconnected_distances() {
+        let g = graph_from_edges(4, [(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(eccentricity(&g, 0), 1);
+        // Largest component has 2 vertices; ties resolved to the first.
+        assert_eq!(exact_diameter(&g), 1);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g = graph_from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(exact_diameter(&g), 3);
+        assert!(diameter_lower_bound(&g, 0) <= 3);
+        assert!(diameter_lower_bound(&g, 0) >= 2);
+    }
+
+    #[test]
+    fn double_sweep_is_exact_on_trees() {
+        // A "broom": path 0-1-2 with leaves 3,4 on vertex 2.
+        let g = graph_from_edges(5, [(0, 1), (1, 2), (2, 3), (2, 4)]);
+        for start in 0..5u32 {
+            assert_eq!(diameter_lower_bound(&g, start), 3, "start {start}");
+        }
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = graph_from_edges(1, Vec::<(u32, u32)>::new());
+        assert_eq!(bfs_distances(&g, 0), vec![0]);
+        assert_eq!(eccentricity(&g, 0), 0);
+        assert_eq!(exact_diameter(&g), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use scpm_graph::attributed::AttributedGraphBuilder;
+use scpm_graph::builder::GraphBuilder;
+use scpm_graph::components::Components;
+use scpm_graph::csr::{intersect_count, intersect_into, VertexId};
+use scpm_graph::induced::InducedSubgraph;
+use scpm_graph::kcore::CoreDecomposition;
+use scpm_graph::snapshot;
+use scpm_graph::traversal::{bfs_distances, UNREACHABLE};
+
+/// Strategy: a random edge list over `n` vertices.
+fn edges_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..(n * 3)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_degree_sums_to_twice_edges((n, edges) in edges_strategy(40)) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            if u != v { b.add_edge(u, v); }
+        }
+        let g = b.build();
+        let deg_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(deg_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn csr_adjacency_is_symmetric((n, edges) in edges_strategy(30)) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            if u != v { b.add_edge(u, v); }
+        }
+        let g = b.build();
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edges_match_membership((n, edges) in edges_strategy(25), mask in proptest::collection::vec(any::<bool>(), 25)) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges.iter().copied() {
+            if u != v { b.add_edge(u, v); }
+        }
+        let g = b.build();
+        let subset: Vec<VertexId> = (0..n as u32).filter(|&v| mask[v as usize]).collect();
+        let sub = InducedSubgraph::extract(&g, &subset);
+        // Every subgraph edge corresponds to a global edge between members.
+        for (lu, lv) in sub.graph.edges() {
+            let gu = sub.to_original(lu);
+            let gv = sub.to_original(lv);
+            prop_assert!(g.has_edge(gu, gv));
+        }
+        // Count global edges within the subset and compare.
+        let mut expect = 0usize;
+        for (i, &u) in subset.iter().enumerate() {
+            for &v in subset.iter().skip(i + 1) {
+                if g.has_edge(u, v) { expect += 1; }
+            }
+        }
+        prop_assert_eq!(sub.graph.num_edges(), expect);
+    }
+
+    #[test]
+    fn intersect_count_matches_naive(
+        mut a in proptest::collection::vec(0u32..200, 0..60),
+        mut b in proptest::collection::vec(0u32..200, 0..60),
+    ) {
+        a.sort_unstable(); a.dedup();
+        b.sort_unstable(); b.dedup();
+        let naive = a.iter().filter(|x| b.contains(x)).count();
+        prop_assert_eq!(intersect_count(&a, &b), naive);
+        let mut out = Vec::new();
+        intersect_into(&a, &b, &mut out);
+        prop_assert_eq!(out.len(), naive);
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn builder_idempotent_on_duplicate_edges((n, edges) in edges_strategy(20)) {
+        let mut b1 = GraphBuilder::new(n);
+        let mut b2 = GraphBuilder::new(n);
+        for (u, v) in edges.iter().copied() {
+            if u != v {
+                b1.add_edge(u, v);
+                b2.add_edge(u, v);
+                b2.add_edge(v, u); // duplicate in the other direction
+            }
+        }
+        prop_assert_eq!(b1.build(), b2.build());
+    }
+
+    #[test]
+    fn components_agree_with_bfs_reachability((n, edges) in edges_strategy(25)) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges { if u != v { b.add_edge(u, v); } }
+        let g = b.build();
+        let comp = Components::of(&g);
+        // Same component ⟺ finite BFS distance.
+        for u in g.vertices() {
+            let dist = bfs_distances(&g, u);
+            for v in g.vertices() {
+                prop_assert_eq!(comp.same(u, v), dist[v as usize] != UNREACHABLE,
+                    "u={} v={}", u, v);
+            }
+        }
+        // Sizes partition the vertex set.
+        prop_assert_eq!(comp.sizes().iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn core_numbers_are_consistent((n, edges) in edges_strategy(30)) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges { if u != v { b.add_edge(u, v); } }
+        let g = b.build();
+        let d = CoreDecomposition::of(&g);
+        // Core number ≤ degree, and the k-core subgraph has min degree ≥ k
+        // within itself.
+        for v in g.vertices() {
+            prop_assert!(d.core[v as usize] as usize <= g.degree(v));
+        }
+        for k in 1..=d.degeneracy {
+            let core = d.k_core(k);
+            for &v in &core {
+                let deg_in = g.degree_within(v, &core);
+                prop_assert!(deg_in >= k as usize,
+                    "v={} k={} deg_in={}", v, k, deg_in);
+            }
+        }
+        // The (degeneracy+1)-core is empty.
+        prop_assert!(d.k_core(d.degeneracy + 1).is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_random_attributed_graphs(
+        (n, edges) in edges_strategy(20),
+        attrs in proptest::collection::vec((0u32..20, 0u32..8), 0..40),
+    ) {
+        let mut b = AttributedGraphBuilder::new(n);
+        for (u, v) in edges { if u != v { b.add_edge(u, v); } }
+        for a in 0..8u32 { b.intern_attr(&format!("attr-{a}")); }
+        for (v, a) in attrs {
+            if (v as usize) < n { b.add_attr(v, a); }
+        }
+        let g = b.build();
+        let g2 = snapshot::decode(snapshot::encode(&g)).unwrap();
+        prop_assert_eq!(g2.num_vertices(), g.num_vertices());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        prop_assert_eq!(g2.num_attributes(), g.num_attributes());
+        for v in g.graph().vertices() {
+            prop_assert_eq!(g2.attributes_of(v), g.attributes_of(v));
+        }
+        for (u, v) in g.graph().edges() {
+            prop_assert!(g2.graph().has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn snapshot_decoder_never_panics_on_corruption(
+        raw in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Arbitrary bytes: decoding must return an error or a graph, never
+        // panic. Prepend the magic half the time to reach deeper paths.
+        let _ = snapshot::decode(bytes::Bytes::from(raw.clone()));
+        let mut with_magic = b"SCPMSNAP".to_vec();
+        with_magic.extend_from_slice(&1u32.to_le_bytes());
+        with_magic.extend_from_slice(&raw);
+        let _ = snapshot::decode(bytes::Bytes::from(with_magic));
+    }
+}

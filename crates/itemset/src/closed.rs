@@ -1,0 +1,323 @@
+//! Closed frequent itemset mining (CHARM-style, Zaki & Hsiao).
+//!
+//! An itemset is **closed** when no proper superset has the same tidset.
+//! In the attributed-graph setting two attribute sets with equal induced
+//! vertex sets `V(S)` produce *identical* structural correlation rows and
+//! patterns, so mining closed attribute sets removes exact redundancy
+//! from SCPM's output — the itemset-side analogue of the closed
+//! quasi-clique work the paper cites (\[20\], \[21\]).
+//!
+//! The miner runs the Eclat prefix-class search with the two CHARM
+//! property shortcuts:
+//!
+//! * `t(X) = t(Y)` — `Y` can be merged into every itemset of `X`'s
+//!   subtree (they always co-occur); `Y`'s own branch is dropped.
+//! * `t(X) ⊂ t(Y)` — `Y` joins `X`'s closure but keeps its own branch
+//!   (`Y` occurs in more transactions).
+//!
+//! A final subsumption check against an index by `(support, tidset hash)`
+//! removes the non-closed survivors.
+
+use std::collections::HashMap;
+
+use crate::eclat::EclatConfig;
+use crate::tidset::Tidset;
+use scpm_graph::attributed::{AttrId, AttributedGraph};
+
+/// A closed frequent itemset with its tidset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClosedItemset {
+    /// Sorted item (attribute) ids.
+    pub items: Vec<AttrId>,
+    /// Vertices containing every item.
+    pub tids: Tidset,
+}
+
+impl ClosedItemset {
+    /// Support `σ(S)`.
+    pub fn support(&self) -> usize {
+        self.tids.support()
+    }
+}
+
+/// Mines all closed frequent itemsets. `config.max_size` bounds the
+/// *explored* itemset size; closures may exceed it only through property-1
+/// merges of co-occurring items, which faithfully reflects the data.
+pub fn closed_itemsets(graph: &AttributedGraph, config: &EclatConfig) -> Vec<ClosedItemset> {
+    assert!(config.min_support >= 1, "min_support must be at least 1");
+    let mut found: Vec<ClosedItemset> = Vec::new();
+    if config.max_size == 0 {
+        return found;
+    }
+    let mut roots: Vec<(Vec<AttrId>, Tidset)> = graph
+        .attributes()
+        .filter(|&a| graph.support(a) >= config.min_support)
+        .map(|a| {
+            (
+                vec![a],
+                Tidset::from_sorted(graph.vertices_with(a).to_vec()),
+            )
+        })
+        .collect();
+    // CHARM processes items by ascending support so that property-1 merges
+    // fire as early as possible.
+    roots.sort_by_key(|(_, t)| t.support());
+    explore(roots, config, &mut found);
+    subsumption_filter(found)
+}
+
+/// One prefix class: each entry is `(itemset, tidset)`; extensions come
+/// from later entries, with the CHARM tidset-relation shortcuts.
+fn explore(class: Vec<(Vec<AttrId>, Tidset)>, config: &EclatConfig, out: &mut Vec<ClosedItemset>) {
+    let mut class = class;
+    let mut i = 0;
+    while i < class.len() {
+        let mut items = class[i].0.clone();
+        let tids = class[i].1.clone();
+        let mut next: Vec<(Vec<AttrId>, Tidset)> = Vec::new();
+        let mut j = i + 1;
+        while j < class.len() {
+            let merged = tids.intersect(&class[j].1);
+            if merged.support() >= config.min_support {
+                let j_tids = &class[j].1;
+                if merged.support() == tids.support() && merged.support() == j_tids.support() {
+                    // t(X) = t(Y): absorb Y's last item into X everywhere
+                    // and drop Y's branch.
+                    items.extend(last_items(&class[j].0, &items));
+                    class.remove(j);
+                    continue; // do not advance j (element shifted left)
+                } else if merged.support() == tids.support() {
+                    // t(X) ⊂ t(Y): Y's item always accompanies X.
+                    items.extend(last_items(&class[j].0, &items));
+                } else if items.len() < config.max_size {
+                    let mut child = items.clone();
+                    child.extend(last_items(&class[j].0, &child));
+                    next.push((child, merged));
+                }
+            }
+            j += 1;
+        }
+        items.sort_unstable();
+        items.dedup();
+        // Propagate the (possibly grown) prefix into the children.
+        for (child_items, _) in next.iter_mut() {
+            child_items.extend(items.iter().copied());
+            child_items.sort_unstable();
+            child_items.dedup();
+        }
+        out.push(ClosedItemset {
+            items,
+            tids: tids.clone(),
+        });
+        if !next.is_empty() {
+            explore(next, config, out);
+        }
+        i += 1;
+    }
+}
+
+/// The items of `src` missing from `base` (CHARM merges whole generators).
+fn last_items(src: &[AttrId], base: &[AttrId]) -> Vec<AttrId> {
+    src.iter()
+        .copied()
+        .filter(|x| !base.contains(x))
+        .collect()
+}
+
+/// Removes itemsets whose tidset equals a proper superset's (non-closed
+/// survivors), then deduplicates.
+fn subsumption_filter(mut sets: Vec<ClosedItemset>) -> Vec<ClosedItemset> {
+    sets.sort_by(|a, b| {
+        b.items
+            .len()
+            .cmp(&a.items.len())
+            .then_with(|| a.items.cmp(&b.items))
+    });
+    sets.dedup_by(|a, b| a.items == b.items);
+    // Index by support: only equal-support sets can share a tidset.
+    let mut by_support: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut keep = vec![true; sets.len()];
+    for (idx, set) in sets.iter().enumerate() {
+        let bucket = by_support.entry(set.support()).or_default();
+        for &bigger in bucket.iter() {
+            // `sets` is sorted by descending size: `bigger` has ≥ items.
+            if sets[bigger].items.len() > set.items.len()
+                && set.tids == sets[bigger].tids
+                && is_subset(&set.items, &sets[bigger].items)
+            {
+                keep[idx] = false;
+                break;
+            }
+        }
+        if keep[idx] {
+            bucket.push(idx);
+        }
+    }
+    let mut out: Vec<ClosedItemset> = sets
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(s, _)| s)
+        .collect();
+    out.sort_by(|a, b| a.items.cmp(&b.items));
+    out
+}
+
+fn is_subset(a: &[AttrId], b: &[AttrId]) -> bool {
+    let mut i = 0;
+    for &x in b {
+        if i == a.len() {
+            return true;
+        }
+        if a[i] == x {
+            i += 1;
+        } else if a[i] < x {
+            return false;
+        }
+    }
+    i == a.len()
+}
+
+/// Brute-force reference: closed = no superset-with-equal-support among
+/// all frequent itemsets. Exponential; small universes only.
+pub fn closed_bruteforce(graph: &AttributedGraph, config: &EclatConfig) -> Vec<ClosedItemset> {
+    let all = crate::eclat::bruteforce(
+        graph,
+        &EclatConfig {
+            min_support: config.min_support,
+            max_size: usize::MAX,
+        },
+    );
+    let mut out = Vec::new();
+    'outer: for fi in &all {
+        for other in &all {
+            if other.items.len() > fi.items.len()
+                && is_subset(&fi.items, &other.items)
+                && other.tids == fi.tids
+            {
+                continue 'outer;
+            }
+        }
+        out.push(ClosedItemset {
+            items: fi.items.clone(),
+            tids: fi.tids.clone(),
+        });
+    }
+    out.sort_by(|a, b| a.items.cmp(&b.items));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpm_graph::attributed::AttributedGraphBuilder;
+    use scpm_graph::figure1::figure1;
+
+    fn names(g: &AttributedGraph, sets: &[ClosedItemset]) -> Vec<(Vec<String>, usize)> {
+        let mut out: Vec<(Vec<String>, usize)> = sets
+            .iter()
+            .map(|c| {
+                let mut n: Vec<String> = c
+                    .items
+                    .iter()
+                    .map(|&a| g.attr_name(a).to_string())
+                    .collect();
+                n.sort();
+                (n, c.support())
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn matches_bruteforce_on_figure1() {
+        let g = figure1();
+        for min_support in 1..=6 {
+            let cfg = EclatConfig {
+                min_support,
+                max_size: usize::MAX,
+            };
+            assert_eq!(
+                names(&g, &closed_itemsets(&g, &cfg)),
+                names(&g, &closed_bruteforce(&g, &cfg)),
+                "min_support {min_support}"
+            );
+        }
+    }
+
+    #[test]
+    fn co_occurring_items_collapse() {
+        // x and y always appear together; z sometimes.
+        let mut b = AttributedGraphBuilder::new(3);
+        for v in 0..3u32 {
+            b.add_attr_named(v, "x");
+            b.add_attr_named(v, "y");
+        }
+        b.add_attr_named(0, "z");
+        let g = b.build();
+        let cfg = EclatConfig {
+            min_support: 1,
+            max_size: usize::MAX,
+        };
+        let got = names(&g, &closed_itemsets(&g, &cfg));
+        // Closed sets: {x,y} (support 3) and {x,y,z} (support 1); neither
+        // {x} nor {y} alone is closed.
+        assert_eq!(
+            got,
+            vec![
+                (vec!["x".into(), "y".into()], 3),
+                (vec!["x".into(), "y".into(), "z".into()], 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn closed_sets_are_a_lossless_summary() {
+        // Every frequent itemset's support equals the support of its
+        // smallest closed superset.
+        let g = figure1();
+        let cfg = EclatConfig {
+            min_support: 2,
+            max_size: usize::MAX,
+        };
+        let closed = closed_itemsets(&g, &cfg);
+        for fi in crate::eclat::eclat(&g, &cfg) {
+            let closure_support = closed
+                .iter()
+                .filter(|c| is_subset(&fi.items, &c.items))
+                .map(|c| c.support())
+                .max()
+                .unwrap_or(0);
+            assert_eq!(
+                closure_support,
+                fi.support(),
+                "itemset {:?} lost by closure",
+                fi.items
+            );
+        }
+    }
+
+    #[test]
+    fn closed_count_never_exceeds_frequent_count() {
+        let g = figure1();
+        let cfg = EclatConfig {
+            min_support: 2,
+            max_size: usize::MAX,
+        };
+        let closed = closed_itemsets(&g, &cfg).len();
+        let frequent = crate::eclat::eclat(&g, &cfg).len();
+        assert!(closed <= frequent, "{closed} > {frequent}");
+        assert!(closed >= 1);
+    }
+
+    #[test]
+    fn empty_when_nothing_frequent() {
+        let g = figure1();
+        let cfg = EclatConfig {
+            min_support: 100,
+            max_size: usize::MAX,
+        };
+        assert!(closed_itemsets(&g, &cfg).is_empty());
+    }
+}

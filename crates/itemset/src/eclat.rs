@@ -1,0 +1,250 @@
+//! The Eclat algorithm (Zaki, TKDE 2000): depth-first frequent itemset
+//! mining over vertical tidsets.
+//!
+//! The paper's naive baseline enumerates all frequent attribute sets with
+//! Eclat and then mines quasi-cliques from each induced subgraph; this
+//! module provides that enumeration. Items are attribute ids, transactions
+//! are vertices, and the tidset of an itemset is the induced vertex set
+//! `V(S)`.
+
+use crate::tidset::Tidset;
+use scpm_graph::attributed::{AttrId, AttributedGraph};
+
+/// Configuration for [`eclat`].
+#[derive(Clone, Copy, Debug)]
+pub struct EclatConfig {
+    /// Minimum support `σmin` (absolute count).
+    pub min_support: usize,
+    /// Upper bound on itemset size (`usize::MAX` for unbounded).
+    pub max_size: usize,
+}
+
+impl Default for EclatConfig {
+    fn default() -> Self {
+        EclatConfig {
+            min_support: 1,
+            max_size: usize::MAX,
+        }
+    }
+}
+
+/// A frequent itemset together with its tidset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// Sorted item (attribute) ids.
+    pub items: Vec<AttrId>,
+    /// Vertices containing every item: `V(S)`.
+    pub tids: Tidset,
+}
+
+impl FrequentItemset {
+    /// Support `σ(S)`.
+    pub fn support(&self) -> usize {
+        self.tids.support()
+    }
+}
+
+/// Mines all frequent itemsets of an attributed graph.
+///
+/// Returns itemsets in depth-first prefix order; each itemset's `items` are
+/// sorted ascending.
+pub fn eclat(graph: &AttributedGraph, config: &EclatConfig) -> Vec<FrequentItemset> {
+    let mut out = Vec::new();
+    eclat_visit(graph, config, |fi| out.push(fi.clone()));
+    out
+}
+
+/// Visitor-based Eclat: calls `visit` for every frequent itemset without
+/// retaining them (used when the caller streams results).
+pub fn eclat_visit<F>(graph: &AttributedGraph, config: &EclatConfig, mut visit: F)
+where
+    F: FnMut(&FrequentItemset),
+{
+    assert!(config.min_support >= 1, "min_support must be at least 1");
+    if config.max_size == 0 {
+        return;
+    }
+    // Level-1 frequent items.
+    let mut roots: Vec<(AttrId, Tidset)> = graph
+        .attributes()
+        .filter(|&a| graph.support(a) >= config.min_support)
+        .map(|a| (a, Tidset::from_sorted(graph.vertices_with(a).to_vec())))
+        .collect();
+    // Ascending support order tends to shrink tidsets fastest.
+    roots.sort_by_key(|(_, t)| t.support());
+
+    let mut current = FrequentItemset {
+        items: Vec::new(),
+        tids: Tidset::new(),
+    };
+    extend(&roots, config, &mut current, &mut visit);
+}
+
+/// Recursive prefix-class extension.
+fn extend<F>(
+    class: &[(AttrId, Tidset)],
+    config: &EclatConfig,
+    current: &mut FrequentItemset,
+    visit: &mut F,
+) where
+    F: FnMut(&FrequentItemset),
+{
+    for (i, (item, tids)) in class.iter().enumerate() {
+        current.items.push(*item);
+        let saved = std::mem::replace(&mut current.tids, tids.clone());
+        current.items.sort_unstable();
+        visit(current);
+        // Build the next prefix class from the remaining items.
+        if current.items.len() < config.max_size {
+            let mut next_class: Vec<(AttrId, Tidset)> = Vec::new();
+            for (other, other_tids) in class.iter().skip(i + 1) {
+                let merged = tids.intersect(other_tids);
+                if merged.support() >= config.min_support {
+                    next_class.push((*other, merged));
+                }
+            }
+            if !next_class.is_empty() {
+                extend(&next_class, config, current, visit);
+            }
+        }
+        // Restore state. `items` was sorted for the visit; remove `item` by
+        // value.
+        let pos = current.items.iter().position(|x| x == item).unwrap();
+        current.items.remove(pos);
+        current.tids = saved;
+    }
+}
+
+/// Brute-force frequent itemset miner for cross-checking (exponential; only
+/// for small attribute universes).
+pub fn bruteforce(graph: &AttributedGraph, config: &EclatConfig) -> Vec<FrequentItemset> {
+    let attrs: Vec<AttrId> = graph.attributes().collect();
+    assert!(attrs.len() <= 20, "bruteforce is for small universes");
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << attrs.len()) {
+        let items: Vec<AttrId> = attrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &a)| a)
+            .collect();
+        if items.len() > config.max_size {
+            continue;
+        }
+        let tids = Tidset::from_sorted(graph.vertices_with_all(&items));
+        if tids.support() >= config.min_support {
+            out.push(FrequentItemset { items, tids });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpm_graph::attributed::AttributedGraphBuilder;
+    use scpm_graph::figure1::figure1;
+
+    fn normalize(mut v: Vec<FrequentItemset>) -> Vec<(Vec<AttrId>, usize)> {
+        let mut out: Vec<(Vec<AttrId>, usize)> = v
+            .drain(..)
+            .map(|fi| (fi.items.clone(), fi.support()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn figure1_frequent_attributes() {
+        let g = figure1();
+        let result = eclat(
+            &g,
+            &EclatConfig {
+                min_support: 3,
+                max_size: usize::MAX,
+            },
+        );
+        let a = g.attr_id("A").unwrap();
+        let b = g.attr_id("B").unwrap();
+        let c = g.attr_id("C").unwrap();
+        let d = g.attr_id("D").unwrap();
+        let sets = normalize(result);
+        // σ(A)=11, σ(B)=6, σ(C)=3, σ(D)=3, σ(E)=2 → E infrequent.
+        assert!(sets.contains(&(vec![a], 11)));
+        assert!(sets.contains(&(vec![b], 6)));
+        assert!(sets.contains(&(vec![c], 3)));
+        assert!(sets.contains(&(vec![d], 3)));
+        assert!(sets.contains(&(vec![a, b], 6)));
+        assert!(sets.contains(&(vec![a, c], 3)));
+        assert!(sets.contains(&(vec![a, d], 3)));
+        assert!(!sets.iter().any(|(items, _)| items.contains(&g.attr_id("E").unwrap())));
+        // {B,C}: only vertex 6 → infrequent at σmin=3.
+        assert!(!sets.contains(&(vec![b, c], 1)));
+    }
+
+    #[test]
+    fn eclat_matches_bruteforce() {
+        let g = figure1();
+        for min_support in 1..=6 {
+            let cfg = EclatConfig {
+                min_support,
+                max_size: usize::MAX,
+            };
+            assert_eq!(
+                normalize(eclat(&g, &cfg)),
+                normalize(bruteforce(&g, &cfg)),
+                "min_support {min_support}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_size_limits_depth() {
+        let g = figure1();
+        let cfg = EclatConfig {
+            min_support: 1,
+            max_size: 1,
+        };
+        let result = eclat(&g, &cfg);
+        assert!(result.iter().all(|fi| fi.items.len() == 1));
+        assert_eq!(result.len(), 5);
+    }
+
+    #[test]
+    fn empty_when_support_unreachable() {
+        let g = figure1();
+        let cfg = EclatConfig {
+            min_support: 12,
+            max_size: usize::MAX,
+        };
+        assert!(eclat(&g, &cfg).is_empty());
+    }
+
+    #[test]
+    fn tids_are_correct_vertex_sets() {
+        let g = figure1();
+        let cfg = EclatConfig {
+            min_support: 3,
+            max_size: usize::MAX,
+        };
+        for fi in eclat(&g, &cfg) {
+            assert_eq!(
+                fi.tids.as_slice(),
+                g.vertices_with_all(&fi.items).as_slice(),
+                "itemset {:?}",
+                fi.items
+            );
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let mut b = AttributedGraphBuilder::new(1);
+        b.add_attr_named(0, "x");
+        b.add_attr_named(0, "y");
+        let g = b.build();
+        let cfg = EclatConfig::default();
+        let sets = normalize(eclat(&g, &cfg));
+        assert_eq!(sets.len(), 3); // {x}, {y}, {x,y}
+    }
+}

@@ -1,0 +1,154 @@
+//! Vertical transaction-id sets (tidsets).
+//!
+//! In the attributed-graph setting a "transaction" is a vertex and an
+//! "item" is an attribute, so the tidset of an attribute set `S` is exactly
+//! the induced vertex set `V(S)` from the paper. Tidsets are sorted,
+//! duplicate-free `u32` vectors; support is their length.
+
+/// A sorted, duplicate-free set of transaction (vertex) ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Tidset(Vec<u32>);
+
+impl Tidset {
+    /// Creates an empty tidset.
+    pub fn new() -> Self {
+        Tidset(Vec::new())
+    }
+
+    /// Creates a tidset from an arbitrary id list (sorted and deduplicated).
+    pub fn from_unsorted(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        Tidset(ids)
+    }
+
+    /// Creates a tidset from an already-sorted, duplicate-free list.
+    ///
+    /// # Panics
+    /// Debug-panics if the input is not strictly sorted.
+    pub fn from_sorted(ids: Vec<u32>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        Tidset(ids)
+    }
+
+    /// Support: the number of transactions.
+    #[inline]
+    pub fn support(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the tidset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The ids as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Membership test (`O(log n)`).
+    pub fn contains(&self, id: u32) -> bool {
+        self.0.binary_search(&id).is_ok()
+    }
+
+    /// Intersection with another tidset.
+    pub fn intersect(&self, other: &Tidset) -> Tidset {
+        let mut out = Vec::with_capacity(self.0.len().min(other.0.len()));
+        let (a, b) = (&self.0, &other.0);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Tidset(out)
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersect_count(&self, other: &Tidset) -> usize {
+        scpm_graph::csr::intersect_count(&self.0, &other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Tidset) -> bool {
+        if self.0.len() > other.0.len() {
+            return false;
+        }
+        self.intersect_count(other) == self.0.len()
+    }
+}
+
+impl From<Vec<u32>> for Tidset {
+    fn from(ids: Vec<u32>) -> Self {
+        Tidset::from_unsorted(ids)
+    }
+}
+
+impl From<&[u32]> for Tidset {
+    fn from(ids: &[u32]) -> Self {
+        Tidset::from_unsorted(ids.to_vec())
+    }
+}
+
+impl<'a> IntoIterator for &'a Tidset {
+    type Item = u32;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u32>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let t = Tidset::from_unsorted(vec![5, 1, 3, 1, 5]);
+        assert_eq!(t.as_slice(), &[1, 3, 5]);
+        assert_eq!(t.support(), 3);
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = Tidset::from_sorted(vec![1, 2, 4, 8]);
+        let b = Tidset::from_sorted(vec![2, 3, 4, 9]);
+        assert_eq!(a.intersect(&b).as_slice(), &[2, 4]);
+        assert_eq!(a.intersect_count(&b), 2);
+    }
+
+    #[test]
+    fn intersect_with_empty() {
+        let a = Tidset::from_sorted(vec![1, 2]);
+        let e = Tidset::new();
+        assert!(a.intersect(&e).is_empty());
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn subset_checks() {
+        let a = Tidset::from_sorted(vec![2, 4]);
+        let b = Tidset::from_sorted(vec![1, 2, 3, 4]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(Tidset::new().is_subset_of(&a));
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let a = Tidset::from_sorted(vec![3, 7]);
+        assert!(a.contains(3));
+        assert!(!a.contains(4));
+        let collected: Vec<u32> = (&a).into_iter().collect();
+        assert_eq!(collected, vec![3, 7]);
+    }
+}

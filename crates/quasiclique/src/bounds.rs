@@ -1,0 +1,295 @@
+//! Size-interval bounds and the critical-vertex technique of the Quick
+//! algorithm (Liu & Wong, PKDD 2008 — reference \[10\] of the paper).
+//!
+//! For a search node `(X, cands)` the techniques here narrow the interval
+//! of *extension sizes* `t = |Q| − |X|` that any qualifying quasi-clique
+//! `Q` with `X ⊆ Q ⊆ X ∪ cands` can have:
+//!
+//! * **Upper bound** `t_max`: a member `v ∈ X` ends with degree at most
+//!   `indeg(v) + exdeg(v)`, so `|Q| ≤ ⌊(indeg(v) + exdeg(v))/γ⌋ + 1` for
+//!   every member; the minimum over members (and `|cands|`) caps `t`.
+//! * **Lower bound** `t_min`: a member `v` with `indeg(v)` below the
+//!   requirement needs at least `L_v` of its candidate neighbors added,
+//!   where `L_v` is the smallest `t` with
+//!   `indeg(v) + min(exdeg(v), t) ≥ ⌈γ·(|X| + t − 1)⌉`; the maximum over
+//!   members (and `min_size − |X|`) floors `t`.
+//!
+//! An empty interval kills the subtree. A non-empty interval strengthens
+//! candidate feasibility (the candidate must work for some `t` *inside*
+//! the interval, not merely for some `t` in `[1, |cands|]`).
+//!
+//! **Critical vertices**: if a member `v` satisfies
+//! `indeg(v) + exdeg(v) = ⌈γ·(|X| + t_min − 1)⌉` with `t_min ≥ 1`, then
+//! every qualifying quasi-clique in the subtree contains *all* candidate
+//! neighbors of `v` — the degree requirement at the smallest possible size
+//! already consumes every potential neighbor. Those candidates can be
+//! moved into `X` wholesale, collapsing up to `2^|N(v) ∩ cands|` subtree
+//! branches.
+
+use crate::config::QcConfig;
+
+/// The inclusive interval `[t_min, t_max]` of extension counts that
+/// qualifying quasi-cliques of a node may still have.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeInterval {
+    /// Minimum number of candidates that must be added.
+    pub t_min: usize,
+    /// Maximum number of candidates that can be added.
+    pub t_max: usize,
+}
+
+impl SizeInterval {
+    /// Whether the interval contains no feasible extension count.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.t_min > self.t_max
+    }
+}
+
+/// The smallest `t ∈ [0, cands_len]` at which member `v` (with the given
+/// `indeg`/`exdeg`) can satisfy the degree requirement, or `None` if no
+/// such `t` exists.
+///
+/// The margin `f(t) = indeg + min(exdeg, t) − ⌈γ·(x_len + t − 1)⌉` is
+/// non-decreasing for `t ≤ exdeg` (each step adds a potential neighbor
+/// while the requirement grows by at most one, `γ ≤ 1`) and non-increasing
+/// beyond, so the feasible set is a contiguous interval and a linear scan
+/// from below finds its left end; the scan can stop at `t = exdeg` if the
+/// margin is still negative there only when it stays negative for all
+/// larger `t`, which holds because `f` only decreases past that point.
+pub fn member_min_extension(
+    cfg: &QcConfig,
+    indeg: usize,
+    exdeg: usize,
+    x_len: usize,
+    cands_len: usize,
+) -> Option<usize> {
+    let cap = exdeg.min(cands_len);
+    for t in 0..=cap {
+        if indeg + t >= cfg.required_degree(x_len + t) {
+            return Some(t);
+        }
+    }
+    // Past t = exdeg the attainable degree is frozen at indeg + exdeg while
+    // the requirement keeps growing, so the margin is maximal at t = cap;
+    // if it failed there it fails everywhere beyond as well -- except that
+    // required_degree is a ceiling and can stay flat. Scan the flat region.
+    for t in (cap + 1)..=cands_len {
+        let req = cfg.required_degree(x_len + t);
+        if indeg + exdeg.min(t) >= req {
+            return Some(t);
+        }
+        if req > indeg + exdeg {
+            // Requirement has outgrown the attainable degree for good.
+            return None;
+        }
+    }
+    None
+}
+
+/// The largest quasi-clique size member `v` can be part of:
+/// `⌊(indeg + exdeg)/γ⌋ + 1` (its final degree cannot exceed
+/// `indeg + exdeg`, and a size-`s` quasi-clique requires
+/// `⌈γ·(s−1)⌉ ≤ deg`).
+#[inline]
+pub fn member_max_size(cfg: &QcConfig, indeg: usize, exdeg: usize) -> usize {
+    // ceil(gamma * (s-1)) <= d  ⟺  gamma * (s-1) <= d  ⟺  s <= d/gamma + 1.
+    ((indeg + exdeg) as f64 / cfg.gamma + 1.0 + 1e-9).floor() as usize
+}
+
+/// Computes the extension-size interval of a node from its members'
+/// `indeg`/`exdeg` bookkeeping. Returns `None` when some member can never
+/// satisfy the requirement (subtree dead).
+pub fn extension_interval(
+    cfg: &QcConfig,
+    x_indeg: &[u32],
+    x_exdeg: &[u32],
+    x_len: usize,
+    cands_len: usize,
+) -> Option<SizeInterval> {
+    debug_assert_eq!(x_indeg.len(), x_len);
+    let mut t_min = cfg.min_size.saturating_sub(x_len);
+    let mut t_max = cands_len;
+    for i in 0..x_len {
+        let indeg = x_indeg[i] as usize;
+        let exdeg = x_exdeg[i] as usize;
+        let lv = member_min_extension(cfg, indeg, exdeg, x_len, cands_len)?;
+        t_min = t_min.max(lv);
+        let max_size = member_max_size(cfg, indeg, exdeg);
+        t_max = t_max.min(max_size.saturating_sub(x_len));
+    }
+    Some(SizeInterval { t_min, t_max })
+}
+
+/// Whether candidate `v` (with the given `indeg`/`exdeg`) can satisfy the
+/// degree requirement for some extension count `t` inside `interval`
+/// (`t ≥ 1` since `v` itself is one of the added vertices).
+///
+/// Mirrors [`crate::node::candidate_feasible`] but over the narrowed
+/// interval: the margin `f(t) = indeg + min(exdeg, t−1) − ⌈γ(x_len+t−1)⌉`
+/// is maximized at `t = clamp(exdeg + 1, lo, hi)` by piecewise
+/// monotonicity.
+pub fn candidate_feasible_in(
+    cfg: &QcConfig,
+    indeg: usize,
+    exdeg: usize,
+    x_len: usize,
+    interval: SizeInterval,
+) -> bool {
+    let lo = interval.t_min.max(1);
+    let hi = interval.t_max;
+    if lo > hi {
+        return false;
+    }
+    let t = (exdeg + 1).clamp(lo, hi);
+    indeg + exdeg.min(t - 1) >= cfg.required_degree(x_len + t)
+}
+
+/// Index of the first critical member of `X`, if any.
+///
+/// A member `v` is critical when `indeg(v) + exdeg(v)` equals the degree
+/// requirement at the smallest feasible size `|X| + t_min` with
+/// `t_min ≥ 1`: every qualifying quasi-clique `Q` in the subtree has
+/// `|Q| ≥ |X| + t_min`, so
+/// `deg_Q(v) ≥ ⌈γ(|X| + t_min − 1)⌉ = indeg(v) + exdeg(v) ≥ deg_Q(v)`,
+/// forcing every candidate neighbor of `v` into `Q`. The engine moves
+/// those candidates into `X` wholesale and iterates to a fixpoint.
+pub fn critical_member(
+    cfg: &QcConfig,
+    x_indeg: &[u32],
+    x_exdeg: &[u32],
+    x_len: usize,
+    interval: SizeInterval,
+) -> Option<usize> {
+    if interval.t_min == 0 || interval.is_empty() {
+        return None;
+    }
+    let req = cfg.required_degree(x_len + interval.t_min);
+    (0..x_len).find(|&i| {
+        let reach = x_indeg[i] as usize + x_exdeg[i] as usize;
+        x_exdeg[i] > 0 && reach == req
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(gamma: f64, min_size: usize) -> QcConfig {
+        QcConfig::new(gamma, min_size)
+    }
+
+    /// Reference scan for `member_min_extension`.
+    fn min_ext_naive(
+        c: &QcConfig,
+        indeg: usize,
+        exdeg: usize,
+        x_len: usize,
+        cands_len: usize,
+    ) -> Option<usize> {
+        (0..=cands_len).find(|&t| indeg + exdeg.min(t) >= c.required_degree(x_len + t))
+    }
+
+    #[test]
+    fn member_min_extension_matches_naive_scan() {
+        for &gamma in &[0.3, 0.5, 0.6, 0.8, 1.0] {
+            for min_size in 1..=5 {
+                let c = cfg(gamma, min_size);
+                for x_len in 0..6 {
+                    for cands_len in 0..8 {
+                        for indeg in 0..=x_len {
+                            for exdeg in 0..=cands_len {
+                                assert_eq!(
+                                    member_min_extension(&c, indeg, exdeg, x_len, cands_len),
+                                    min_ext_naive(&c, indeg, exdeg, x_len, cands_len),
+                                    "γ={gamma} ms={min_size} x={x_len} c={cands_len} \
+                                     in={indeg} ex={exdeg}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn member_max_size_is_tight() {
+        let c = cfg(0.5, 3);
+        // d = 3, γ = 0.5: s ≤ 3/0.5 + 1 = 7.
+        assert_eq!(member_max_size(&c, 2, 1), 7);
+        // The bound is achievable: ceil(0.5 * 6) = 3 = d.
+        assert_eq!(c.required_degree(7), 3);
+        assert!(c.required_degree(8) > 3);
+        // γ = 1 (clique): d = 3 ⇒ s ≤ 4.
+        assert_eq!(member_max_size(&cfg(1.0, 2), 3, 0), 4);
+    }
+
+    #[test]
+    fn interval_empty_when_member_starved() {
+        let c = cfg(1.0, 3);
+        // A member with indeg 0, exdeg 0 in |X| = 2 can never reach degree 2.
+        assert_eq!(extension_interval(&c, &[0, 2], &[0, 0], 2, 5), None);
+    }
+
+    #[test]
+    fn interval_narrows_both_ends() {
+        let c = cfg(0.5, 4);
+        // |X| = 2, members with indeg 1, exdeg 2 each.
+        // t_min from min_size: 4 − 2 = 2. Member L_v: t=0: 1 ≥ ceil(0.5·1)=1 ✓
+        // so member lower bound is 0; t_min = 2.
+        // t_max: member max size = ⌊3/0.5⌋+1 = 7 ⇒ t ≤ 5, and cands_len = 4.
+        let iv = extension_interval(&c, &[1, 1], &[2, 2], 2, 4).unwrap();
+        assert_eq!(iv, SizeInterval { t_min: 2, t_max: 4 });
+        assert!(!iv.is_empty());
+    }
+
+    #[test]
+    fn interval_detects_conflict() {
+        let c = cfg(1.0, 5);
+        // |X| = 2 members fully connected (indeg 1) with exdeg 1: max size
+        // = ⌊2/1⌋ + 1 = 3 ⇒ t_max = 1, but min_size needs t ≥ 3.
+        let iv = extension_interval(&c, &[1, 1], &[1, 1], 2, 6).unwrap();
+        assert!(iv.is_empty());
+    }
+
+    #[test]
+    fn candidate_feasible_in_respects_interval() {
+        let c = cfg(0.5, 3);
+        let wide = SizeInterval { t_min: 1, t_max: 5 };
+        // Candidate with indeg 0, exdeg 2, |X| = 1: at t = 3 it has
+        // 0 + min(2, 2) = 2 ≥ ceil(0.5·3) = 2 ✓.
+        assert!(candidate_feasible_in(&c, 0, 2, 1, wide));
+        // Narrowed to t ∈ [5, 5]: 0 + 2 < ceil(0.5·5) = 3 ✗.
+        let narrow = SizeInterval { t_min: 5, t_max: 5 };
+        assert!(!candidate_feasible_in(&c, 0, 2, 1, narrow));
+        // Empty interval.
+        assert!(!candidate_feasible_in(
+            &c,
+            5,
+            5,
+            1,
+            SizeInterval { t_min: 3, t_max: 2 }
+        ));
+    }
+
+    #[test]
+    fn critical_member_detection() {
+        let c = cfg(1.0, 4);
+        // |X| = 2, t_min = 2 ⇒ requirement at size 4 is 3. A member with
+        // indeg 1 + exdeg 2 = 3 is critical.
+        let iv = SizeInterval { t_min: 2, t_max: 3 };
+        assert_eq!(critical_member(&c, &[1, 2], &[2, 2], 2, iv), Some(0));
+        // With indeg 2 + exdeg 2 = 4 > 3 nobody is critical.
+        assert_eq!(critical_member(&c, &[2, 2], &[2, 2], 2, iv), None);
+        // t_min = 0 disables the technique.
+        assert_eq!(
+            critical_member(&c, &[1, 2], &[2, 2], 2, SizeInterval { t_min: 0, t_max: 3 }),
+            None
+        );
+        // Zero exdeg cannot force anything.
+        let iv2 = SizeInterval { t_min: 1, t_max: 2 };
+        // req at |X|+1 = 3 is 2; indeg 2 + exdeg 0 = 2 but exdeg = 0.
+        assert_eq!(critical_member(&c, &[2, 2], &[0, 0], 2, iv2), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Exponential reference implementations used to validate the engine on
+//! small graphs (n ≤ ~18).
+
+use crate::config::QcConfig;
+use crate::engine::{pattern_order, QuasiClique};
+use scpm_graph::csr::{CsrGraph, VertexId};
+
+/// All vertex sets satisfying the degree property with `|Q| ≥ min_size`
+/// (not only maximal ones).
+pub fn all_quasi_cliques(g: &CsrGraph, cfg: &QcConfig) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    assert!(n <= 22, "brute force is exponential; {n} vertices is too many");
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        if (mask.count_ones() as usize) < cfg.min_size {
+            continue;
+        }
+        let set: Vec<VertexId> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+        if cfg.is_quasi_clique(g, &set) {
+            out.push(set);
+        }
+    }
+    out
+}
+
+/// All *maximal* quasi-cliques: sets from [`all_quasi_cliques`] with no
+/// proper superset in the collection.
+pub fn maximal_quasi_cliques(g: &CsrGraph, cfg: &QcConfig) -> Vec<Vec<VertexId>> {
+    let all = all_quasi_cliques(g, cfg);
+    let mut maximal: Vec<Vec<VertexId>> = Vec::new();
+    'outer: for set in &all {
+        for other in &all {
+            if other.len() > set.len() && is_subset(set, other) {
+                continue 'outer;
+            }
+        }
+        maximal.push(set.clone());
+    }
+    maximal.sort();
+    maximal
+}
+
+/// The covered vertex set `K`: union of all quasi-cliques.
+pub fn coverage(g: &CsrGraph, cfg: &QcConfig) -> Vec<VertexId> {
+    let mut covered = vec![false; g.num_vertices()];
+    for set in all_quasi_cliques(g, cfg) {
+        for v in set {
+            covered[v as usize] = true;
+        }
+    }
+    (0..g.num_vertices() as VertexId)
+        .filter(|&v| covered[v as usize])
+        .collect()
+}
+
+/// The top-`k` maximal quasi-cliques by size then minimum-degree ratio.
+pub fn top_k(g: &CsrGraph, cfg: &QcConfig, k: usize) -> Vec<QuasiClique> {
+    let mut scored: Vec<QuasiClique> = maximal_quasi_cliques(g, cfg)
+        .into_iter()
+        .map(|set| {
+            let ratio = QcConfig::min_degree_ratio(g, &set);
+            let density = QcConfig::edge_density(g, &set);
+            QuasiClique {
+                vertices: set,
+                min_degree_ratio: ratio,
+                edge_density: density,
+            }
+        })
+        .collect();
+    scored.sort_by(pattern_order);
+    scored.truncate(k);
+    scored
+}
+
+fn is_subset(a: &[VertexId], b: &[VertexId]) -> bool {
+    a.iter().all(|x| b.binary_search(x).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpm_graph::builder::graph_from_edges;
+
+    #[test]
+    fn triangle_only() {
+        let g = graph_from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let cfg = QcConfig::new(1.0, 3);
+        assert_eq!(maximal_quasi_cliques(&g, &cfg), vec![vec![0, 1, 2]]);
+        assert_eq!(coverage(&g, &cfg), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_contains_non_maximal() {
+        // K4: every triple and the full set satisfy γ=0.6.
+        let g = graph_from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let cfg = QcConfig::new(0.6, 3);
+        let all = all_quasi_cliques(&g, &cfg);
+        assert_eq!(all.len(), 5); // 4 triples + the 4-set
+        let maximal = maximal_quasi_cliques(&g, &cfg);
+        assert_eq!(maximal, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        // Triangle {0,1,2} and 4-cycle {3,4,5,6}.
+        let g = graph_from_edges(
+            7,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6), (6, 3)],
+        );
+        let cfg = QcConfig::new(0.6, 3);
+        let top = top_k(&g, &cfg, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].vertices, vec![3, 4, 5, 6]); // larger first
+        assert_eq!(top[1].vertices, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,1132 @@
+//! The quasi-clique search engine (Algorithm 1 of the paper, with the
+//! pruning arsenal of the Quick algorithm \[10\]).
+//!
+//! The engine traverses the set-enumeration tree of candidate quasi-cliques
+//! `(X, candExts(X))` in either BFS (queue) or DFS (stack) order and
+//! supports three modes:
+//!
+//! * **maximal enumeration** — all maximal γ-quasi-cliques,
+//! * **coverage** — the set `K` of vertices contained in *some*
+//!   quasi-clique (what the structural correlation `ε` needs; maximality is
+//!   irrelevant for coverage, which enables the covered-candidate pruning
+//!   of §3.2.2),
+//! * **top-k** — the `k` best patterns by size (primary) and density
+//!   (secondary), with the iteratively-rising size bound of §3.2.3.
+//!
+//! Pruning rules (all individually switchable for ablations; disabling any
+//! rule changes running time, never results):
+//!
+//! * iterated vertex reduction (degree `< z` peeling) before the search,
+//! * per-node degree feasibility bounds on members and candidates
+//!   ([`member_feasible`], [`candidate_feasible`]),
+//! * extension-size interval bounds (`[t_min, t_max]` from the members'
+//!   attainable degrees, [`extension_interval`]) with
+//!   interval-narrowed candidate filtering,
+//! * critical-vertex forcing: when a member's attainable degree exactly
+//!   meets the requirement at the smallest feasible size, all its
+//!   candidate neighbors are moved into `X` at once
+//!   ([`critical_member`]),
+//! * cover-vertex pruning: a candidate `u` adjacent to all of `X` *covers*
+//!   the candidates in `N(u)`; subtrees rooted at covered candidates only
+//!   contain quasi-cliques extendable by `u` (hence non-maximal) and are
+//!   skipped,
+//! * lookahead: if `X ∪ cands` is itself a quasi-clique the subtree
+//!   collapses to a single emission,
+//! * diameter-2 candidate restriction for `γ ≥ 0.5`,
+//! * covered-candidate subtree pruning (coverage mode),
+//! * size-bound subtree pruning (top-k mode).
+
+use std::collections::VecDeque;
+
+use crate::bounds::{
+    candidate_feasible_in, critical_member, extension_interval, SizeInterval,
+};
+use crate::config::QcConfig;
+use crate::node::{candidate_feasible, member_feasible, SearchNode};
+use crate::reduce::reduce_vertices;
+use scpm_graph::csr::{CsrGraph, VertexId};
+use scpm_graph::induced::InducedSubgraph;
+
+/// Traversal order of the candidate tree (§3.2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchOrder {
+    /// Depth-first (stack): extends sets as far as possible first.
+    Dfs,
+    /// Breadth-first (queue): visits smaller sets before larger ones.
+    Bfs,
+}
+
+/// Switches for the individual pruning rules (used by ablation benches;
+/// disabling any rule must not change results, only running time).
+#[derive(Clone, Copy, Debug)]
+pub struct PruneFlags {
+    /// Degree-feasibility filtering of members and candidates.
+    pub feasibility: bool,
+    /// Extension-size interval bounds and interval-narrowed candidate
+    /// filtering (Quick's upper/lower size bounds).
+    pub bounds: bool,
+    /// Critical-vertex forcing (requires `bounds`; inert without it).
+    pub critical: bool,
+    /// Cover-vertex subtree pruning.
+    pub cover_vertex: bool,
+    /// Emission of `X ∪ cands` when it already is a quasi-clique.
+    pub lookahead: bool,
+    /// Subtree pruning once all of `X ∪ cands` is covered (coverage mode).
+    pub covered_candidate: bool,
+    /// Candidate restriction to the seed's two-hop neighborhood (γ ≥ 0.5).
+    pub diameter2: bool,
+}
+
+impl Default for PruneFlags {
+    fn default() -> Self {
+        PruneFlags {
+            feasibility: true,
+            bounds: true,
+            critical: true,
+            cover_vertex: true,
+            lookahead: true,
+            covered_candidate: true,
+            diameter2: true,
+        }
+    }
+}
+
+impl PruneFlags {
+    /// All rules off — the unpruned set-enumeration baseline.
+    pub fn none() -> Self {
+        PruneFlags {
+            feasibility: false,
+            bounds: false,
+            critical: false,
+            cover_vertex: false,
+            lookahead: false,
+            covered_candidate: false,
+            diameter2: false,
+        }
+    }
+}
+
+/// Counters describing one search run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes popped from the work list.
+    pub nodes_visited: u64,
+    /// Nodes killed by member-infeasibility.
+    pub pruned_feasibility: u64,
+    /// Nodes killed by an empty extension-size interval.
+    pub pruned_interval: u64,
+    /// Critical-vertex events (each moves ≥ 1 candidate into `X`).
+    pub forced_critical: u64,
+    /// Subtrees skipped by cover-vertex pruning.
+    pub pruned_cover: u64,
+    /// Successful lookaheads (each collapses a subtree).
+    pub pruned_lookahead: u64,
+    /// Nodes skipped because every vertex was already covered.
+    pub pruned_covered: u64,
+    /// Nodes skipped by the top-k size bound.
+    pub pruned_size_bound: u64,
+    /// Sets emitted (before maximality post-filtering).
+    pub emitted: u64,
+}
+
+/// A quasi-clique reported by the miner, in the ids of the *input* graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuasiClique {
+    /// Sorted member vertices.
+    pub vertices: Vec<VertexId>,
+    /// `min_v deg_Q(v) / (|Q|−1)` — the paper's `γ` column.
+    pub min_degree_ratio: f64,
+    /// `|E(Q)| / C(|Q|,2)`.
+    pub edge_density: f64,
+}
+
+impl QuasiClique {
+    /// Number of member vertices.
+    pub fn size(&self) -> usize {
+        self.vertices.len()
+    }
+}
+
+/// Ranking used for top-k selection: larger first, then denser (by minimum
+/// degree ratio), then lexicographically smaller vertex set for
+/// determinism.
+pub fn pattern_order(a: &QuasiClique, b: &QuasiClique) -> std::cmp::Ordering {
+    b.size()
+        .cmp(&a.size())
+        .then(
+            b.min_degree_ratio
+                .partial_cmp(&a.min_degree_ratio)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+        .then_with(|| a.vertices.cmp(&b.vertices))
+}
+
+/// What the search should produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MiningMode {
+    /// Enumerate every maximal quasi-clique.
+    EnumerateMaximal,
+    /// Compute the covered vertex set `K`.
+    Coverage,
+    /// Keep the best `k` patterns.
+    TopK(usize),
+}
+
+/// The quasi-clique miner.
+pub struct Miner<'g> {
+    input: &'g CsrGraph,
+    cfg: QcConfig,
+    /// Traversal order.
+    pub order: SearchOrder,
+    /// Pruning switches.
+    pub prune: PruneFlags,
+}
+
+/// Outcome of one search run.
+#[derive(Clone, Debug)]
+pub struct MiningOutcome {
+    /// Result sets (empty in coverage mode; see `covered`).
+    pub cliques: Vec<QuasiClique>,
+    /// Sorted covered vertices (coverage mode only; empty otherwise).
+    pub covered: Vec<VertexId>,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+impl<'g> Miner<'g> {
+    /// Creates a miner over `input` with default order (DFS) and all
+    /// prunings enabled.
+    pub fn new(input: &'g CsrGraph, cfg: QcConfig) -> Self {
+        Miner {
+            input,
+            cfg,
+            order: SearchOrder::Dfs,
+            prune: PruneFlags::default(),
+        }
+    }
+
+    /// Sets the traversal order, builder-style.
+    pub fn with_order(mut self, order: SearchOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the pruning switches, builder-style.
+    pub fn with_prune(mut self, prune: PruneFlags) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Enumerates all maximal γ-quasi-cliques.
+    pub fn enumerate_maximal(&self) -> MiningOutcome {
+        self.run(MiningMode::EnumerateMaximal)
+    }
+
+    /// Computes the covered vertex set `K` (vertices in at least one
+    /// quasi-clique).
+    pub fn coverage(&self) -> MiningOutcome {
+        self.run(MiningMode::Coverage)
+    }
+
+    /// Returns the `k` best patterns by size then density.
+    pub fn top_k(&self, k: usize) -> MiningOutcome {
+        self.run(MiningMode::TopK(k))
+    }
+
+    /// Runs the configured search.
+    pub fn run(&self, mode: MiningMode) -> MiningOutcome {
+        let mut stats = SearchStats::default();
+        if let MiningMode::TopK(0) = mode {
+            return MiningOutcome {
+                cliques: Vec::new(),
+                covered: Vec::new(),
+                stats,
+            };
+        }
+        // Global vertex reduction, then re-extraction so the search works
+        // on a compact graph whose every vertex could be in a quasi-clique.
+        let survivors = reduce_vertices(self.input, &self.cfg);
+        if survivors.len() < self.cfg.min_size {
+            return MiningOutcome {
+                cliques: Vec::new(),
+                covered: Vec::new(),
+                stats,
+            };
+        }
+        let sub = InducedSubgraph::extract(self.input, &survivors);
+        let mut ctx = Ctx::new(&sub.graph, self.cfg, self.prune, self.order, mode);
+        ctx.search(&mut stats);
+        let Ctx {
+            emitted, covered, ..
+        } = ctx;
+
+        match mode {
+            MiningMode::Coverage => {
+                let covered_globals: Vec<VertexId> = covered
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c)
+                    .map(|(i, _)| sub.to_original(i as VertexId))
+                    .collect();
+                MiningOutcome {
+                    cliques: Vec::new(),
+                    covered: covered_globals,
+                    stats,
+                }
+            }
+            MiningMode::EnumerateMaximal => {
+                let maximal = containment_filter(emitted);
+                let cliques = self.score(&sub, maximal);
+                MiningOutcome {
+                    cliques,
+                    covered: Vec::new(),
+                    stats,
+                }
+            }
+            MiningMode::TopK(k) => {
+                let maximal = containment_filter(emitted);
+                let mut cliques = self.score(&sub, maximal);
+                cliques.sort_by(pattern_order);
+                cliques.truncate(k);
+                MiningOutcome {
+                    cliques,
+                    covered: Vec::new(),
+                    stats,
+                }
+            }
+        }
+    }
+
+    /// Maps local sets back to input ids and computes their densities.
+    fn score(&self, sub: &InducedSubgraph, sets: Vec<Vec<VertexId>>) -> Vec<QuasiClique> {
+        let mut out: Vec<QuasiClique> = sets
+            .into_iter()
+            .map(|locals| {
+                let ratio = QcConfig::min_degree_ratio(&sub.graph, &locals);
+                let density = QcConfig::edge_density(&sub.graph, &locals);
+                QuasiClique {
+                    vertices: sub.to_original_set(&locals),
+                    min_degree_ratio: ratio,
+                    edge_density: density,
+                }
+            })
+            .collect();
+        out.sort_by(pattern_order);
+        out
+    }
+}
+
+/// Removes sets contained in another set of the collection, leaving only
+/// maximal elements.
+fn containment_filter(mut sets: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
+    sets.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    sets.dedup();
+    let mut kept: Vec<Vec<VertexId>> = Vec::new();
+    'outer: for set in sets {
+        for bigger in &kept {
+            if is_subset(&set, bigger) {
+                continue 'outer;
+            }
+        }
+        kept.push(set);
+    }
+    kept
+}
+
+/// Whether sorted `a ⊆` sorted `b`.
+fn is_subset(a: &[VertexId], b: &[VertexId]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    scpm_graph::csr::intersect_count(a, b) == a.len()
+}
+
+/// Per-run search context over the reduced local graph.
+struct Ctx<'a> {
+    g: &'a CsrGraph,
+    cfg: QcConfig,
+    prune: PruneFlags,
+    order: SearchOrder,
+    mode: MiningMode,
+    /// Stamp array marking the current node's candidate set.
+    cand_mark: Stamp,
+    /// Stamp array marking a vertex's neighborhood during child creation.
+    nbr_mark: Stamp,
+    /// Stamp array marking the cover vertex's neighborhood.
+    cover_mark: Stamp,
+    /// Emitted local sets, each sorted (maximal / top-k modes).
+    emitted: Vec<Vec<VertexId>>,
+    /// Coverage bitmap (coverage mode).
+    covered: Vec<bool>,
+    /// Vertices not yet covered (coverage early exit).
+    remaining: usize,
+    /// Current size bound for top-k (size of the k-th best so far).
+    topk_bound: usize,
+    /// Scored sizes of emitted top-k candidates, kept sorted descending.
+    topk_sizes: Vec<usize>,
+}
+
+/// Generation-stamped membership array: `O(1)` set/test/clear.
+struct Stamp {
+    gen: u32,
+    marks: Vec<u32>,
+}
+
+impl Stamp {
+    fn new(n: usize) -> Self {
+        Stamp {
+            gen: 0,
+            marks: vec![0; n],
+        }
+    }
+
+    fn begin(&mut self) {
+        self.gen += 1;
+    }
+
+    #[inline]
+    fn set(&mut self, v: VertexId) {
+        self.marks[v as usize] = self.gen;
+    }
+
+    #[inline]
+    fn get(&self, v: VertexId) -> bool {
+        self.marks[v as usize] == self.gen
+    }
+}
+
+/// Outcome of the per-node reduction pipeline.
+enum Reduction {
+    /// Subtree is dead; stop processing the node.
+    Dead,
+    /// Node survived; proceed to emission and child generation.
+    Alive,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(
+        g: &'a CsrGraph,
+        cfg: QcConfig,
+        prune: PruneFlags,
+        order: SearchOrder,
+        mode: MiningMode,
+    ) -> Self {
+        let n = g.num_vertices();
+        Ctx {
+            g,
+            cfg,
+            prune,
+            order,
+            mode,
+            cand_mark: Stamp::new(n),
+            nbr_mark: Stamp::new(n),
+            cover_mark: Stamp::new(n),
+            emitted: Vec::new(),
+            covered: vec![false; n],
+            remaining: n,
+            topk_bound: 0,
+            topk_sizes: Vec::new(),
+        }
+    }
+
+    fn search(&mut self, stats: &mut SearchStats) {
+        let n = self.g.num_vertices();
+        let mut work: VecDeque<SearchNode> = VecDeque::new();
+        work.push_back(SearchNode::root((0..n as VertexId).collect()));
+        while let Some(node) = match self.order {
+            SearchOrder::Dfs => work.pop_back(),
+            SearchOrder::Bfs => work.pop_front(),
+        } {
+            if matches!(self.mode, MiningMode::Coverage) && self.remaining == 0 {
+                break; // everything already covered
+            }
+            self.process(node, &mut work, stats);
+        }
+    }
+
+    /// Feasibility fixpoint, interval bounds, and critical-vertex forcing,
+    /// iterated until the node is stable or dead. On `Alive`, `x_exdeg` and
+    /// `cands_exdeg` reflect the final node shape.
+    fn reduce_node(
+        &mut self,
+        node: &mut SearchNode,
+        x_exdeg: &mut Vec<u32>,
+        cands_exdeg: &mut Vec<u32>,
+        stats: &mut SearchStats,
+    ) -> Reduction {
+        loop {
+            // Feasibility / bounds fixpoint over the candidate set.
+            let mut interval = SizeInterval {
+                t_min: self.cfg.min_size.saturating_sub(node.x.len()),
+                t_max: node.cands.len(),
+            };
+            if self.prune.feasibility || self.prune.bounds {
+                loop {
+                    let x_len = node.x.len();
+                    let c_len = node.cands.len();
+                    if self.prune.bounds {
+                        match extension_interval(&self.cfg, &node.x_indeg, x_exdeg, x_len, c_len)
+                        {
+                            None => {
+                                stats.pruned_feasibility += 1;
+                                return Reduction::Dead;
+                            }
+                            Some(iv) => {
+                                interval = iv;
+                                if iv.is_empty() {
+                                    stats.pruned_interval += 1;
+                                    return Reduction::Dead;
+                                }
+                            }
+                        }
+                    } else {
+                        for (&indeg, &exdeg) in node.x_indeg.iter().zip(x_exdeg.iter()) {
+                            if !member_feasible(
+                                &self.cfg,
+                                indeg as usize,
+                                exdeg as usize,
+                                x_len,
+                                c_len,
+                            ) {
+                                stats.pruned_feasibility += 1;
+                                return Reduction::Dead;
+                            }
+                        }
+                    }
+                    let mut keep = Vec::with_capacity(c_len);
+                    for (j, (&indeg, &exdeg)) in
+                        node.cands_indeg.iter().zip(cands_exdeg.iter()).enumerate()
+                    {
+                        let ok = if self.prune.bounds {
+                            candidate_feasible_in(
+                                &self.cfg,
+                                indeg as usize,
+                                exdeg as usize,
+                                x_len,
+                                interval,
+                            )
+                        } else {
+                            candidate_feasible(
+                                &self.cfg,
+                                indeg as usize,
+                                exdeg as usize,
+                                x_len,
+                                c_len,
+                            )
+                        };
+                        if ok {
+                            keep.push(j);
+                        }
+                    }
+                    if keep.len() == c_len {
+                        break;
+                    }
+                    node.cands = keep.iter().map(|&j| node.cands[j]).collect();
+                    node.cands_indeg = keep.iter().map(|&j| node.cands_indeg[j]).collect();
+                    *cands_exdeg = vec![0; node.cands.len()];
+                    x_exdeg.iter_mut().for_each(|d| *d = 0);
+                    self.compute_exdegs(node, x_exdeg, cands_exdeg);
+                }
+            }
+
+            // Critical-vertex forcing: move all candidate neighbors of a
+            // critical member into X, then re-reduce.
+            if self.prune.critical && self.prune.bounds && !node.cands.is_empty() {
+                if let Some(i) =
+                    critical_member(&self.cfg, &node.x_indeg, x_exdeg, node.x.len(), interval)
+                {
+                    self.force_candidates(node, i);
+                    stats.forced_critical += 1;
+                    *x_exdeg = vec![0; node.x.len()];
+                    *cands_exdeg = vec![0; node.cands.len()];
+                    self.compute_exdegs(node, x_exdeg, cands_exdeg);
+                    continue;
+                }
+            }
+            return Reduction::Alive;
+        }
+    }
+
+    /// Moves every candidate neighbor of member `member_idx` into `X`,
+    /// maintaining the indeg bookkeeping of members and remaining
+    /// candidates.
+    fn force_candidates(&mut self, node: &mut SearchNode, member_idx: usize) {
+        let v = node.x[member_idx];
+        self.nbr_mark.begin();
+        for &u in self.g.neighbors(v) {
+            self.nbr_mark.set(u);
+        }
+        let mut forced: Vec<VertexId> = Vec::new();
+        let mut rest: Vec<VertexId> = Vec::with_capacity(node.cands.len());
+        let mut rest_indeg: Vec<u32> = Vec::with_capacity(node.cands.len());
+        for (j, &c) in node.cands.iter().enumerate() {
+            if self.nbr_mark.get(c) {
+                forced.push(c);
+            } else {
+                rest.push(c);
+                rest_indeg.push(node.cands_indeg[j]);
+            }
+        }
+        debug_assert!(!forced.is_empty(), "critical member must have exdeg > 0");
+        node.cands = rest;
+        node.cands_indeg = rest_indeg;
+        for w in forced {
+            self.nbr_mark.begin();
+            for &u in self.g.neighbors(w) {
+                self.nbr_mark.set(u);
+            }
+            let mut w_indeg = 0u32;
+            for (i, &u) in node.x.iter().enumerate() {
+                if self.nbr_mark.get(u) {
+                    node.x_indeg[i] += 1;
+                    w_indeg += 1;
+                }
+            }
+            node.x.push(w);
+            node.x_indeg.push(w_indeg);
+            for (j, &c) in node.cands.iter().enumerate() {
+                if self.nbr_mark.get(c) {
+                    node.cands_indeg[j] += 1;
+                }
+            }
+        }
+    }
+
+    fn process(
+        &mut self,
+        mut node: SearchNode,
+        work: &mut VecDeque<SearchNode>,
+        stats: &mut SearchStats,
+    ) {
+        stats.nodes_visited += 1;
+
+        // Covered-candidate pruning (coverage mode).
+        if matches!(self.mode, MiningMode::Coverage) && self.prune.covered_candidate {
+            let all_covered = node
+                .x
+                .iter()
+                .chain(node.cands.iter())
+                .all(|&v| self.covered[v as usize]);
+            if all_covered {
+                stats.pruned_covered += 1;
+                return;
+            }
+        }
+
+        // Top-k size bound (§3.2.3: prune when the subtree cannot produce a
+        // pattern larger than the current k-th best).
+        if let MiningMode::TopK(k) = self.mode {
+            if self.topk_sizes.len() >= k && node.upper_size() < self.topk_bound {
+                stats.pruned_size_bound += 1;
+                return;
+            }
+        }
+
+        // Degree bookkeeping: exdeg of members and candidates w.r.t. the
+        // candidate set.
+        let mut x_exdeg = vec![0u32; node.x.len()];
+        let mut cands_exdeg = vec![0u32; node.cands.len()];
+        self.compute_exdegs(&node, &mut x_exdeg, &mut cands_exdeg);
+
+        if let Reduction::Dead = self.reduce_node(&mut node, &mut x_exdeg, &mut cands_exdeg, stats)
+        {
+            return;
+        }
+
+        // Lookahead: emit X ∪ cands when it is a quasi-clique.
+        if self.prune.lookahead && node.upper_size() >= self.cfg.min_size {
+            let req = self.cfg.required_degree(node.upper_size()) as u32;
+            let x_ok = (0..node.x.len()).all(|i| node.x_indeg[i] + x_exdeg[i] >= req);
+            let c_ok =
+                (0..node.cands.len()).all(|j| node.cands_indeg[j] + cands_exdeg[j] >= req);
+            if x_ok && c_ok {
+                let mut set = node.x.clone();
+                set.extend_from_slice(&node.cands);
+                self.emit(set, stats);
+                stats.pruned_lookahead += 1;
+                return;
+            }
+        }
+
+        // Emit X itself when it is a quasi-clique.
+        if node.x.len() >= self.cfg.min_size {
+            let req = self.cfg.required_degree(node.x.len()) as u32;
+            if node.x_indeg.iter().all(|&d| d >= req) {
+                self.emit(node.x.clone(), stats);
+            }
+        }
+
+        // Cover-vertex pruning: a candidate u with X ⊆ N(u) covers
+        // CV = N(u) ∩ cands. Any quasi-clique whose candidate part lies
+        // inside CV extends by u (every member is a neighbor of u, and
+        // ⌈γ·s⌉ ≤ ⌈γ·(s−1)⌉ + 1 for γ ≤ 1), hence is not maximal —
+        // subtrees rooted at covered candidates are skipped. Covered
+        // candidates are ordered last so they remain reachable from the
+        // subtrees of uncovered pivots.
+        let x_len = node.x.len();
+        let mut skip_from = node.cands.len();
+        let mut order: Vec<u32> = (0..node.cands.len() as u32).collect();
+        if self.prune.cover_vertex && !node.cands.is_empty() {
+            let best = (0..node.cands.len())
+                .filter(|&j| node.cands_indeg[j] as usize == x_len && cands_exdeg[j] > 0)
+                .max_by_key(|&j| (cands_exdeg[j], std::cmp::Reverse(node.cands[j])));
+            if let Some(jbest) = best {
+                self.cover_mark.begin();
+                for &u in self.g.neighbors(node.cands[jbest]) {
+                    self.cover_mark.set(u);
+                }
+                // Stable partition: uncovered pivots first, covered last.
+                let (uncovered, covered): (Vec<u32>, Vec<u32>) = order
+                    .iter()
+                    .partition(|&&j| !self.cover_mark.get(node.cands[j as usize]));
+                skip_from = uncovered.len();
+                stats.pruned_cover += covered.len() as u64;
+                order = uncovered;
+                order.extend(covered);
+            }
+        }
+
+        // Expand children: pivot on each unskipped candidate in processing
+        // order; the child's candidates are the ones later in the order.
+        let is_seed = node.x.is_empty();
+        let use_diameter = self.prune.diameter2 && self.cfg.gamma >= 0.5;
+        // Rank of each candidate *vertex* in the processing order, for the
+        // seed fast path's membership test (`u32::MAX` = not a candidate).
+        let mut children: Vec<SearchNode> = Vec::with_capacity(skip_from);
+        let rank: Option<Vec<u32>> = if is_seed && use_diameter {
+            let mut r = vec![u32::MAX; self.g.num_vertices()];
+            for (pos, &j) in order.iter().enumerate() {
+                r[node.cands[j as usize] as usize] = pos as u32;
+            }
+            Some(r)
+        } else {
+            None
+        };
+        for (pos, &jidx) in order.iter().enumerate().take(skip_from) {
+            let idx = jidx as usize;
+            let v = node.cands[idx];
+            if let Some(rank) = &rank {
+                // Fast path for root children: a quasi-clique with γ ≥ 0.5
+                // has diameter ≤ 2, so the seed's candidates come from its
+                // two-hop neighborhood — no scan over the full candidate
+                // list (which is the entire graph at the root).
+                children.push(self.seed_child(v, pos as u32, rank));
+                continue;
+            }
+            // Mark N(v).
+            self.nbr_mark.begin();
+            for &u in self.g.neighbors(v) {
+                self.nbr_mark.set(u);
+            }
+
+            let mut child_x = node.x.clone();
+            child_x.push(v);
+            let mut child_x_indeg = node.x_indeg.clone();
+            for (i, &u) in node.x.iter().enumerate() {
+                if self.nbr_mark.get(u) {
+                    child_x_indeg[i] += 1;
+                }
+            }
+            child_x_indeg.push(node.cands_indeg[idx]);
+
+            let remaining = order.len() - pos - 1;
+            let mut child_pairs: Vec<(VertexId, u32)> = Vec::with_capacity(remaining);
+            for &jnext in order.iter().skip(pos + 1) {
+                let j = jnext as usize;
+                let w = node.cands[j];
+                let bump = self.nbr_mark.get(w) as u32;
+                child_pairs.push((w, node.cands_indeg[j] + bump));
+            }
+            // Keep candidate lists ascending: each node re-derives its own
+            // cover ordering, and sorted lists keep emission cheap.
+            child_pairs.sort_unstable_by_key(|&(w, _)| w);
+            children.push(SearchNode {
+                x: child_x,
+                x_indeg: child_x_indeg,
+                cands: child_pairs.iter().map(|&(w, _)| w).collect(),
+                cands_indeg: child_pairs.iter().map(|&(_, d)| d).collect(),
+            });
+        }
+        match self.order {
+            // Stack: push in reverse so the first pivot is processed first,
+            // matching the canonical DFS order {1}, {1,2}, {1,2,3}, ...
+            SearchOrder::Dfs => {
+                for child in children.into_iter().rev() {
+                    work.push_back(child);
+                }
+            }
+            SearchOrder::Bfs => {
+                for child in children {
+                    work.push_back(child);
+                }
+            }
+        }
+    }
+
+    /// Builds the root child `({v}, two-hop(v) ∩ later-ranked candidates)`.
+    ///
+    /// Relies on `cand_mark` still holding the current node's candidate
+    /// set from the last `compute_exdegs` call; `rank` maps vertex ids to
+    /// their position in the root's processing order (`u32::MAX` = not a
+    /// candidate).
+    fn seed_child(&mut self, v: VertexId, pos: u32, rank: &[u32]) -> SearchNode {
+        // Collect the two-hop reach of v (excluding v itself).
+        self.nbr_mark.begin();
+        self.nbr_mark.set(v);
+        let mut reach: Vec<VertexId> = Vec::new();
+        for &u in self.g.neighbors(v) {
+            if !self.nbr_mark.get(u) {
+                self.nbr_mark.set(u);
+                reach.push(u);
+            }
+        }
+        let first_hop = reach.len();
+        for i in 0..first_hop {
+            let u = reach[i];
+            for &w in self.g.neighbors(u) {
+                if !self.nbr_mark.get(w) {
+                    self.nbr_mark.set(w);
+                    reach.push(w);
+                }
+            }
+        }
+        let mut child_cands: Vec<VertexId> = reach
+            .into_iter()
+            .filter(|&w| {
+                self.cand_mark.get(w) && rank[w as usize] != u32::MAX && rank[w as usize] > pos
+            })
+            .collect();
+        child_cands.sort_unstable();
+        let nv = self.g.neighbors(v);
+        let child_indeg: Vec<u32> = child_cands
+            .iter()
+            .map(|w| nv.binary_search(w).is_ok() as u32)
+            .collect();
+        SearchNode {
+            x: vec![v],
+            x_indeg: vec![0],
+            cands: child_cands,
+            cands_indeg: child_indeg,
+        }
+    }
+
+    fn compute_exdegs(&mut self, node: &SearchNode, x_exdeg: &mut [u32], cands_exdeg: &mut [u32]) {
+        self.cand_mark.begin();
+        for &v in &node.cands {
+            self.cand_mark.set(v);
+        }
+        for (i, &u) in node.x.iter().enumerate() {
+            let mut d = 0;
+            for &w in self.g.neighbors(u) {
+                d += self.cand_mark.get(w) as u32;
+            }
+            x_exdeg[i] = d;
+        }
+        for (j, &v) in node.cands.iter().enumerate() {
+            let mut d = 0;
+            for &w in self.g.neighbors(v) {
+                d += self.cand_mark.get(w) as u32;
+            }
+            cands_exdeg[j] = d;
+        }
+    }
+
+    /// Handles a found quasi-clique (degree property + min size hold).
+    /// `set` may arrive unsorted (X grows in pivot order, and critical
+    /// forcing appends out of order); it is sorted here.
+    fn emit(&mut self, mut set: Vec<VertexId>, stats: &mut SearchStats) {
+        set.sort_unstable();
+        debug_assert!(self.cfg.is_quasi_clique(self.g, &set));
+        stats.emitted += 1;
+        match self.mode {
+            MiningMode::Coverage => {
+                for &v in &set {
+                    if !self.covered[v as usize] {
+                        self.covered[v as usize] = true;
+                        self.remaining -= 1;
+                    }
+                }
+            }
+            MiningMode::EnumerateMaximal => {
+                if !self.single_extendable(&set) {
+                    self.emitted.push(set);
+                }
+            }
+            MiningMode::TopK(k) => {
+                if !self.single_extendable(&set) {
+                    // Drop buffered subsets of the new set; skip the new set
+                    // if a buffered superset exists.
+                    if self.emitted.iter().any(|kept| is_subset(&set, kept)) {
+                        return;
+                    }
+                    self.emitted.retain(|kept| !is_subset(kept, &set));
+                    self.emitted.push(set);
+                    self.topk_sizes = self.emitted.iter().map(Vec::len).collect();
+                    self.topk_sizes.sort_unstable_by(|a, b| b.cmp(a));
+                    if self.topk_sizes.len() >= k {
+                        self.topk_bound = self.topk_sizes[k - 1];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a single vertex outside `set` extends it to a larger
+    /// quasi-clique (then `set` is certainly not maximal). `set` sorted.
+    fn single_extendable(&mut self, set: &[VertexId]) -> bool {
+        let req = self.cfg.required_degree(set.len() + 1);
+        // Count set-neighbors of every outside vertex.
+        let mut counts: Vec<(VertexId, u32)> = Vec::new();
+        self.nbr_mark.begin();
+        for &u in set {
+            self.nbr_mark.set(u);
+        }
+        let mut touched: std::collections::HashMap<VertexId, u32> =
+            std::collections::HashMap::new();
+        for &u in set {
+            for &w in self.g.neighbors(u) {
+                if !self.nbr_mark.get(w) {
+                    *touched.entry(w).or_insert(0) += 1;
+                }
+            }
+        }
+        for (w, c) in touched {
+            if c as usize >= req {
+                counts.push((w, c));
+            }
+        }
+        if counts.is_empty() {
+            return false;
+        }
+        // Members whose degree would fall below the requirement unless the
+        // new vertex is their neighbor.
+        let deficient: Vec<VertexId> = set
+            .iter()
+            .copied()
+            .filter(|&u| self.g.degree_within(u, set) < req)
+            .collect();
+        counts
+            .iter()
+            .any(|&(w, _)| deficient.iter().all(|&u| self.g.has_edge(u, w)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpm_graph::builder::graph_from_edges;
+    use scpm_graph::figure1::{figure1, paper_vertex};
+
+    fn sets(outcome: &MiningOutcome) -> Vec<Vec<VertexId>> {
+        let mut s: Vec<Vec<VertexId>> =
+            outcome.cliques.iter().map(|q| q.vertices.clone()).collect();
+        s.sort();
+        s
+    }
+
+    fn paper_set(labels: &[u32]) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = labels.iter().map(|&l| paper_vertex(l)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Every 2^7 combination of the pruning switches.
+    fn all_flag_combinations() -> Vec<PruneFlags> {
+        let mut out = Vec::new();
+        for bits in 0u32..128 {
+            out.push(PruneFlags {
+                feasibility: bits & 1 != 0,
+                bounds: bits & 2 != 0,
+                critical: bits & 4 != 0,
+                cover_vertex: bits & 8 != 0,
+                lookahead: bits & 16 != 0,
+                covered_candidate: bits & 32 != 0,
+                diameter2: bits & 64 != 0,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn figure1_maximal_quasicliques_match_table1() {
+        let g = figure1();
+        let miner = Miner::new(g.graph(), QcConfig::new(0.6, 4));
+        let out = miner.enumerate_maximal();
+        let expect: Vec<Vec<VertexId>> = {
+            let mut e = vec![
+                paper_set(&[3, 4, 5, 6]),
+                paper_set(&[6, 7, 8, 9, 10, 11]),
+                paper_set(&[3, 4, 6, 7]),
+                paper_set(&[3, 5, 6, 7]),
+                paper_set(&[3, 6, 7, 8]),
+            ];
+            e.sort();
+            e
+        };
+        assert_eq!(sets(&out), expect);
+    }
+
+    #[test]
+    fn figure1_coverage_is_vertices_3_to_11() {
+        let g = figure1();
+        let miner = Miner::new(g.graph(), QcConfig::new(0.6, 4));
+        let out = miner.coverage();
+        let expect: Vec<VertexId> = (3..=11).map(paper_vertex).collect();
+        assert_eq!(out.covered, expect);
+    }
+
+    #[test]
+    fn figure1_bfs_equals_dfs() {
+        let g = figure1();
+        let cfg = QcConfig::new(0.6, 4);
+        let dfs = Miner::new(g.graph(), cfg).with_order(SearchOrder::Dfs);
+        let bfs = Miner::new(g.graph(), cfg).with_order(SearchOrder::Bfs);
+        assert_eq!(
+            sets(&dfs.enumerate_maximal()),
+            sets(&bfs.enumerate_maximal())
+        );
+        assert_eq!(dfs.coverage().covered, bfs.coverage().covered);
+    }
+
+    #[test]
+    fn figure1_top_k() {
+        let g = figure1();
+        let miner = Miner::new(g.graph(), QcConfig::new(0.6, 4));
+        let top2 = miner.top_k(2);
+        assert_eq!(top2.cliques.len(), 2);
+        // Largest first: the size-6 pattern, then the clique (ratio 1.0
+        // beats the 0.67 sets).
+        assert_eq!(top2.cliques[0].vertices, paper_set(&[6, 7, 8, 9, 10, 11]));
+        assert_eq!(top2.cliques[1].vertices, paper_set(&[3, 4, 5, 6]));
+        assert!((top2.cliques[1].min_degree_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_with_gamma_one() {
+        let g = graph_from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4)]);
+        // Two triangles sharing vertex 2.
+        let miner = Miner::new(&g, QcConfig::new(1.0, 3));
+        let out = miner.enumerate_maximal();
+        assert_eq!(sets(&out), vec![vec![0, 1, 2], vec![2, 3, 4]]);
+        let cov = miner.coverage();
+        assert_eq!(cov.covered, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn no_quasicliques_in_sparse_graph() {
+        let g = graph_from_edges(6, [(0, 1), (2, 3), (4, 5)]);
+        let miner = Miner::new(&g, QcConfig::new(0.5, 3));
+        assert!(miner.enumerate_maximal().cliques.is_empty());
+        assert!(miner.coverage().covered.is_empty());
+        assert!(miner.top_k(3).cliques.is_empty());
+    }
+
+    #[test]
+    fn all_prune_flag_combinations_agree_on_figure1() {
+        let g = figure1();
+        let cfg = QcConfig::new(0.6, 4);
+        let baseline_sets = sets(&Miner::new(g.graph(), cfg).with_prune(PruneFlags::none())
+            .enumerate_maximal());
+        let baseline_cov = Miner::new(g.graph(), cfg)
+            .with_prune(PruneFlags::none())
+            .coverage()
+            .covered;
+        for flags in all_flag_combinations() {
+            let miner = Miner::new(g.graph(), cfg).with_prune(flags);
+            assert_eq!(sets(&miner.enumerate_maximal()), baseline_sets, "{flags:?}");
+            assert_eq!(miner.coverage().covered, baseline_cov, "{flags:?}");
+        }
+    }
+
+    #[test]
+    fn cover_vertex_prunes_on_dense_graph() {
+        // Complete graph K6: the cover vertex covers every other candidate.
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let g = graph_from_edges(6, edges);
+        let miner = Miner::new(&g, QcConfig::new(1.0, 3));
+        let out = miner.enumerate_maximal();
+        assert_eq!(sets(&out), vec![(0..6).collect::<Vec<_>>()]);
+        // The lookahead collapses the root; cover pruning may or may not
+        // fire before that. Run without lookahead to see cover pruning.
+        let flags = PruneFlags {
+            lookahead: false,
+            ..PruneFlags::default()
+        };
+        let out = Miner::new(&g, QcConfig::new(1.0, 3)).with_prune(flags).run(
+            MiningMode::EnumerateMaximal,
+        );
+        assert_eq!(sets(&out), vec![(0..6).collect::<Vec<_>>()]);
+        assert!(out.stats.pruned_cover > 0, "stats: {:?}", out.stats);
+    }
+
+    #[test]
+    fn critical_forcing_fires_on_sparse_quasiclique() {
+        // A 5-cycle with a chord is a 0.5-quasi-clique of size 5; vertices
+        // have exactly the required degree, making members critical early.
+        let g = graph_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let cfg = QcConfig::new(0.5, 5);
+        let out = Miner::new(&g, cfg).enumerate_maximal();
+        assert_eq!(sets(&out), vec![vec![0, 1, 2, 3, 4]]);
+        let no_lookahead = PruneFlags {
+            lookahead: false,
+            ..PruneFlags::default()
+        };
+        let out2 = Miner::new(&g, cfg)
+            .with_prune(no_lookahead)
+            .enumerate_maximal();
+        assert_eq!(sets(&out2), vec![vec![0, 1, 2, 3, 4]]);
+        assert!(out2.stats.forced_critical > 0, "stats: {:?}", out2.stats);
+    }
+
+    #[test]
+    fn bounds_kill_conflicting_nodes() {
+        // Two triangles joined by one edge: no 0.9-quasi-clique of size 4.
+        let g = graph_from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 5)]);
+        let out = Miner::new(&g, QcConfig::new(0.9, 4)).enumerate_maximal();
+        assert!(out.cliques.is_empty());
+    }
+
+    #[test]
+    fn prune_flags_do_not_change_results() {
+        let g = figure1();
+        let cfg = QcConfig::new(0.6, 4);
+        let baseline = sets(&Miner::new(g.graph(), cfg).enumerate_maximal());
+        for (f, l, d) in [
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+            (false, false, false),
+        ] {
+            let flags = PruneFlags {
+                feasibility: f,
+                lookahead: l,
+                diameter2: d,
+                ..PruneFlags::default()
+            };
+            let out = Miner::new(g.graph(), cfg)
+                .with_prune(flags)
+                .enumerate_maximal();
+            assert_eq!(sets(&out), baseline, "flags {flags:?}");
+        }
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        let g = figure1();
+        let out = Miner::new(g.graph(), QcConfig::new(0.6, 4)).top_k(0);
+        assert!(out.cliques.is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = figure1();
+        let out = Miner::new(g.graph(), QcConfig::new(0.6, 4)).enumerate_maximal();
+        assert!(out.stats.nodes_visited > 0);
+        assert!(out.stats.emitted >= 5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: the search engine must agree with the exponential
+//! reference implementation on arbitrary small graphs, for both search
+//! orders, all pruning-flag combinations, and all three mining modes.
+
+use proptest::prelude::*;
+use scpm_graph::builder::GraphBuilder;
+use scpm_graph::csr::CsrGraph;
+use scpm_quasiclique::bruteforce;
+use scpm_quasiclique::{pattern_order, Miner, PruneFlags, QcConfig, SearchOrder};
+
+fn small_graph() -> impl Strategy<Value = CsrGraph> {
+    (4usize..=10).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..(n * (n - 1) / 2)).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn qc_params() -> impl Strategy<Value = QcConfig> {
+    (prop_oneof![Just(0.5), Just(0.6), Just(0.75), Just(1.0)], 3usize..=5)
+        .prop_map(|(gamma, min_size)| QcConfig::new(gamma, min_size))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn maximal_enumeration_matches_bruteforce(g in small_graph(), cfg in qc_params()) {
+        let expect = bruteforce::maximal_quasi_cliques(&g, &cfg);
+        for order in [SearchOrder::Dfs, SearchOrder::Bfs] {
+            let out = Miner::new(&g, cfg).with_order(order).enumerate_maximal();
+            let mut got: Vec<Vec<u32>> = out.cliques.iter().map(|q| q.vertices.clone()).collect();
+            got.sort();
+            prop_assert_eq!(&got, &expect, "order {:?}", order);
+        }
+    }
+
+    #[test]
+    fn coverage_matches_bruteforce(g in small_graph(), cfg in qc_params()) {
+        let expect = bruteforce::coverage(&g, &cfg);
+        for order in [SearchOrder::Dfs, SearchOrder::Bfs] {
+            let out = Miner::new(&g, cfg).with_order(order).coverage();
+            prop_assert_eq!(&out.covered, &expect, "order {:?}", order);
+        }
+    }
+
+    #[test]
+    fn coverage_equals_union_of_maximal(g in small_graph(), cfg in qc_params()) {
+        let out = Miner::new(&g, cfg).enumerate_maximal();
+        let mut union: Vec<u32> = out.cliques.iter().flat_map(|q| q.vertices.iter().copied()).collect();
+        union.sort_unstable();
+        union.dedup();
+        let cov = Miner::new(&g, cfg).coverage();
+        prop_assert_eq!(cov.covered, union);
+    }
+
+    #[test]
+    fn top_k_is_prefix_of_full_ranking(g in small_graph(), cfg in qc_params(), k in 1usize..=4) {
+        let expect = bruteforce::top_k(&g, &cfg, k);
+        let got = Miner::new(&g, cfg).top_k(k);
+        prop_assert_eq!(got.cliques.len(), expect.len());
+        for (a, b) in got.cliques.iter().zip(expect.iter()) {
+            // Size and ratio must match the reference ranking; vertex sets
+            // may differ among exact ties.
+            prop_assert_eq!(a.size(), b.size());
+            prop_assert!((a.min_degree_ratio - b.min_degree_ratio).abs() < 1e-12);
+        }
+        // And each returned set must be a genuine maximal quasi-clique.
+        let maximal = bruteforce::maximal_quasi_cliques(&g, &cfg);
+        for q in &got.cliques {
+            prop_assert!(maximal.contains(&q.vertices));
+        }
+    }
+
+    #[test]
+    fn pruning_flags_are_semantically_inert(g in small_graph(), cfg in qc_params(),
+                                            bits in 0u32..128) {
+        let baseline = {
+            let mut s: Vec<Vec<u32>> = Miner::new(&g, cfg).enumerate_maximal()
+                .cliques.into_iter().map(|q| q.vertices).collect();
+            s.sort();
+            s
+        };
+        let flags = PruneFlags {
+            feasibility: bits & 1 != 0,
+            bounds: bits & 2 != 0,
+            critical: bits & 4 != 0,
+            cover_vertex: bits & 8 != 0,
+            lookahead: bits & 16 != 0,
+            covered_candidate: bits & 32 != 0,
+            diameter2: bits & 64 != 0,
+        };
+        let mut got: Vec<Vec<u32>> = Miner::new(&g, cfg).with_prune(flags).enumerate_maximal()
+            .cliques.into_iter().map(|q| q.vertices).collect();
+        got.sort();
+        prop_assert_eq!(got, baseline, "flags {:?}", flags);
+        // Coverage must also be invariant under the flags.
+        let cov_base = Miner::new(&g, cfg).coverage().covered;
+        let cov = Miner::new(&g, cfg).with_prune(flags).coverage().covered;
+        prop_assert_eq!(cov, cov_base);
+    }
+
+    #[test]
+    fn emitted_patterns_satisfy_definition(g in small_graph(), cfg in qc_params()) {
+        let out = Miner::new(&g, cfg).enumerate_maximal();
+        for q in &out.cliques {
+            prop_assert!(cfg.is_quasi_clique(&g, &q.vertices));
+            prop_assert!(q.min_degree_ratio >= cfg.gamma - 1e-9);
+            // Reported ratio/density must be consistent with direct
+            // recomputation on the input graph.
+            prop_assert!((q.min_degree_ratio - QcConfig::min_degree_ratio(&g, &q.vertices)).abs() < 1e-12);
+            prop_assert!((q.edge_density - QcConfig::edge_density(&g, &q.vertices)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted(g in small_graph(), cfg in qc_params()) {
+        let out = Miner::new(&g, cfg).enumerate_maximal();
+        for w in out.cliques.windows(2) {
+            prop_assert_ne!(pattern_order(&w[0], &w[1]), std::cmp::Ordering::Greater);
+        }
+    }
+}

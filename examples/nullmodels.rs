@@ -1,0 +1,77 @@
+//! Null-model comparison: the analytical bound of Theorem 2 versus the
+//! exact hypergeometric variant versus simulation (the paper's Figure 4).
+//!
+//! ```text
+//! cargo run --release --example nullmodels
+//! ```
+//!
+//! Generates a small DBLP-like collaboration network, sweeps the support
+//! axis, and prints the three expected-structural-correlation curves plus
+//! an empirical p-value for a real attribute set — demonstrating that
+//! (i) `max-exp` upper-bounds `sim-exp` with a similar growth shape (the
+//! paper's argument for using `δ_lb`), and (ii) real topic attribute sets
+//! are far outside the null distribution.
+
+use scpm_core::{AnalyticalModel, ExactModel, Scpm, ScpmParams, SimulationModel};
+use scpm_datasets::dblp_like;
+use scpm_quasiclique::QcConfig;
+
+fn main() {
+    let dataset = dblp_like(0.02, 42);
+    let graph = &dataset.graph;
+    let g = graph.graph();
+    println!(
+        "DBLP-like graph: {} vertices, {} edges, {} attributes",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_attributes()
+    );
+
+    let cfg = QcConfig::new(0.5, 5);
+    let analytical = AnalyticalModel::new(g, &cfg);
+    let exact = ExactModel::new(g, &cfg);
+    let sim = SimulationModel::new(g, cfg, 30, 7);
+
+    println!("\nExpected structural correlation by support (Figure 4 shape):");
+    println!("{:>8}  {:>12}  {:>12}  {:>12}  {:>10}", "σ", "max-exp", "exact-exp", "sim-exp", "sim-std");
+    let n = g.num_vertices();
+    // The paper's Figure 4 sweeps σ up to ~10% of |V|; far beyond that the
+    // simulation must *disprove* quasi-clique membership for most of the
+    // graph, which is the expensive direction of the search.
+    for i in 1..=8 {
+        let sigma = n * i / 80;
+        let s = sim.expected(sigma);
+        println!(
+            "{:>8}  {:>12.6}  {:>12.6}  {:>12.6}  {:>10.6}",
+            sigma,
+            analytical.expected(sigma),
+            exact.expected(sigma),
+            s.mean,
+            s.std_dev
+        );
+    }
+
+    // Mine, then hold the best attribute set against the null model.
+    let params = ScpmParams::new(20, 0.5, 5)
+        .with_eps_min(0.05)
+        .with_top_k(3)
+        .with_max_attrs(2);
+    let scpm = Scpm::new(graph, params);
+    let result = scpm.run();
+    println!("\nSignificance of the top-δ attribute sets:");
+    for report in result.top_by_delta(3) {
+        let p = sim.p_value(report.epsilon, report.support);
+        println!(
+            "  {:<32} σ={:<6} ε={:.3} δ_lb={:<12.1} p={:.4}",
+            graph.format_attr_set(&report.attrs),
+            report.support,
+            report.epsilon,
+            report.delta_lb,
+            p
+        );
+    }
+    println!(
+        "\n(δ_lb ≫ 1 and p ≈ 1/(runs+1) together say: the coverage of these \
+         sets is unexplainable by support alone.)"
+    );
+}

@@ -1,0 +1,521 @@
+//! `scpm` — command-line interface for structural correlation pattern
+//! mining.
+//!
+//! ```text
+//! scpm mine      --graph g.txt [--sigma-min N] [--gamma F] [--min-size N]
+//!                [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
+//!                [--min-attrs N] [--max-attrs N] [--threads N]
+//!                [--algo scpm|levelwise|scorp|naive] [--limit N]
+//! scpm induce    --graph g.txt --attrs name,name [--dot out.dot]
+//!                [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
+//! scpm generate  --dataset dblp|lastfm|citeseer|smalldblp [--scale F]
+//!                [--seed N] --out g.txt|g.snap
+//! scpm stats     --graph g.txt
+//! scpm nullmodel --graph g.txt [--gamma F] [--min-size N] [--points N]
+//!                [--sims N] [--seed N]
+//! scpm convert   --graph g.txt --out g.snap   (and vice versa)
+//! ```
+//!
+//! Graph files ending in `.snap` use the binary snapshot format
+//! (`scpm_graph::snapshot`); anything else uses the text format
+//! (`scpm_graph::io`).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use scpm_core::report::{render_patterns, render_summary, render_top_tables};
+use scpm_core::{
+    empirical_p_value, run_naive, run_parallel, AnalyticalModel, ExactModel, Scorp, Scpm,
+    ScpmParams, SimulationModel,
+};
+use scpm_datasets::DatasetSpec;
+use scpm_graph::io::{load_attributed, save_attributed, write_dot};
+use scpm_graph::snapshot::{load_snapshot, save_snapshot};
+use scpm_graph::stats::GraphSummary;
+use scpm_graph::AttributedGraph;
+use scpm_quasiclique::{QcConfig, SearchOrder};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match Flags::parse(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "mine" => mine(&flags),
+        "induce" => induce(&flags),
+        "generate" => generate(&flags),
+        "stats" => stats(&flags),
+        "nullmodel" => nullmodel(&flags),
+        "convert" => convert(&flags),
+        "closed" => closed(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  scpm mine      --graph <file> [--sigma-min N] [--gamma F] [--min-size N]
+                 [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
+                 [--min-attrs N] [--max-attrs N] [--threads N]
+                 [--algo scpm|levelwise|scorp|naive] [--limit N]
+  scpm induce    --graph <file> --attrs name,name [--dot <file>]
+                 [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
+  scpm generate  --dataset dblp|lastfm|citeseer|smalldblp [--scale F] [--seed N]
+                 --out <file>[.snap]
+  scpm stats     --graph <file>
+  scpm nullmodel --graph <file> [--gamma F] [--min-size N] [--points N]
+                 [--sims N] [--seed N] [--max-frac F]
+  scpm convert   --graph <file> --out <file>
+  scpm closed    --graph <file> [--sigma-min N] [--max-attrs N] [--limit N]";
+
+/// Minimal `--flag value` parser (boolean flags take no value).
+struct Flags {
+    values: HashMap<String, String>,
+    bools: Vec<String>,
+}
+
+const BOOL_FLAGS: &[&str] = &["naive"];
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut values = HashMap::new();
+        let mut bools = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("expected --flag, got `{arg}`"));
+            };
+            if BOOL_FLAGS.contains(&name) {
+                bools.push(name.to_string());
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            values.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Flags { values, bools })
+    }
+
+    fn str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.str(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.str(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name} `{v}`")),
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+}
+
+/// Loads a graph by extension: `.snap` = binary snapshot, else text.
+fn load_any(path: &str) -> Result<AttributedGraph, String> {
+    if path.ends_with(".snap") {
+        load_snapshot(path).map_err(|e| format!("loading {path}: {e}"))
+    } else {
+        load_attributed(path).map_err(|e| format!("loading {path}: {e}"))
+    }
+}
+
+/// Saves a graph by extension: `.snap` = binary snapshot, else text.
+fn save_any(g: &AttributedGraph, path: &str) -> Result<(), String> {
+    if path.ends_with(".snap") {
+        save_snapshot(g, path).map_err(|e| format!("writing {path}: {e}"))
+    } else {
+        save_attributed(g, path).map_err(|e| format!("writing {path}: {e}"))
+    }
+}
+
+fn load(flags: &Flags) -> Result<AttributedGraph, String> {
+    load_any(flags.required("graph")?)
+}
+
+fn params_from(flags: &Flags) -> Result<ScpmParams, String> {
+    let order = match flags.str("order").unwrap_or("dfs") {
+        "dfs" => SearchOrder::Dfs,
+        "bfs" => SearchOrder::Bfs,
+        other => return Err(format!("invalid --order `{other}` (want dfs|bfs)")),
+    };
+    Ok(ScpmParams::new(
+        flags.num("sigma-min", 10usize)?,
+        flags.num("gamma", 0.5f64)?,
+        flags.num("min-size", 5usize)?,
+    )
+    .with_eps_min(flags.num("eps-min", 0.0f64)?)
+    .with_delta_min(flags.num("delta-min", 0.0f64)?)
+    .with_top_k(flags.num("top-k", 5usize)?)
+    .with_min_attrs(flags.num("min-attrs", 1usize)?)
+    .with_max_attrs(flags.num("max-attrs", 3usize)?)
+    .with_order(order))
+}
+
+fn mine(flags: &Flags) -> Result<(), String> {
+    let graph = load(flags)?;
+    let params = params_from(flags)?;
+    let limit = flags.num("limit", 10usize)?;
+    let threads = flags.num("threads", 1usize)?;
+    let algo = if flags.flag("naive") {
+        "naive"
+    } else {
+        flags.str("algo").unwrap_or("scpm")
+    };
+    let result = match algo {
+        "naive" => run_naive(&graph, &params),
+        "scorp" => Scorp::new(&graph, params).run(),
+        "levelwise" => Scpm::new(&graph, params).run_levelwise(),
+        "scpm" => {
+            if threads > 1 {
+                run_parallel(&graph, params, threads)
+            } else {
+                Scpm::new(&graph, params).run()
+            }
+        }
+        other => {
+            return Err(format!(
+                "invalid --algo `{other}` (want scpm|levelwise|scorp|naive)"
+            ))
+        }
+    };
+    println!("{}", render_top_tables(&graph, &result, limit));
+    println!("patterns (best {limit}):");
+    println!("{}", render_patterns(&graph, &result, limit));
+    println!("{}", render_summary(&result));
+    Ok(())
+}
+
+fn induce(flags: &Flags) -> Result<(), String> {
+    let graph = load(flags)?;
+    let names: Vec<&str> = flags.required("attrs")?.split(',').collect();
+    let mut attrs = Vec::new();
+    for name in names {
+        attrs.push(
+            graph
+                .attr_id(name)
+                .ok_or_else(|| format!("unknown attribute `{name}`"))?,
+        );
+    }
+    let vertices = graph.vertices_with_all(&attrs);
+    println!(
+        "V({}) has {} vertices",
+        graph.format_attr_set(&attrs),
+        vertices.len()
+    );
+    let gamma = flags.num("gamma", 0.5f64)?;
+    let min_size = flags.num("min-size", 5usize)?;
+    let params = ScpmParams::new(1, gamma, min_size);
+    let scpm = Scpm::new(&graph, params);
+    let out = scpm.engine().epsilon(&vertices, None);
+    println!(
+        "ε = {:.4} ({} covered vertices)",
+        out.epsilon,
+        out.covered.len()
+    );
+    let sigma = vertices.len();
+    let cfg = QcConfig::new(gamma, min_size);
+    let analytical = AnalyticalModel::new(graph.graph(), &cfg);
+    let exact = ExactModel::new(graph.graph(), &cfg);
+    println!(
+        "δ_lb = {:.4}  δ_exact = {:.4}",
+        analytical.normalize(out.epsilon, sigma),
+        exact.normalize(out.epsilon, sigma)
+    );
+    let sims = flags.num("pvalue-sims", 0usize)?;
+    if sims > 0 {
+        let seed = flags.num("seed", 42u64)?;
+        let p = empirical_p_value(graph.graph(), &cfg, sigma, out.epsilon, sims, seed);
+        println!("empirical p-value ({sims} sims): {p:.5}");
+    }
+    if let Some(path) = flags.str("dot") {
+        let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        write_dot(&graph, &vertices, &out.covered, file).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn generate(flags: &Flags) -> Result<(), String> {
+    let spec = match flags.required("dataset")? {
+        "dblp" => DatasetSpec::dblp(),
+        "lastfm" => DatasetSpec::lastfm(),
+        "citeseer" => DatasetSpec::citeseer(),
+        "smalldblp" => DatasetSpec::small_dblp(),
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    let scale = flags.num("scale", 0.02f64)?;
+    let seed = flags.num("seed", 42u64)?;
+    let out = flags.required("out")?;
+    let dataset = scpm_datasets::generate(&spec, scale, seed);
+    save_any(&dataset.graph, out)?;
+    println!(
+        "wrote {out}: {} vertices, {} edges, {} attributes ({} planted communities)",
+        dataset.graph.num_vertices(),
+        dataset.graph.num_edges(),
+        dataset.graph.num_attributes(),
+        dataset.communities.len()
+    );
+    Ok(())
+}
+
+fn stats(flags: &Flags) -> Result<(), String> {
+    let graph = load(flags)?;
+    print!("{}", GraphSummary::of_attributed(&graph));
+    let mut supports: Vec<(usize, u32)> = graph
+        .attributes()
+        .map(|a| (graph.support(a), a))
+        .collect();
+    supports.sort_unstable_by(|a, b| b.cmp(a));
+    println!("top attributes by support:");
+    for (support, a) in supports.into_iter().take(10) {
+        println!("  {:<24} {}", graph.attr_name(a), support);
+    }
+    Ok(())
+}
+
+fn nullmodel(flags: &Flags) -> Result<(), String> {
+    let graph = load(flags)?;
+    let g = graph.graph();
+    let cfg = QcConfig::new(
+        flags.num("gamma", 0.5f64)?,
+        flags.num("min-size", 5usize)?,
+    );
+    let points = flags.num("points", 10usize)?.max(2);
+    let sims = flags.num("sims", 20usize)?;
+    let seed = flags.num("seed", 42u64)?;
+    // Sweep σ up to this fraction of |V| (the paper's figures stop near
+    // 10%; beyond ~25% the simulation spends its time disproving
+    // membership for the bulk of the graph).
+    let max_frac = flags.num("max-frac", 0.25f64)?.clamp(0.001, 1.0);
+    let n = g.num_vertices();
+    if n < 2 {
+        return Err("graph too small for a support sweep".into());
+    }
+    let analytical = AnalyticalModel::new(g, &cfg);
+    let exact = ExactModel::new(g, &cfg);
+    let sim = SimulationModel::new(g, cfg, sims, seed);
+    println!("σ         max-exp      exact-exp    sim-exp      sim-std");
+    for i in 1..=points {
+        let sigma = ((n as f64 * max_frac) as usize * i) / points;
+        let s = sim.expected(sigma);
+        println!(
+            "{:<9} {:<12.6} {:<12.6} {:<12.6} {:<12.6}",
+            sigma,
+            analytical.expected(sigma),
+            exact.expected(sigma),
+            s.mean,
+            s.std_dev
+        );
+    }
+    Ok(())
+}
+
+fn convert(flags: &Flags) -> Result<(), String> {
+    let graph = load(flags)?;
+    let out = flags.required("out")?;
+    save_any(&graph, out)?;
+    println!(
+        "wrote {out}: {} vertices, {} edges, {} attributes",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_attributes()
+    );
+    Ok(())
+}
+
+/// Lists closed frequent attribute sets — attribute sets whose induced
+/// vertex set no proper superset reproduces. Two attribute sets with equal
+/// `V(S)` yield identical SCPM rows, so the closed sets are the
+/// non-redundant mining targets.
+fn closed(flags: &Flags) -> Result<(), String> {
+    let graph = load(flags)?;
+    let cfg = scpm_itemset::EclatConfig {
+        min_support: flags.num("sigma-min", 10usize)?,
+        max_size: flags.num("max-attrs", 3usize)?,
+    };
+    let limit = flags.num("limit", 20usize)?;
+    let mut sets = scpm_itemset::closed_itemsets(&graph, &cfg);
+    let total = sets.len();
+    sets.sort_by(|a, b| b.support().cmp(&a.support()).then_with(|| a.items.cmp(&b.items)));
+    println!("{total} closed attribute sets (showing {})", limit.min(total));
+    for c in sets.iter().take(limit) {
+        println!(
+            "  {:<48} σ={}",
+            graph.format_attr_set(&c.items),
+            c.support()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Flags, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Flags::parse(&owned)
+    }
+
+    #[test]
+    fn parses_values_and_bools() {
+        let f = parse(&["--graph", "g.txt", "--sigma-min", "20", "--naive"]).unwrap();
+        assert_eq!(f.required("graph").unwrap(), "g.txt");
+        assert_eq!(f.num("sigma-min", 0usize).unwrap(), 20);
+        assert!(f.flag("naive"));
+        assert!(!f.flag("other"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&["--graph"]).is_err());
+        assert!(parse(&["graph", "g.txt"]).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let f = parse(&[]).unwrap();
+        assert_eq!(f.num("top-k", 5usize).unwrap(), 5);
+        assert!(f.required("graph").is_err());
+    }
+
+    #[test]
+    fn params_builder_respects_flags() {
+        let f = parse(&[
+            "--sigma-min", "50", "--gamma", "0.7", "--min-size", "6", "--eps-min", "0.2",
+            "--order", "bfs", "--top-k", "3",
+        ])
+        .unwrap();
+        let p = params_from(&f).unwrap();
+        assert_eq!(p.sigma_min, 50);
+        assert!((p.quasi_clique.gamma - 0.7).abs() < 1e-12);
+        assert_eq!(p.quasi_clique.min_size, 6);
+        assert_eq!(p.k, 3);
+        assert_eq!(p.search_order, SearchOrder::Bfs);
+    }
+
+    #[test]
+    fn rejects_invalid_order() {
+        let f = parse(&["--order", "sideways"]).unwrap();
+        assert!(params_from(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_algo() {
+        let dir = std::env::temp_dir().join("scpm_cli_algo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.txt");
+        save_attributed(&scpm_graph::figure1::figure1(), &path).unwrap();
+        let f = parse(&["--graph", path.to_str().unwrap(), "--algo", "quantum"]).unwrap();
+        assert!(mine(&f).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn all_algorithms_run_on_figure1() {
+        let dir = std::env::temp_dir().join("scpm_cli_algos");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.txt");
+        save_attributed(&scpm_graph::figure1::figure1(), &path).unwrap();
+        for algo in ["scpm", "levelwise", "scorp", "naive"] {
+            let f = parse(&[
+                "--graph",
+                path.to_str().unwrap(),
+                "--sigma-min",
+                "3",
+                "--gamma",
+                "0.6",
+                "--min-size",
+                "4",
+                "--eps-min",
+                "0.5",
+                "--algo",
+                algo,
+            ])
+            .unwrap();
+            mine(&f).unwrap_or_else(|e| panic!("algo {algo}: {e}"));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generate_stats_nullmodel_convert_roundtrip() {
+        let dir = std::env::temp_dir().join("scpm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        let f = parse(&[
+            "--dataset",
+            "dblp",
+            "--scale",
+            "0.003",
+            "--seed",
+            "1",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        generate(&f).unwrap();
+        let f2 = parse(&["--graph", path.to_str().unwrap()]).unwrap();
+        stats(&f2).unwrap();
+        let f3 = parse(&[
+            "--graph",
+            path.to_str().unwrap(),
+            "--sigma-min",
+            "10",
+            "--min-size",
+            "8",
+            "--max-attrs",
+            "2",
+        ])
+        .unwrap();
+        mine(&f3).unwrap();
+        let f4 = parse(&[
+            "--graph",
+            path.to_str().unwrap(),
+            "--points",
+            "4",
+            "--sims",
+            "3",
+        ])
+        .unwrap();
+        nullmodel(&f4).unwrap();
+        // Text → snapshot → text conversion preserves counts.
+        let snap = dir.join("tiny.snap");
+        let f5 = parse(&[
+            "--graph",
+            path.to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .unwrap();
+        convert(&f5).unwrap();
+        let f6 = parse(&["--graph", snap.to_str().unwrap()]).unwrap();
+        stats(&f6).unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&snap).ok();
+    }
+}

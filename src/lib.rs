@@ -1,0 +1,28 @@
+//! Workspace façade for the SCPM reproduction.
+//!
+//! Re-exports the public APIs of every crate so that examples and
+//! integration tests can use a single dependency:
+//!
+//! ```
+//! use scpm_suite::prelude::*;
+//!
+//! let g = figure1();
+//! assert_eq!(g.num_vertices(), 11);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use scpm_core as core;
+pub use scpm_datasets as datasets;
+pub use scpm_graph as graph;
+pub use scpm_itemset as itemset;
+pub use scpm_quasiclique as quasiclique;
+
+/// Commonly used items, importable with a single `use`.
+pub mod prelude {
+    pub use scpm_core::*;
+    pub use scpm_datasets::{citeseer_like, dblp_like, lastfm_like, small_dblp_like};
+    pub use scpm_graph::figure1::figure1;
+    pub use scpm_graph::{AttributedGraph, AttributedGraphBuilder, CsrGraph, GraphBuilder};
+    pub use scpm_quasiclique::{QcConfig, SearchOrder};
+}

@@ -1,0 +1,166 @@
+//! End-to-end smoke tests of the `scpm` binary: every subcommand through a
+//! real process, including the error paths' exit codes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scpm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scpm"))
+        .args(args)
+        .output()
+        .expect("failed to spawn scpm binary")
+}
+
+fn temp_graph(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("scpm_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.txt"));
+    scpm_graph::io::save_attributed(&scpm_graph::figure1::figure1(), &path).unwrap();
+    path
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exit_2() {
+    let out = scpm(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = scpm(&["transmogrify"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_graph_file_fails_cleanly() {
+    let out = scpm(&["stats", "--graph", "/nonexistent/g.txt"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn mine_reproduces_table1_via_process() {
+    let path = temp_graph("mine");
+    let out = scpm(&[
+        "mine",
+        "--graph",
+        path.to_str().unwrap(),
+        "--sigma-min",
+        "3",
+        "--gamma",
+        "0.6",
+        "--min-size",
+        "4",
+        "--eps-min",
+        "0.5",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top structural correlation"));
+    assert!(stdout.contains("patterns"));
+    // 7 qualifying pattern rows exist; the default limit shows them.
+    assert!(stdout.contains("{A, B}"));
+}
+
+#[test]
+fn induce_reports_epsilon_and_pvalue() {
+    let path = temp_graph("induce");
+    let out = scpm(&[
+        "induce",
+        "--graph",
+        path.to_str().unwrap(),
+        "--attrs",
+        "A,B",
+        "--gamma",
+        "0.6",
+        "--min-size",
+        "4",
+        "--pvalue-sims",
+        "9",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ε = 1.0000"), "stdout: {stdout}");
+    assert!(stdout.contains("empirical p-value"));
+    assert!(stdout.contains("δ_lb"));
+}
+
+#[test]
+fn induce_unknown_attribute_fails() {
+    let path = temp_graph("induce_bad");
+    let out = scpm(&[
+        "induce",
+        "--graph",
+        path.to_str().unwrap(),
+        "--attrs",
+        "NOPE",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown attribute"));
+}
+
+#[test]
+fn closed_lists_nonredundant_sets() {
+    let path = temp_graph("closed");
+    let out = scpm(&[
+        "closed",
+        "--graph",
+        path.to_str().unwrap(),
+        "--sigma-min",
+        "3",
+        "--max-attrs",
+        "4",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("closed attribute sets"));
+    // {A} is closed (σ=11, no superset matches); {B} is NOT closed: every
+    // B-vertex also has A, so {A,B} subsumes it.
+    assert!(stdout.contains("{A}"));
+    assert!(stdout.contains("{A, B}"));
+    assert!(!stdout.contains(" {B} "), "non-closed {{B}} listed: {stdout}");
+}
+
+#[test]
+fn generate_convert_nullmodel_pipeline() {
+    let dir = std::env::temp_dir().join("scpm_cli_smoke_pipe");
+    std::fs::create_dir_all(&dir).unwrap();
+    let text = dir.join("g.txt");
+    let snap = dir.join("g.snap");
+    let out = scpm(&[
+        "generate",
+        "--dataset",
+        "dblp",
+        "--scale",
+        "0.003",
+        "--seed",
+        "3",
+        "--out",
+        text.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = scpm(&[
+        "convert",
+        "--graph",
+        text.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    // Snapshot loads transparently everywhere a graph is accepted.
+    let out = scpm(&[
+        "nullmodel",
+        "--graph",
+        snap.to_str().unwrap(),
+        "--points",
+        "3",
+        "--sims",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("max-exp"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,108 @@
+//! Graph-analysis modules against the dataset generators: planted
+//! communities must be visible to the k-core, clustering and component
+//! machinery in the way the paper's real networks motivate.
+
+use scpm_datasets::{dblp_like, DatasetSpec};
+use scpm_graph::cluster::clustering;
+use scpm_graph::components::Components;
+use scpm_graph::generators::watts_strogatz;
+use scpm_graph::kcore::CoreDecomposition;
+use scpm_graph::stats::GraphSummary;
+use scpm_graph::traversal::{bfs_distances, UNREACHABLE};
+
+#[test]
+fn planted_communities_live_in_deep_cores() {
+    let dataset = dblp_like(0.01, 7);
+    let g = dataset.graph.graph();
+    let cores = CoreDecomposition::of(g);
+    // A community of s ≥ 10 vertices with p_in ≈ 0.62 has expected
+    // internal degree ≈ 0.62·(s−1) ≥ 5; its members' core numbers must
+    // comfortably beat the background (BA with m = 2 gives degeneracy 2).
+    let mut deep = 0usize;
+    for members in &dataset.communities {
+        let median = {
+            let mut cs: Vec<u32> = members.iter().map(|&v| cores.core[v as usize]).collect();
+            cs.sort_unstable();
+            cs[cs.len() / 2]
+        };
+        if median >= 4 {
+            deep += 1;
+        }
+    }
+    assert!(
+        deep * 10 >= dataset.communities.len() * 8,
+        "only {deep} of {} communities are core-visible",
+        dataset.communities.len()
+    );
+}
+
+#[test]
+fn dataset_clustering_beats_degree_matched_randomization() {
+    let dataset = dblp_like(0.01, 9);
+    let g = dataset.graph.graph();
+    let planted = clustering(g);
+    // A Watts–Strogatz graph at β = 1 is a degree-homogeneous random
+    // baseline with similar mean degree.
+    let mean_deg = (2 * g.num_edges()) as f64 / g.num_vertices() as f64;
+    let k = ((mean_deg / 2.0).round() as usize * 2).max(2);
+    let baseline = clustering(&watts_strogatz(g.num_vertices(), k, 1.0, 99));
+    assert!(
+        planted.average_local > 3.0 * baseline.average_local,
+        "planted clustering {} vs randomized {}",
+        planted.average_local,
+        baseline.average_local
+    );
+}
+
+#[test]
+fn generated_graphs_are_mostly_connected() {
+    let dataset = dblp_like(0.02, 11);
+    let g = dataset.graph.graph();
+    let comp = Components::of(g);
+    let largest = comp.sizes().into_iter().max().unwrap();
+    // Preferential attachment keeps the background connected; planted
+    // edges only add to it.
+    assert!(
+        largest * 10 >= g.num_vertices() * 9,
+        "largest component {largest} of {}",
+        g.num_vertices()
+    );
+}
+
+#[test]
+fn bfs_agrees_with_components_on_all_specs() {
+    for (spec, scale) in [
+        (DatasetSpec::dblp(), 0.004),
+        (DatasetSpec::lastfm(), 0.002),
+        (DatasetSpec::citeseer(), 0.002),
+    ] {
+        let dataset = scpm_datasets::generate(&spec, scale, 1);
+        let g = dataset.graph.graph();
+        let comp = Components::of(g);
+        let dist = bfs_distances(g, 0);
+        for v in g.vertices() {
+            assert_eq!(
+                comp.same(0, v),
+                dist[v as usize] != UNREACHABLE,
+                "{}: vertex {v}",
+                dataset.name
+            );
+        }
+    }
+}
+
+#[test]
+fn summary_is_internally_consistent_on_dataset() {
+    let dataset = dblp_like(0.01, 13);
+    let s = GraphSummary::of_attributed(&dataset.graph);
+    assert_eq!(s.vertices, dataset.graph.num_vertices());
+    assert_eq!(s.edges, dataset.graph.num_edges());
+    assert!(s.largest_component <= s.vertices);
+    assert!(s.components >= 1);
+    assert!(s.degeneracy as usize <= s.max_degree);
+    assert!((0.0..=1.0).contains(&s.transitivity));
+    assert!((0.0..=1.0).contains(&s.average_clustering));
+    assert!(s.mean_attrs_per_vertex > 0.0);
+    // Degree sum identity.
+    assert!((s.mean_degree - 2.0 * s.edges as f64 / s.vertices as f64).abs() < 1e-9);
+}

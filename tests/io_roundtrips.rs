@@ -1,0 +1,146 @@
+//! End-to-end I/O: generated datasets must survive text and snapshot
+//! round-trips with identical mining results, and corrupted inputs must
+//! fail loudly rather than silently misparse.
+
+use scpm_core::{Scpm, ScpmParams, ScpmResult};
+use scpm_datasets::dblp_like;
+use scpm_graph::io::{load_attributed, read_attributed, save_attributed, ParseError};
+use scpm_graph::snapshot::{self, load_snapshot, save_snapshot, SnapshotError};
+use scpm_graph::AttributedGraph;
+
+fn mine(g: &AttributedGraph) -> ScpmResult {
+    let params = ScpmParams::new(8, 0.5, 6)
+        .with_eps_min(0.1)
+        .with_top_k(2)
+        .with_max_attrs(2);
+    Scpm::new(g, params).run()
+}
+
+/// Attribute ids may be permuted by serialization; compare by name.
+fn canonical_named(g: &AttributedGraph, r: &ScpmResult) -> Vec<(Vec<String>, usize, i64)> {
+    let mut v: Vec<(Vec<String>, usize, i64)> = r
+        .reports
+        .iter()
+        .filter(|rep| rep.qualified)
+        .map(|rep| {
+            let mut names: Vec<String> = rep
+                .attrs
+                .iter()
+                .map(|&a| g.attr_name(a).to_string())
+                .collect();
+            names.sort();
+            (names, rep.support, (rep.epsilon * 1e9).round() as i64)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn text_roundtrip_preserves_mining_results() {
+    let dataset = dblp_like(0.005, 19);
+    let g = &dataset.graph;
+    let dir = std::env::temp_dir().join("scpm_it_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.txt");
+    save_attributed(g, &path).unwrap();
+    let g2 = load_attributed(&path).unwrap();
+    assert_eq!(g2.num_vertices(), g.num_vertices());
+    assert_eq!(g2.num_edges(), g.num_edges());
+    assert_eq!(canonical_named(g, &mine(g)), canonical_named(&g2, &mine(&g2)));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_mining_results() {
+    let dataset = dblp_like(0.005, 23);
+    let g = &dataset.graph;
+    let dir = std::env::temp_dir().join("scpm_it_snap");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.snap");
+    save_snapshot(g, &path).unwrap();
+    let g2 = load_snapshot(&path).unwrap();
+    assert_eq!(g2.num_vertices(), g.num_vertices());
+    assert_eq!(g2.num_edges(), g.num_edges());
+    assert_eq!(g2.num_attributes(), g.num_attributes());
+    assert_eq!(canonical_named(g, &mine(g)), canonical_named(&g2, &mine(&g2)));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn snapshot_is_much_smaller_or_equal_and_identical_on_reload() {
+    let dataset = dblp_like(0.005, 29);
+    let g = &dataset.graph;
+    let text = {
+        let mut buf = Vec::new();
+        scpm_graph::io::write_attributed(g, &mut buf).unwrap();
+        buf
+    };
+    let snap = snapshot::encode(g);
+    // Binary form carries the same information; it should not blow up
+    // relative to text (names dominate both).
+    assert!(
+        snap.len() < text.len() * 2,
+        "snapshot {} vs text {}",
+        snap.len(),
+        text.len()
+    );
+    let g2 = snapshot::decode(snap).unwrap();
+    for v in g.graph().vertices() {
+        assert_eq!(g.attributes_of(v), g2.attributes_of(v));
+    }
+}
+
+#[test]
+fn corrupted_text_inputs_fail_with_line_numbers() {
+    let cases: &[(&str, usize)] = &[
+        ("v 3\ne 0 9\n", 2),          // endpoint out of range
+        ("v 3\na 9 red\n", 2),        // vertex out of range
+        ("v x\n", 1),                 // bad count
+        ("v 3\nv 4\n", 2),            // duplicate header
+        ("e 0 1\n", 1),               // edge before header
+        ("v 3\nz 0 1\n", 2),          // unknown directive
+    ];
+    for (text, line) in cases {
+        match read_attributed(text.as_bytes()) {
+            Err(ParseError::Syntax { line: l, .. }) => {
+                assert_eq!(l, *line, "wrong line for {text:?}")
+            }
+            other => panic!("{text:?} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_snapshots_fail_closed() {
+    let g = dblp_like(0.003, 31).graph;
+    let raw = snapshot::encode(&g).to_vec();
+    // Flip a byte in the middle of the edge section.
+    let mut bad = raw.clone();
+    let off = 12 + 8 + 8 + 4;
+    bad[off] = 0xFF;
+    bad[off + 1] = 0xFF;
+    bad[off + 2] = 0xFF;
+    bad[off + 3] = 0xFF;
+    assert!(matches!(
+        snapshot::decode(bytes::Bytes::from(bad)),
+        Err(SnapshotError::OutOfRange { .. })
+    ));
+    // Truncate anywhere: error, never panic (sampled; the graph proptests
+    // sweep every cut on a smaller fixture).
+    for cut in [0, 10, 13, raw.len() / 2, raw.len() - 1] {
+        assert!(snapshot::decode(bytes::Bytes::from(raw[..cut].to_vec())).is_err());
+    }
+}
+
+#[test]
+fn missing_files_surface_io_errors() {
+    assert!(matches!(
+        load_attributed("/nonexistent/scpm/graph.txt"),
+        Err(ParseError::Io(_))
+    ));
+    assert!(matches!(
+        load_snapshot("/nonexistent/scpm/graph.snap"),
+        Err(SnapshotError::Io(_))
+    ));
+}

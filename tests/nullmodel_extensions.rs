@@ -1,0 +1,103 @@
+//! Cross-model null-model checks on realistic graphs: the binomial bound
+//! of Theorem 2, the exact hypergeometric variant, the simulation
+//! estimator and the empirical p-values must relate the way the theory
+//! says.
+
+use scpm_core::{
+    AnalyticalModel, ExactModel, ExpectedCorrelation, Scpm, ScpmParams, SimulationModel,
+};
+use scpm_datasets::dblp_like;
+use scpm_quasiclique::QcConfig;
+
+#[test]
+fn three_models_relate_correctly_on_dblp_like() {
+    let dataset = dblp_like(0.01, 13);
+    let g = dataset.graph.graph();
+    let cfg = QcConfig::new(0.5, 5);
+    let analytical = AnalyticalModel::new(g, &cfg);
+    let exact = ExactModel::new(g, &cfg);
+    let sim = SimulationModel::new(g, cfg, 15, 9);
+    let n = g.num_vertices();
+    // Stay in the paper's σ ≲ 10% regime: far beyond it the simulation
+    // spends its time disproving membership for most of the graph (slow
+    // in debug builds) without changing what this test checks.
+    for frac in [40usize, 20, 10] {
+        let sigma = n / frac;
+        let a = analytical.expected(sigma);
+        let e = exact.expected(sigma);
+        let s = sim.expected(sigma);
+        // Degree feasibility is necessary, not sufficient: both analytical
+        // models upper-bound the simulated coverage (up to noise).
+        let noise = 3.0 * s.std_dev / (s.runs as f64).sqrt() + 1e-9;
+        assert!(s.mean <= a + noise, "σ={sigma}: sim {} > binomial {a}", s.mean);
+        assert!(s.mean <= e + noise, "σ={sigma}: sim {} > exact {e}", s.mean);
+        // Binomial and hypergeometric agree to first order away from σ≈n.
+        assert!((a - e).abs() < 0.05, "σ={sigma}: binomial {a} vs exact {e}");
+    }
+}
+
+#[test]
+fn models_are_monotone_on_dataset_graph() {
+    let dataset = dblp_like(0.005, 17);
+    let g = dataset.graph.graph();
+    let cfg = QcConfig::new(0.5, 5);
+    let models: Vec<Box<dyn ExpectedCorrelation>> = vec![
+        Box::new(AnalyticalModel::new(g, &cfg)),
+        Box::new(ExactModel::new(g, &cfg)),
+    ];
+    let n = g.num_vertices();
+    for (i, model) in models.iter().enumerate() {
+        let mut prev = -1.0;
+        for step in 1..=10 {
+            let sigma = n * step / 10;
+            let e = model.expected_epsilon(sigma);
+            assert!(e >= prev - 1e-12, "model {i} not monotone at σ={sigma}");
+            prev = e;
+        }
+    }
+}
+
+#[test]
+fn planted_topics_get_small_p_values() {
+    let dataset = dblp_like(0.01, 21);
+    let graph = &dataset.graph;
+    let cfg = QcConfig::new(0.5, 5);
+    let params = ScpmParams::new(8, 0.5, 5)
+        .with_eps_min(0.1)
+        .with_top_k(1)
+        .with_max_attrs(2);
+    let scpm = Scpm::new(graph, params);
+    let result = scpm.run();
+    let Some(best) = result.top_by_delta(1).first().copied().cloned() else {
+        panic!("expected at least one qualifying attribute set");
+    };
+    let runs = 29;
+    let sim = SimulationModel::new(graph.graph(), cfg, runs, 5);
+    let p = sim.p_value(best.epsilon, best.support);
+    // The best set's coverage must beat every random draw: p = 1/(runs+1).
+    assert!(
+        (p - 1.0 / (runs as f64 + 1.0)).abs() < 1e-12,
+        "top-δ attribute set should be extreme under the null (p = {p})"
+    );
+    // A zero-ε set is never significant.
+    let p_null = sim.p_value(0.0, best.support);
+    assert!((p_null - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn delta_exact_at_least_delta_lb_when_binomial_oversmears() {
+    // At σ = n the binomial model smears degree mass below z while the
+    // exact model concentrates: max-exp(n) ≥ exact-exp(n) is not
+    // guaranteed in general, but both must coincide with the degree tail
+    // at σ = n.
+    let dataset = dblp_like(0.005, 3);
+    let g = dataset.graph.graph();
+    let cfg = QcConfig::new(0.5, 5);
+    let analytical = AnalyticalModel::new(g, &cfg);
+    let exact = ExactModel::new(g, &cfg);
+    let n = g.num_vertices();
+    let z = cfg.min_required_degree();
+    let tail = scpm_graph::degree::DegreeDistribution::from_graph(g).tail(z);
+    assert!((exact.expected(n) - tail).abs() < 1e-9, "exact at σ=n");
+    assert!((analytical.expected(n) - tail).abs() < 1e-6, "binomial at σ=n");
+}

@@ -1,0 +1,109 @@
+//! Cross-crate properties of the null models on realistic dataset graphs:
+//! monotonicity of `max-exp` (required for the Theorem 5 pruning), the
+//! `δ_lb ≤ δ_sim` ordering, and agreement between the fast recurrence and
+//! the definitional double sum.
+
+use scpm_core::nullmodel::{simulate_expected, AnalyticalModel};
+use scpm_core::{Scpm, ScpmParams};
+use scpm_datasets::{citeseer_like, dblp_like};
+use scpm_quasiclique::QcConfig;
+
+#[test]
+fn max_exp_monotone_on_dataset_graphs() {
+    for (dataset, cfg) in [
+        (dblp_like(0.01, 3), QcConfig::new(0.5, 10)),
+        (citeseer_like(0.01, 3), QcConfig::new(0.5, 5)),
+    ] {
+        let g = dataset.graph.graph();
+        let model = AnalyticalModel::new(g, &cfg);
+        let n = g.num_vertices();
+        let mut prev = -1.0;
+        for sigma in (0..=n).step_by((n / 40).max(1)) {
+            let e = model.expected(sigma);
+            assert!(
+                e >= prev - 1e-12,
+                "{}: max-exp({sigma}) = {e} < previous {prev}",
+                dataset.name
+            );
+            assert!((0.0..=1.0).contains(&e));
+            prev = e;
+        }
+    }
+}
+
+#[test]
+fn recurrence_equals_definition_on_dataset_graph() {
+    let dataset = dblp_like(0.02, 11);
+    let g = dataset.graph.graph();
+    let model = AnalyticalModel::new(g, &QcConfig::new(0.5, 10));
+    let n = g.num_vertices();
+    for sigma in [1, 2, n / 100, n / 10, n / 2, n] {
+        let fast = model.expected_uncached(sigma);
+        let naive = model.expected_naive(sigma);
+        assert!(
+            (fast - naive).abs() < 1e-9,
+            "σ = {sigma}: {fast} vs {naive}"
+        );
+    }
+}
+
+#[test]
+fn delta_lb_lower_bounds_delta_sim() {
+    // δ_lb = ε / max-exp ≤ δ_sim = ε / sim-exp requires max-exp ≥ sim-exp,
+    // which holds because degree feasibility is necessary for coverage.
+    let dataset = dblp_like(0.02, 7);
+    let g = dataset.graph.graph();
+    let cfg = QcConfig::new(0.5, 10);
+    let model = AnalyticalModel::new(g, &cfg);
+    let n = g.num_vertices();
+    for frac in [0.02, 0.05, 0.1] {
+        let sigma = ((n as f64) * frac) as usize;
+        let sim = simulate_expected(g, &cfg, sigma, 20, 3);
+        let bound = model.expected(sigma);
+        let slack = 3.0 * sim.std_dev / (sim.runs as f64).sqrt();
+        assert!(
+            sim.mean <= bound + slack + 1e-12,
+            "σ = {sigma}: sim-exp {} > max-exp {bound}",
+            sim.mean
+        );
+    }
+}
+
+#[test]
+fn scpm_delta_values_are_consistent_with_model() {
+    let dataset = dblp_like(0.01, 5);
+    let g = &dataset.graph;
+    let params = ScpmParams::new(8, 0.5, 8).with_max_attrs(2).with_top_k(0);
+    let scpm = Scpm::new(g, params);
+    let result = scpm.run();
+    let model = scpm.model();
+    for rep in &result.reports {
+        let expect = model.normalize(rep.epsilon, rep.support);
+        assert!(
+            (rep.delta_lb - expect).abs() < 1e-9
+                || (rep.delta_lb.is_infinite() && expect.is_infinite()),
+            "δ_lb mismatch for {:?}",
+            rep.attrs
+        );
+        // ε is a fraction; δ_lb is nonnegative.
+        assert!((0.0..=1.0).contains(&rep.epsilon));
+        assert!(rep.delta_lb >= 0.0);
+    }
+}
+
+#[test]
+fn expected_growth_shape_matches_figures() {
+    // Figures 4/7/9: both models grow with σ and max-exp dominates.
+    let dataset = citeseer_like(0.01, 13);
+    let g = dataset.graph.graph();
+    let cfg = QcConfig::new(0.5, 5);
+    let model = AnalyticalModel::new(g, &cfg);
+    let n = g.num_vertices();
+    let sigmas: Vec<usize> = [0.02, 0.05, 0.1, 0.2].iter().map(|f| ((n as f64) * f) as usize).collect();
+    let bounds: Vec<f64> = sigmas.iter().map(|&s| model.expected(s)).collect();
+    assert!(
+        bounds.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+        "max-exp not growing: {bounds:?}"
+    );
+    assert!(bounds[3] > bounds[0], "max-exp flat over the σ sweep");
+}

@@ -1,0 +1,178 @@
+//! The central end-to-end equivalence: SCPM (with all of its pruning
+//! machinery) must produce exactly the qualifying attribute sets and
+//! patterns of the naive Eclat-plus-full-enumeration baseline, across
+//! random attributed graphs and parameter combinations.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use scpm_core::{run_naive, Scpm, ScpmParams, ScpmResult};
+use scpm_graph::attributed::{AttributedGraph, AttributedGraphBuilder};
+use scpm_quasiclique::SearchOrder;
+
+/// Random attributed graph: planted dense blocks plus noise edges and a
+/// small attribute universe with block-correlated attributes.
+fn random_attributed(seed: u64) -> AttributedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(40..90);
+    let mut b = AttributedGraphBuilder::new(n);
+    let num_attrs = rng.random_range(4..8);
+    let attr_ids: Vec<u32> = (0..num_attrs)
+        .map(|i| b.intern_attr(&format!("a{i}")))
+        .collect();
+
+    // A few dense blocks.
+    let blocks = rng.random_range(2..4);
+    let mut cursor = 0usize;
+    for _ in 0..blocks {
+        let size = rng.random_range(5..10).min(n - cursor);
+        let members: Vec<u32> = (cursor..cursor + size).map(|v| v as u32).collect();
+        cursor += size;
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if rng.random::<f64>() < 0.8 {
+                    b.add_edge(members[i], members[j]);
+                }
+            }
+        }
+        // Block attribute: one or two attributes shared by members.
+        let a = attr_ids[rng.random_range(0..attr_ids.len())];
+        for &v in &members {
+            if rng.random::<f64>() < 0.9 {
+                b.add_attr(v, a);
+            }
+        }
+    }
+    // Noise edges and attributes.
+    for _ in 0..(n * 2) {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    for v in 0..n as u32 {
+        for &a in &attr_ids {
+            if rng.random::<f64>() < 0.25 {
+                b.add_attr(v, a);
+            }
+        }
+    }
+    b.build()
+}
+
+fn qualified_reports(r: &ScpmResult) -> Vec<(Vec<u32>, usize, i64, i64)> {
+    let mut v: Vec<(Vec<u32>, usize, i64, i64)> = r
+        .reports
+        .iter()
+        .filter(|rep| rep.qualified)
+        .map(|rep| {
+            let delta_key = if rep.delta_lb.is_infinite() {
+                i64::MAX
+            } else {
+                (rep.delta_lb * 1e6) as i64
+            };
+            (
+                rep.attrs.clone(),
+                rep.support,
+                (rep.epsilon * 1e9) as i64,
+                delta_key,
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn patterns(r: &ScpmResult) -> Vec<(Vec<u32>, Vec<u32>)> {
+    let mut v: Vec<(Vec<u32>, Vec<u32>)> = r
+        .patterns
+        .iter()
+        .map(|p| (p.attrs.clone(), p.clique.vertices.clone()))
+        .collect();
+    v.sort();
+    v
+}
+
+fn check_equivalence(seed: u64, params: ScpmParams) {
+    let g = random_attributed(seed);
+    let scpm = Scpm::new(&g, params.clone()).run();
+    let naive = run_naive(&g, &params);
+    assert_eq!(
+        qualified_reports(&scpm),
+        qualified_reports(&naive),
+        "qualified sets differ (seed {seed})"
+    );
+    assert_eq!(
+        patterns(&scpm),
+        patterns(&naive),
+        "patterns differ (seed {seed})"
+    );
+    // SCPM may examine fewer sets, never more.
+    assert!(scpm.stats.attribute_sets_examined <= naive.stats.attribute_sets_examined);
+}
+
+#[test]
+fn equivalence_baseline_params() {
+    for seed in 0..8 {
+        check_equivalence(seed, ScpmParams::new(5, 0.6, 4).with_eps_min(0.2).with_top_k(3));
+    }
+}
+
+#[test]
+fn equivalence_with_delta_threshold() {
+    for seed in 0..6 {
+        check_equivalence(
+            seed,
+            ScpmParams::new(5, 0.5, 4)
+                .with_eps_min(0.1)
+                .with_delta_min(2.0)
+                .with_top_k(2),
+        );
+    }
+}
+
+#[test]
+fn equivalence_with_half_density() {
+    for seed in 100..105 {
+        check_equivalence(
+            seed,
+            ScpmParams::new(6, 0.5, 5).with_eps_min(0.15).with_top_k(4),
+        );
+    }
+}
+
+#[test]
+fn equivalence_with_bfs_order() {
+    for seed in 200..204 {
+        check_equivalence(
+            seed,
+            ScpmParams::new(5, 0.6, 4)
+                .with_eps_min(0.2)
+                .with_top_k(3)
+                .with_order(SearchOrder::Bfs),
+        );
+    }
+}
+
+#[test]
+fn equivalence_no_thresholds() {
+    // Without ε/δ thresholds both algorithms examine the same lattice, so
+    // even the full report lists coincide.
+    for seed in 300..303 {
+        let g = random_attributed(seed);
+        let params = ScpmParams::new(8, 0.6, 4).with_top_k(1);
+        let scpm = Scpm::new(&g, params.clone()).run();
+        let naive = run_naive(&g, &params);
+        let all = |r: &ScpmResult| {
+            let mut v: Vec<(Vec<u32>, usize)> = r
+                .reports
+                .iter()
+                .map(|rep| (rep.attrs.clone(), rep.support))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(all(&scpm), all(&naive), "seed {seed}");
+        assert_eq!(patterns(&scpm), patterns(&naive), "seed {seed}");
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end reproduction of Table 1: the complete structural correlation
+//! pattern set of the Figure 1 example, including every column the paper
+//! prints (pattern, size, γ, σ, ε).
+
+use scpm_core::{Scpm, ScpmParams};
+use scpm_graph::figure1::{figure1, paper_vertex};
+
+/// One expected row of Table 1: (attribute names, vertex labels, size, γ,
+/// σ, ε).
+/// (attribute names, vertex labels, size, γ, σ, ε).
+type Table1Row = (&'static [&'static str], &'static [u32], usize, f64, usize, f64);
+
+const TABLE1: &[Table1Row] = &[
+    (&["A"], &[6, 7, 8, 9, 10, 11], 6, 0.60, 11, 0.82),
+    (&["A"], &[3, 4, 5, 6], 4, 1.0, 11, 0.82),
+    (&["A"], &[3, 4, 6, 7], 4, 0.67, 11, 0.82),
+    (&["A"], &[3, 5, 6, 7], 4, 0.67, 11, 0.82),
+    (&["A"], &[3, 6, 7, 8], 4, 0.67, 11, 0.82),
+    (&["B"], &[6, 7, 8, 9, 10, 11], 6, 0.60, 6, 1.0),
+    (&["A", "B"], &[6, 7, 8, 9, 10, 11], 6, 0.60, 6, 1.0),
+];
+
+#[test]
+fn full_table1_with_all_columns() {
+    let graph = figure1();
+    let params = ScpmParams::new(3, 0.6, 4).with_eps_min(0.5);
+    let result = Scpm::new(&graph, params).run();
+    assert_eq!(result.patterns.len(), TABLE1.len(), "row count");
+
+    for (names, labels, size, gamma, sigma, eps) in TABLE1 {
+        let attrs: Vec<u32> = names.iter().map(|n| graph.attr_id(n).unwrap()).collect();
+        let mut vertices: Vec<u32> = labels.iter().map(|&l| paper_vertex(l)).collect();
+        vertices.sort_unstable();
+        let pattern = result
+            .patterns
+            .iter()
+            .find(|p| p.attrs == attrs && p.clique.vertices == vertices)
+            .unwrap_or_else(|| panic!("missing Table 1 row ({names:?}, {labels:?})"));
+        assert_eq!(pattern.clique.size(), *size);
+        assert!(
+            (pattern.clique.min_degree_ratio - gamma).abs() < 0.01,
+            "γ of ({names:?}, {labels:?}): got {}",
+            pattern.clique.min_degree_ratio
+        );
+        let report = result.report_for(&attrs).expect("report exists");
+        assert_eq!(report.support, *sigma);
+        assert!(
+            (report.epsilon - eps).abs() < 0.01,
+            "ε of {names:?}: got {}",
+            report.epsilon
+        );
+    }
+}
+
+#[test]
+fn table1_invariant_under_search_order() {
+    use scpm_quasiclique::SearchOrder;
+    let graph = figure1();
+    let collect = |order| {
+        let params = ScpmParams::new(3, 0.6, 4)
+            .with_eps_min(0.5)
+            .with_order(order);
+        let mut rows: Vec<(Vec<u32>, Vec<u32>)> = Scpm::new(&graph, params)
+            .run()
+            .patterns
+            .into_iter()
+            .map(|p| (p.attrs, p.clique.vertices))
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(collect(SearchOrder::Dfs), collect(SearchOrder::Bfs));
+}
+
+#[test]
+fn table1_via_prelude_facade() {
+    use scpm_suite::prelude::*;
+    let graph = figure1();
+    let params = ScpmParams::new(3, 0.6, 4).with_eps_min(0.5);
+    let result = Scpm::new(&graph, params).run();
+    assert_eq!(result.patterns.len(), 7);
+}
