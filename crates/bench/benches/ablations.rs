@@ -84,7 +84,13 @@ fn bench_engine_prunings(c: &mut Criterion) {
     group.sample_size(10);
     for (name, flags) in engine_flag_variants() {
         group.bench_with_input(BenchmarkId::new("coverage", name), &flags, |b, &f| {
-            b.iter(|| Miner::new(&pg.graph, cfg).with_prune(f).coverage().covered.len())
+            b.iter(|| {
+                Miner::new(&pg.graph, cfg)
+                    .with_prune(f)
+                    .coverage()
+                    .covered
+                    .len()
+            })
         });
     }
     group.finish();

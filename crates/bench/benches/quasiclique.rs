@@ -43,7 +43,13 @@ fn bench_orders(c: &mut Criterion) {
     group.sample_size(10);
     for (name, order) in [("dfs", SearchOrder::Dfs), ("bfs", SearchOrder::Bfs)] {
         group.bench_with_input(BenchmarkId::new("coverage", name), &order, |b, &o| {
-            b.iter(|| Miner::new(&pg.graph, cfg).with_order(o).coverage().covered.len())
+            b.iter(|| {
+                Miner::new(&pg.graph, cfg)
+                    .with_order(o)
+                    .coverage()
+                    .covered
+                    .len()
+            })
         });
     }
     group.finish();

@@ -19,7 +19,10 @@ use scpm_datasets::small_dblp_like;
 use scpm_graph::attributed::AttributedGraph;
 
 /// Averages a metric globally and over its top-10% reports.
-fn averages(result: &ScpmResult, metric: impl Fn(&scpm_core::AttributeSetReport) -> f64) -> (f64, f64) {
+fn averages(
+    result: &ScpmResult,
+    metric: impl Fn(&scpm_core::AttributeSetReport) -> f64,
+) -> (f64, f64) {
     let mut values: Vec<f64> = result
         .reports
         .iter()
@@ -82,17 +85,35 @@ fn main() {
     // (a)+(d): γmin sweep.
     for gamma in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
         let result = run(graph, sigma_default, gamma, 10);
-        emit("fig10a_eps", "fig10d_delta", "gamma_min", format!("{gamma}"), &result);
+        emit(
+            "fig10a_eps",
+            "fig10d_delta",
+            "gamma_min",
+            format!("{gamma}"),
+            &result,
+        );
     }
     // (b)+(e): min_size sweep.
     for min_size in [10, 11, 12, 13, 14, 15] {
         let result = run(graph, sigma_default, 0.5, min_size);
-        emit("fig10b_eps", "fig10e_delta", "min_size", format!("{min_size}"), &result);
+        emit(
+            "fig10b_eps",
+            "fig10e_delta",
+            "min_size",
+            format!("{min_size}"),
+            &result,
+        );
     }
     // (c)+(f): σmin sweep (paper: 100–350).
     for paper_sigma in [100.0, 150.0, 200.0, 250.0, 300.0, 350.0] {
         let sigma_min = scaled_threshold(paper_sigma, scale, 5);
         let result = run(graph, sigma_min, 0.5, 10);
-        emit("fig10c_eps", "fig10f_delta", "sigma_min", format!("{sigma_min}"), &result);
+        emit(
+            "fig10c_eps",
+            "fig10f_delta",
+            "sigma_min",
+            format!("{sigma_min}"),
+            &result,
+        );
     }
 }

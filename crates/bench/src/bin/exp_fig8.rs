@@ -71,7 +71,10 @@ fn main() {
         delta_min: 1.0,
         k: 5,
     };
-    println!("# defaults: gamma=0.5 min_size=11 sigma_min={} eps_min=0.1 delta_min=1 k=5", defaults.sigma_min);
+    println!(
+        "# defaults: gamma=0.5 min_size=11 sigma_min={} eps_min=0.1 delta_min=1 k=5",
+        defaults.sigma_min
+    );
     println!("# columns: panel\tparam\tvalue\tscpm_dfs_s\tscpm_bfs_s\tnaive_s");
 
     // (a) runtime × γmin
@@ -82,26 +85,38 @@ fn main() {
     }
     // (b) runtime × min_size
     for min_size in [11, 12, 13, 14, 15] {
-        let p = params_from(&Defaults { min_size, ..defaults });
+        let p = params_from(&Defaults {
+            min_size,
+            ..defaults
+        });
         let (d, b, n) = measure(graph, &p, with_naive);
         row!("fig8b", "min_size", min_size, fmt(d), fmt(b), fmt(n));
     }
     // (c) runtime × σmin (paper sweeps 150–350 on SmallDBLP)
     for paper_sigma in [150.0, 200.0, 250.0, 300.0, 350.0] {
         let sigma_min = scaled_threshold(paper_sigma, scale, 5);
-        let p = params_from(&Defaults { sigma_min, ..defaults });
+        let p = params_from(&Defaults {
+            sigma_min,
+            ..defaults
+        });
         let (d, b, n) = measure(graph, &p, with_naive);
         row!("fig8c", "sigma_min", sigma_min, fmt(d), fmt(b), fmt(n));
     }
     // (d) runtime × εmin
     for eps_min in [0.1, 0.15, 0.2, 0.25] {
-        let p = params_from(&Defaults { eps_min, ..defaults });
+        let p = params_from(&Defaults {
+            eps_min,
+            ..defaults
+        });
         let (d, b, n) = measure(graph, &p, with_naive);
         row!("fig8d", "eps_min", eps_min, fmt(d), fmt(b), fmt(n));
     }
     // (e) runtime × δmin
     for delta_min in [10.0, 20.0, 30.0, 40.0, 50.0] {
-        let p = params_from(&Defaults { delta_min, ..defaults });
+        let p = params_from(&Defaults {
+            delta_min,
+            ..defaults
+        });
         let (d, b, n) = measure(graph, &p, with_naive);
         row!("fig8e", "delta_min", delta_min, fmt(d), fmt(b), fmt(n));
     }
@@ -118,7 +133,6 @@ fn main() {
         row!("fig8f", "k", k, fmt(d), "-", fmt(naive));
     }
 }
-
 
 fn fmt(v: f64) -> String {
     if v.is_nan() {

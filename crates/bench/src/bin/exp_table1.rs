@@ -40,5 +40,8 @@ fn main() {
     for row in rows {
         println!("{row}");
     }
-    println!("# paper reports 7 patterns; found {}", result.patterns.len());
+    println!(
+        "# paper reports 7 patterns; found {}",
+        result.patterns.len()
+    );
 }

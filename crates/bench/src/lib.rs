@@ -26,7 +26,9 @@ pub fn arg_usize(i: usize, default: usize) -> usize {
 
 /// Parses the `i`-th CLI argument as a string, with a default.
 pub fn arg_str(i: usize, default: &str) -> String {
-    std::env::args().nth(i).unwrap_or_else(|| default.to_string())
+    std::env::args()
+        .nth(i)
+        .unwrap_or_else(|| default.to_string())
 }
 
 /// Measures one closure, returning `(result, seconds)`.

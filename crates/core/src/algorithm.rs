@@ -135,8 +135,7 @@ impl<'g> Scpm<'g> {
             });
             if qualified {
                 result.stats.attribute_sets_qualified += 1;
-                let (cliques, nodes) =
-                    engine.top_k(tids.as_slice(), parent_cover, self.params.k);
+                let (cliques, nodes) = engine.top_k(tids.as_slice(), parent_cover, self.params.k);
                 result.stats.qc_nodes_topk += nodes;
                 for clique in cliques {
                     result.patterns.push(Pattern {

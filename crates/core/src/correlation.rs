@@ -56,7 +56,11 @@ impl<'g> CorrelationEngine<'g> {
 
     /// The mining vertex set for `S`: `V(S)` restricted by the parent cover
     /// when Theorem 3 is active.
-    fn mining_set(&self, vertices: &[VertexId], parent_cover: Option<&[VertexId]>) -> Vec<VertexId> {
+    fn mining_set(
+        &self,
+        vertices: &[VertexId],
+        parent_cover: Option<&[VertexId]>,
+    ) -> Vec<VertexId> {
         match parent_cover {
             Some(cover) if self.vertex_pruning => {
                 let mut out = Vec::with_capacity(cover.len().min(vertices.len()));

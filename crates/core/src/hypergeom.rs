@@ -213,7 +213,10 @@ mod tests {
             let hyper = hypergeometric_tail(n, alpha, draws, z, &lnf);
             let binom = binomial_tail(alpha, z, rho, &lnf);
             let gap = (hyper - binom).abs();
-            assert!(gap <= last_gap + 1e-12, "gap must shrink: {gap} vs {last_gap}");
+            assert!(
+                gap <= last_gap + 1e-12,
+                "gap must shrink: {gap} vs {last_gap}"
+            );
             last_gap = gap;
         }
         assert!(last_gap < 1e-3, "large-population gap: {last_gap}");
@@ -255,10 +258,7 @@ mod tests {
         for sigma in [10usize, 40, 80] {
             let e = exact.expected(sigma);
             let b = binom.expected(sigma);
-            assert!(
-                (e - b).abs() < 0.02,
-                "σ={sigma}: exact {e} vs binomial {b}"
-            );
+            assert!((e - b).abs() < 0.02, "σ={sigma}: exact {e} vs binomial {b}");
         }
     }
 

@@ -39,8 +39,7 @@ impl<'g> Scpm<'g> {
         let mut size = 1usize;
         while level.len() >= 2 && size < self.params().max_attrs {
             // Survivor index for the Apriori subset check.
-            let survivors: HashSet<&[AttrId]> =
-                level.iter().map(|e| e.attrs.as_slice()).collect();
+            let survivors: HashSet<&[AttrId]> = level.iter().map(|e| e.attrs.as_slice()).collect();
             let mut next: Vec<EnumEntry> = Vec::new();
             let mut cover_buf: Vec<VertexId> = Vec::new();
             let mut subset_buf: Vec<AttrId> = Vec::with_capacity(size + 1);
@@ -59,10 +58,13 @@ impl<'g> Scpm<'g> {
                     // parents; the remaining k−1 subsets are real checks.
                     let all_subsets_alive = (0..size.saturating_sub(1)).all(|drop| {
                         subset_buf.clear();
-                        subset_buf
-                            .extend(attrs.iter().enumerate().filter(|&(p, _)| p != drop).map(
-                                |(_, &x)| x,
-                            ));
+                        subset_buf.extend(
+                            attrs
+                                .iter()
+                                .enumerate()
+                                .filter(|&(p, _)| p != drop)
+                                .map(|(_, &x)| x),
+                        );
                         survivors.contains(subset_buf.as_slice())
                     });
                     if !all_subsets_alive {

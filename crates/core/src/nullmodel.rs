@@ -647,10 +647,7 @@ mod tests {
             let eps = 0.3;
             let lb = analytical.normalize(eps, sigma);
             let ds = sim.normalize(eps, sigma);
-            assert!(
-                lb <= ds + 1e-9,
-                "σ {sigma}: δ_lb {lb} > δ_sim {ds}"
-            );
+            assert!(lb <= ds + 1e-9, "σ {sigma}: δ_lb {lb} > δ_sim {ds}");
         }
     }
 

@@ -20,12 +20,7 @@ impl Pattern {
     /// Formats the pattern like the paper's tables:
     /// `({attr, attr}, {v, v, ...})  size  γ`.
     pub fn display(&self, g: &AttributedGraph) -> String {
-        let vertices: Vec<String> = self
-            .clique
-            .vertices
-            .iter()
-            .map(|v| v.to_string())
-            .collect();
+        let vertices: Vec<String> = self.clique.vertices.iter().map(|v| v.to_string()).collect();
         format!(
             "({}, {{{}}}) size={} gamma={:.2}",
             g.format_attr_set(&self.attrs),
@@ -122,7 +117,11 @@ impl ScpmResult {
         self.top_by(limit, |r| r.delta_lb)
     }
 
-    fn top_by(&self, limit: usize, key: impl Fn(&AttributeSetReport) -> f64) -> Vec<&AttributeSetReport> {
+    fn top_by(
+        &self,
+        limit: usize,
+        key: impl Fn(&AttributeSetReport) -> f64,
+    ) -> Vec<&AttributeSetReport> {
         let mut refs: Vec<&AttributeSetReport> = self.reports.iter().collect();
         refs.sort_by(|a, b| {
             key(b)
@@ -154,12 +153,18 @@ impl ScpmResult {
 
 /// Convenience for tests and examples: patterns as
 /// `(attr names, vertex set)` pairs.
-pub fn describe_patterns(g: &AttributedGraph, patterns: &[Pattern]) -> Vec<(Vec<String>, Vec<VertexId>)> {
+pub fn describe_patterns(
+    g: &AttributedGraph,
+    patterns: &[Pattern],
+) -> Vec<(Vec<String>, Vec<VertexId>)> {
     patterns
         .iter()
         .map(|p| {
             (
-                p.attrs.iter().map(|&a| g.attr_name(a).to_string()).collect(),
+                p.attrs
+                    .iter()
+                    .map(|&a| g.attr_name(a).to_string())
+                    .collect(),
                 p.clique.vertices.clone(),
             )
         })

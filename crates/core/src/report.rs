@@ -23,8 +23,14 @@ pub fn render_top_tables(g: &AttributedGraph, result: &ScpmResult, limit: usize)
     let mut out = String::new();
     let sections: [(&str, Vec<&AttributeSetReport>); 3] = [
         ("top support (σ)", result.top_by_support(limit)),
-        ("top structural correlation (ε)", result.top_by_epsilon(limit)),
-        ("top normalized structural correlation (δlb)", result.top_by_delta(limit)),
+        (
+            "top structural correlation (ε)",
+            result.top_by_epsilon(limit),
+        ),
+        (
+            "top normalized structural correlation (δlb)",
+            result.top_by_delta(limit),
+        ),
     ];
     for (title, rows) in sections {
         out.push_str(&format!("== {title} ==\n"));

@@ -21,10 +21,7 @@ use crate::synthetic::{generate, DatasetSpec};
 pub fn cache_path(dir: &Path, spec: &DatasetSpec, scale: f64, seed: u64) -> PathBuf {
     // Scale is embedded with fixed precision so path equality matches
     // value equality for the scales in practical use.
-    dir.join(format!(
-        "{}-s{:.6}-seed{}.snap",
-        spec.name, scale, seed
-    ))
+    dir.join(format!("{}-s{:.6}-seed{}.snap", spec.name, scale, seed))
 }
 
 /// Loads the cached snapshot for `(spec, scale, seed)` or generates the

@@ -13,6 +13,5 @@ pub mod vocab;
 
 pub use cache::load_or_generate;
 pub use synthetic::{
-    citeseer_like, dblp_like, generate, lastfm_like, small_dblp_like, DatasetSpec,
-    SyntheticDataset,
+    citeseer_like, dblp_like, generate, lastfm_like, small_dblp_like, DatasetSpec, SyntheticDataset,
 };

@@ -214,7 +214,12 @@ pub fn generate(spec: &DatasetSpec, scale: f64, seed: u64) -> SyntheticDataset {
             }
         })
         .collect();
-    let graph = model.assign(&planted, Some(&term_vocab), Some(&topic_vocab), seed ^ 0x9e37_79b9);
+    let graph = model.assign(
+        &planted,
+        Some(&term_vocab),
+        Some(&topic_vocab),
+        seed ^ 0x9e37_79b9,
+    );
     SyntheticDataset {
         graph,
         communities: planted.communities,
@@ -356,10 +361,8 @@ mod tests {
         assert_eq!(plain.graph.num_vertices(), coauth.graph.num_vertices());
         assert!(coauth.graph.num_edges() > plain.graph.num_edges());
         // The overlay's clique spectrum shows up as triangles.
-        let t_plain =
-            scpm_graph::cluster::clustering(plain.graph.graph()).total_triangles;
-        let t_coauth =
-            scpm_graph::cluster::clustering(coauth.graph.graph()).total_triangles;
+        let t_plain = scpm_graph::cluster::clustering(plain.graph.graph()).total_triangles;
+        let t_coauth = scpm_graph::cluster::clustering(coauth.graph.graph()).total_triangles;
         assert!(
             t_coauth > t_plain,
             "overlay triangles {t_coauth} vs plain {t_plain}"

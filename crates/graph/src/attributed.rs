@@ -174,7 +174,10 @@ impl AttributedGraphBuilder {
     /// # Panics
     /// Panics if `a` was not interned or `v` is out of range.
     pub fn add_attr(&mut self, v: VertexId, a: AttrId) {
-        assert!((a as usize) < self.names.len(), "attribute {a} not interned");
+        assert!(
+            (a as usize) < self.names.len(),
+            "attribute {a} not interned"
+        );
         self.attrs[v as usize].push(a);
     }
 

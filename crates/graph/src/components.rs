@@ -65,7 +65,10 @@ impl Components {
     /// smallest component index). Empty for an empty graph.
     pub fn largest(&self) -> Vec<VertexId> {
         let sizes = self.sizes();
-        let Some((best, _)) = sizes.iter().enumerate().max_by_key(|&(i, &s)| (s, usize::MAX - i))
+        let Some((best, _)) = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, usize::MAX - i))
         else {
             return Vec::new();
         };

@@ -78,11 +78,7 @@ impl DegreeDistribution {
         if self.n == 0 {
             return 0.0;
         }
-        let c: usize = self
-            .counts
-            .iter()
-            .skip(alpha)
-            .sum();
+        let c: usize = self.counts.iter().skip(alpha).sum();
         c as f64 / self.n as f64
     }
 }

@@ -19,7 +19,10 @@ use crate::csr::{CsrGraph, VertexId};
 /// # Panics
 /// Panics if `k` is odd, `k ≥ n`, or `beta ∉ [0, 1]`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
-    assert!(k.is_multiple_of(2), "k must be even (k/2 neighbors per side)");
+    assert!(
+        k.is_multiple_of(2),
+        "k must be even (k/2 neighbors per side)"
+    );
     assert!(k < n, "k must be smaller than n");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);

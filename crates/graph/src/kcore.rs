@@ -160,7 +160,11 @@ mod tests {
             let g = crate::generators::erdos_renyi::gnm(40, 90, seed);
             let d = CoreDecomposition::of(&g);
             for k in 0..=d.degeneracy + 1 {
-                assert_eq!(d.k_core(k), kcore_naive(&g, k as usize), "seed {seed} k {k}");
+                assert_eq!(
+                    d.k_core(k),
+                    kcore_naive(&g, k as usize),
+                    "seed {seed} k {k}"
+                );
             }
         }
     }

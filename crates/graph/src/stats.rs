@@ -74,11 +74,7 @@ impl GraphSummary {
     pub fn of_attributed(g: &AttributedGraph) -> Self {
         let mut s = Self::of_graph(g.graph());
         s.attributes = g.num_attributes();
-        let pairs: usize = g
-            .graph()
-            .vertices()
-            .map(|v| g.attributes_of(v).len())
-            .sum();
+        let pairs: usize = g.graph().vertices().map(|v| g.attributes_of(v).len()).sum();
         s.mean_attrs_per_vertex = if s.vertices == 0 {
             0.0
         } else {

@@ -118,10 +118,7 @@ fn explore(class: Vec<(Vec<AttrId>, Tidset)>, config: &EclatConfig, out: &mut Ve
 
 /// The items of `src` missing from `base` (CHARM merges whole generators).
 fn last_items(src: &[AttrId], base: &[AttrId]) -> Vec<AttrId> {
-    src.iter()
-        .copied()
-        .filter(|x| !base.contains(x))
-        .collect()
+    src.iter().copied().filter(|x| !base.contains(x)).collect()
 }
 
 /// Removes itemsets whose tidset equals a proper superset's (non-closed

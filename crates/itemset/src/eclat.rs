@@ -177,7 +177,9 @@ mod tests {
         assert!(sets.contains(&(vec![a, b], 6)));
         assert!(sets.contains(&(vec![a, c], 3)));
         assert!(sets.contains(&(vec![a, d], 3)));
-        assert!(!sets.iter().any(|(items, _)| items.contains(&g.attr_id("E").unwrap())));
+        assert!(!sets
+            .iter()
+            .any(|(items, _)| items.contains(&g.attr_id("E").unwrap())));
         // {B,C}: only vertex 6 → infrequent at σmin=3.
         assert!(!sets.contains(&(vec![b, c], 1)));
     }

@@ -9,7 +9,10 @@ use scpm_graph::csr::{CsrGraph, VertexId};
 /// (not only maximal ones).
 pub fn all_quasi_cliques(g: &CsrGraph, cfg: &QcConfig) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
-    assert!(n <= 22, "brute force is exponential; {n} vertices is too many");
+    assert!(
+        n <= 22,
+        "brute force is exponential; {n} vertices is too many"
+    );
     let mut out = Vec::new();
     for mask in 1u32..(1u32 << n) {
         if (mask.count_ones() as usize) < cfg.min_size {
@@ -103,10 +106,7 @@ mod tests {
     #[test]
     fn top_k_ordering() {
         // Triangle {0,1,2} and 4-cycle {3,4,5,6}.
-        let g = graph_from_edges(
-            7,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6), (6, 3)],
-        );
+        let g = graph_from_edges(7, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6), (6, 3)]);
         let cfg = QcConfig::new(0.6, 3);
         let top = top_k(&g, &cfg, 2);
         assert_eq!(top.len(), 2);

@@ -38,9 +38,7 @@
 
 use std::collections::VecDeque;
 
-use crate::bounds::{
-    candidate_feasible_in, critical_member, extension_interval, SizeInterval,
-};
+use crate::bounds::{candidate_feasible_in, critical_member, extension_interval, SizeInterval};
 use crate::config::QcConfig;
 use crate::node::{candidate_feasible, member_feasible, SearchNode};
 use crate::reduce::reduce_vertices;
@@ -465,8 +463,7 @@ impl<'a> Ctx<'a> {
                     let x_len = node.x.len();
                     let c_len = node.cands.len();
                     if self.prune.bounds {
-                        match extension_interval(&self.cfg, &node.x_indeg, x_exdeg, x_len, c_len)
-                        {
+                        match extension_interval(&self.cfg, &node.x_indeg, x_exdeg, x_len, c_len) {
                             None => {
                                 stats.pruned_feasibility += 1;
                                 return Reduction::Dead;
@@ -637,8 +634,7 @@ impl<'a> Ctx<'a> {
         if self.prune.lookahead && node.upper_size() >= self.cfg.min_size {
             let req = self.cfg.required_degree(node.upper_size()) as u32;
             let x_ok = (0..node.x.len()).all(|i| node.x_indeg[i] + x_exdeg[i] >= req);
-            let c_ok =
-                (0..node.cands.len()).all(|j| node.cands_indeg[j] + cands_exdeg[j] >= req);
+            let c_ok = (0..node.cands.len()).all(|j| node.cands_indeg[j] + cands_exdeg[j] >= req);
             if x_ok && c_ok {
                 let mut set = node.x.clone();
                 set.extend_from_slice(&node.cands);
@@ -1025,8 +1021,11 @@ mod tests {
     fn all_prune_flag_combinations_agree_on_figure1() {
         let g = figure1();
         let cfg = QcConfig::new(0.6, 4);
-        let baseline_sets = sets(&Miner::new(g.graph(), cfg).with_prune(PruneFlags::none())
-            .enumerate_maximal());
+        let baseline_sets = sets(
+            &Miner::new(g.graph(), cfg)
+                .with_prune(PruneFlags::none())
+                .enumerate_maximal(),
+        );
         let baseline_cov = Miner::new(g.graph(), cfg)
             .with_prune(PruneFlags::none())
             .coverage()
@@ -1057,9 +1056,9 @@ mod tests {
             lookahead: false,
             ..PruneFlags::default()
         };
-        let out = Miner::new(&g, QcConfig::new(1.0, 3)).with_prune(flags).run(
-            MiningMode::EnumerateMaximal,
-        );
+        let out = Miner::new(&g, QcConfig::new(1.0, 3))
+            .with_prune(flags)
+            .run(MiningMode::EnumerateMaximal);
         assert_eq!(sets(&out), vec![(0..6).collect::<Vec<_>>()]);
         assert!(out.stats.pruned_cover > 0, "stats: {:?}", out.stats);
     }

@@ -34,9 +34,7 @@ pub fn reduce_vertices(g: &CsrGraph, cfg: &QcConfig) -> Vec<VertexId> {
             }
         }
     }
-    (0..n as VertexId)
-        .filter(|&v| alive[v as usize])
-        .collect()
+    (0..n as VertexId).filter(|&v| alive[v as usize]).collect()
 }
 
 /// Splits a sorted vertex set into connected components (restricted to

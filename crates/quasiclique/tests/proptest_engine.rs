@@ -24,7 +24,10 @@ fn small_graph() -> impl Strategy<Value = CsrGraph> {
 }
 
 fn qc_params() -> impl Strategy<Value = QcConfig> {
-    (prop_oneof![Just(0.5), Just(0.6), Just(0.75), Just(1.0)], 3usize..=5)
+    (
+        prop_oneof![Just(0.5), Just(0.6), Just(0.75), Just(1.0)],
+        3usize..=5,
+    )
         .prop_map(|(gamma, min_size)| QcConfig::new(gamma, min_size))
 }
 

@@ -33,7 +33,10 @@ fn main() {
     let sim = SimulationModel::new(g, cfg, 30, 7);
 
     println!("\nExpected structural correlation by support (Figure 4 shape):");
-    println!("{:>8}  {:>12}  {:>12}  {:>12}  {:>10}", "σ", "max-exp", "exact-exp", "sim-exp", "sim-std");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}  {:>10}",
+        "σ", "max-exp", "exact-exp", "sim-exp", "sim-std"
+    );
     let n = g.num_vertices();
     // The paper's Figure 4 sweeps σ up to ~10% of |V|; far beyond that the
     // simulation must *disprove* quasi-clique membership for most of the

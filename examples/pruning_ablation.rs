@@ -39,7 +39,12 @@ fn main() {
         .with_max_attrs(2);
 
     println!("== attribute-level rules (Theorems 3-5) ==");
-    run("all on", base.clone(), ScpmPruneFlags::default(), PruneFlags::default());
+    run(
+        "all on",
+        base.clone(),
+        ScpmPruneFlags::default(),
+        PruneFlags::default(),
+    );
     run(
         "no Theorem 3",
         base.clone(),

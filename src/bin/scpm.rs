@@ -119,7 +119,8 @@ impl Flags {
     }
 
     fn required(&self, name: &str) -> Result<&str, String> {
-        self.str(name).ok_or_else(|| format!("--{name} is required"))
+        self.str(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -285,10 +286,8 @@ fn generate(flags: &Flags) -> Result<(), String> {
 fn stats(flags: &Flags) -> Result<(), String> {
     let graph = load(flags)?;
     print!("{}", GraphSummary::of_attributed(&graph));
-    let mut supports: Vec<(usize, u32)> = graph
-        .attributes()
-        .map(|a| (graph.support(a), a))
-        .collect();
+    let mut supports: Vec<(usize, u32)> =
+        graph.attributes().map(|a| (graph.support(a), a)).collect();
     supports.sort_unstable_by(|a, b| b.cmp(a));
     println!("top attributes by support:");
     for (support, a) in supports.into_iter().take(10) {
@@ -300,10 +299,7 @@ fn stats(flags: &Flags) -> Result<(), String> {
 fn nullmodel(flags: &Flags) -> Result<(), String> {
     let graph = load(flags)?;
     let g = graph.graph();
-    let cfg = QcConfig::new(
-        flags.num("gamma", 0.5f64)?,
-        flags.num("min-size", 5usize)?,
-    );
+    let cfg = QcConfig::new(flags.num("gamma", 0.5f64)?, flags.num("min-size", 5usize)?);
     let points = flags.num("points", 10usize)?.max(2);
     let sims = flags.num("sims", 20usize)?;
     let seed = flags.num("seed", 42u64)?;
@@ -360,8 +356,15 @@ fn closed(flags: &Flags) -> Result<(), String> {
     let limit = flags.num("limit", 20usize)?;
     let mut sets = scpm_itemset::closed_itemsets(&graph, &cfg);
     let total = sets.len();
-    sets.sort_by(|a, b| b.support().cmp(&a.support()).then_with(|| a.items.cmp(&b.items)));
-    println!("{total} closed attribute sets (showing {})", limit.min(total));
+    sets.sort_by(|a, b| {
+        b.support()
+            .cmp(&a.support())
+            .then_with(|| a.items.cmp(&b.items))
+    });
+    println!(
+        "{total} closed attribute sets (showing {})",
+        limit.min(total)
+    );
     for c in sets.iter().take(limit) {
         println!(
             "  {:<48} σ={}",
@@ -406,8 +409,18 @@ mod tests {
     #[test]
     fn params_builder_respects_flags() {
         let f = parse(&[
-            "--sigma-min", "50", "--gamma", "0.7", "--min-size", "6", "--eps-min", "0.2",
-            "--order", "bfs", "--top-k", "3",
+            "--sigma-min",
+            "50",
+            "--gamma",
+            "0.7",
+            "--min-size",
+            "6",
+            "--eps-min",
+            "0.2",
+            "--order",
+            "bfs",
+            "--top-k",
+            "3",
         ])
         .unwrap();
         let p = params_from(&f).unwrap();

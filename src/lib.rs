@@ -9,7 +9,10 @@
 //! let g = figure1();
 //! assert_eq!(g.num_vertices(), 11);
 //! ```
-
+//!
+//! The remainder of this page is the project README; its Rust snippet runs
+//! as a doc-test, keeping the README quickstart compiling verbatim.
+#![doc = include_str!("../README.md")]
 #![warn(missing_docs)]
 
 pub use scpm_core as core;

@@ -56,7 +56,11 @@ fn mine_reproduces_table1_via_process() {
         "--eps-min",
         "0.5",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("top structural correlation"));
     assert!(stdout.contains("patterns"));
@@ -80,7 +84,11 @@ fn induce_reports_epsilon_and_pvalue() {
         "--pvalue-sims",
         "9",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("ε = 1.0000"), "stdout: {stdout}");
     assert!(stdout.contains("empirical p-value"));
@@ -120,7 +128,10 @@ fn closed_lists_nonredundant_sets() {
     // B-vertex also has A, so {A,B} subsumes it.
     assert!(stdout.contains("{A}"));
     assert!(stdout.contains("{A, B}"));
-    assert!(!stdout.contains(" {B} "), "non-closed {{B}} listed: {stdout}");
+    assert!(
+        !stdout.contains(" {B} "),
+        "non-closed {{B}} listed: {stdout}"
+    );
 }
 
 #[test]
@@ -140,7 +151,11 @@ fn generate_convert_nullmodel_pipeline() {
         "--out",
         text.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = scpm(&[
         "convert",
         "--graph",
@@ -159,7 +174,11 @@ fn generate_convert_nullmodel_pipeline() {
         "--sims",
         "2",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("max-exp"));
     std::fs::remove_dir_all(&dir).ok();

@@ -104,7 +104,10 @@ fn dataset_roundtrips_through_text_format() {
 
     // Mining results on the reloaded graph must be identical (modulo
     // attribute id relabeling, so compare by name).
-    let params = ScpmParams::new(8, 0.5, 8).with_eps_min(0.2).with_top_k(2).with_max_attrs(2);
+    let params = ScpmParams::new(8, 0.5, 8)
+        .with_eps_min(0.2)
+        .with_top_k(2)
+        .with_max_attrs(2);
     let name_rows = |g: &scpm_graph::AttributedGraph, r: &scpm_core::ScpmResult| {
         let mut rows: Vec<(Vec<String>, usize, i64)> = r
             .reports
@@ -112,8 +115,11 @@ fn dataset_roundtrips_through_text_format() {
             .map(|rep| {
                 // Attribute ids are assigned in file order on reload, so
                 // canonicalize each set by name.
-                let mut names: Vec<String> =
-                    rep.attrs.iter().map(|&a| g.attr_name(a).to_string()).collect();
+                let mut names: Vec<String> = rep
+                    .attrs
+                    .iter()
+                    .map(|&a| g.attr_name(a).to_string())
+                    .collect();
                 names.sort();
                 (names, rep.support, (rep.epsilon * 1e9) as i64)
             })

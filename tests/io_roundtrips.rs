@@ -47,7 +47,10 @@ fn text_roundtrip_preserves_mining_results() {
     let g2 = load_attributed(&path).unwrap();
     assert_eq!(g2.num_vertices(), g.num_vertices());
     assert_eq!(g2.num_edges(), g.num_edges());
-    assert_eq!(canonical_named(g, &mine(g)), canonical_named(&g2, &mine(&g2)));
+    assert_eq!(
+        canonical_named(g, &mine(g)),
+        canonical_named(&g2, &mine(&g2))
+    );
     std::fs::remove_file(&path).ok();
 }
 
@@ -63,7 +66,10 @@ fn snapshot_roundtrip_preserves_mining_results() {
     assert_eq!(g2.num_vertices(), g.num_vertices());
     assert_eq!(g2.num_edges(), g.num_edges());
     assert_eq!(g2.num_attributes(), g.num_attributes());
-    assert_eq!(canonical_named(g, &mine(g)), canonical_named(&g2, &mine(&g2)));
+    assert_eq!(
+        canonical_named(g, &mine(g)),
+        canonical_named(&g2, &mine(&g2))
+    );
     std::fs::remove_file(&path).ok();
 }
 
@@ -94,12 +100,12 @@ fn snapshot_is_much_smaller_or_equal_and_identical_on_reload() {
 #[test]
 fn corrupted_text_inputs_fail_with_line_numbers() {
     let cases: &[(&str, usize)] = &[
-        ("v 3\ne 0 9\n", 2),          // endpoint out of range
-        ("v 3\na 9 red\n", 2),        // vertex out of range
-        ("v x\n", 1),                 // bad count
-        ("v 3\nv 4\n", 2),            // duplicate header
-        ("e 0 1\n", 1),               // edge before header
-        ("v 3\nz 0 1\n", 2),          // unknown directive
+        ("v 3\ne 0 9\n", 2),   // endpoint out of range
+        ("v 3\na 9 red\n", 2), // vertex out of range
+        ("v x\n", 1),          // bad count
+        ("v 3\nv 4\n", 2),     // duplicate header
+        ("e 0 1\n", 1),        // edge before header
+        ("v 3\nz 0 1\n", 2),   // unknown directive
     ];
     for (text, line) in cases {
         match read_attributed(text.as_bytes()) {

@@ -29,7 +29,11 @@ fn three_models_relate_correctly_on_dblp_like() {
         // Degree feasibility is necessary, not sufficient: both analytical
         // models upper-bound the simulated coverage (up to noise).
         let noise = 3.0 * s.std_dev / (s.runs as f64).sqrt() + 1e-9;
-        assert!(s.mean <= a + noise, "σ={sigma}: sim {} > binomial {a}", s.mean);
+        assert!(
+            s.mean <= a + noise,
+            "σ={sigma}: sim {} > binomial {a}",
+            s.mean
+        );
         assert!(s.mean <= e + noise, "σ={sigma}: sim {} > exact {e}", s.mean);
         // Binomial and hypergeometric agree to first order away from σ≈n.
         assert!((a - e).abs() < 0.05, "σ={sigma}: binomial {a} vs exact {e}");
@@ -99,5 +103,8 @@ fn delta_exact_at_least_delta_lb_when_binomial_oversmears() {
     let z = cfg.min_required_degree();
     let tail = scpm_graph::degree::DegreeDistribution::from_graph(g).tail(z);
     assert!((exact.expected(n) - tail).abs() < 1e-9, "exact at σ=n");
-    assert!((analytical.expected(n) - tail).abs() < 1e-6, "binomial at σ=n");
+    assert!(
+        (analytical.expected(n) - tail).abs() < 1e-6,
+        "binomial at σ=n"
+    );
 }

@@ -99,7 +99,10 @@ fn expected_growth_shape_matches_figures() {
     let cfg = QcConfig::new(0.5, 5);
     let model = AnalyticalModel::new(g, &cfg);
     let n = g.num_vertices();
-    let sigmas: Vec<usize> = [0.02, 0.05, 0.1, 0.2].iter().map(|f| ((n as f64) * f) as usize).collect();
+    let sigmas: Vec<usize> = [0.02, 0.05, 0.1, 0.2]
+        .iter()
+        .map(|f| ((n as f64) * f) as usize)
+        .collect();
     let bounds: Vec<f64> = sigmas.iter().map(|&s| model.expected(s)).collect();
     assert!(
         bounds.windows(2).all(|w| w[0] <= w[1] + 1e-12),

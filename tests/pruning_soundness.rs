@@ -53,7 +53,9 @@ fn scpm_flag_variants() -> Vec<ScpmPruneFlags> {
 #[test]
 fn figure1_invariant_under_scpm_flag_combinations() {
     let g = figure1();
-    let base = ScpmParams::new(3, 0.6, 4).with_eps_min(0.5).with_delta_min(0.5);
+    let base = ScpmParams::new(3, 0.6, 4)
+        .with_eps_min(0.5)
+        .with_delta_min(0.5);
     let baseline = canonical(&Scpm::new(&g, base.clone()).run());
     for flags in scpm_flag_variants() {
         let mut params = base.clone();

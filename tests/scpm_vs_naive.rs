@@ -114,7 +114,10 @@ fn check_equivalence(seed: u64, params: ScpmParams) {
 #[test]
 fn equivalence_baseline_params() {
     for seed in 0..8 {
-        check_equivalence(seed, ScpmParams::new(5, 0.6, 4).with_eps_min(0.2).with_top_k(3));
+        check_equivalence(
+            seed,
+            ScpmParams::new(5, 0.6, 4).with_eps_min(0.2).with_top_k(3),
+        );
     }
 }
 

@@ -8,7 +8,14 @@ use scpm_graph::figure1::{figure1, paper_vertex};
 /// One expected row of Table 1: (attribute names, vertex labels, size, γ,
 /// σ, ε).
 /// (attribute names, vertex labels, size, γ, σ, ε).
-type Table1Row = (&'static [&'static str], &'static [u32], usize, f64, usize, f64);
+type Table1Row = (
+    &'static [&'static str],
+    &'static [u32],
+    usize,
+    f64,
+    usize,
+    f64,
+);
 
 const TABLE1: &[Table1Row] = &[
     (&["A"], &[6, 7, 8, 9, 10, 11], 6, 0.60, 11, 0.82),

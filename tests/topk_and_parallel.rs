@@ -72,7 +72,10 @@ fn patterns_are_quasi_cliques_of_induced_graphs() {
         // Q ⊆ V(S).
         let vs = g.vertices_with_all(&p.attrs);
         assert!(
-            p.clique.vertices.iter().all(|v| vs.binary_search(v).is_ok()),
+            p.clique
+                .vertices
+                .iter()
+                .all(|v| vs.binary_search(v).is_ok()),
             "pattern vertices outside V(S)"
         );
         // Q satisfies the degree property inside G(S).

@@ -1,0 +1,224 @@
+//! Offline vendored stand-in for
+//! [`criterion`](https://crates.io/crates/criterion), keeping the
+//! bench-authoring API (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`)
+//! while replacing the statistical machinery with a single-shot timer.
+//!
+//! Each registered routine runs its body exactly once and reports the
+//! wall-clock time as a TSV row on stdout. That keeps `cargo bench` (and the
+//! bench targets compiled by `cargo test`) fast and dependency-free; when a
+//! real crates.io mirror is available, swapping this shim for the genuine
+//! crate requires no source changes in `crates/bench`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black-box optimization barrier, which the real
+/// criterion also forwards to on recent toolchains.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to every benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (the real crate samples many).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-iteration setup, running it once.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Batch sizing hint (ignored by the single-shot shim).
+#[derive(Debug, Clone, Copy, Default)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    #[default]
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+fn run_one(group: Option<&str>, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!("bench\t{full}\t{:.6}s", b.elapsed.as_secs_f64());
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _parent: &'c mut Criterion,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Sets the sample count (ignored: the shim always runs once).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (ignored by the shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.to_string(), &mut f);
+        self
+    }
+
+    /// Registers and immediately runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.to_string(), &mut f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point (mirrors criterion's macro; requires
+/// `harness = false` on the bench target, as with the real crate).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_routine() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("unit", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_runs_each_function_once() {
+        let mut c = Criterion::default();
+        let mut runs = Vec::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("a", |b| b.iter(|| runs.push("a")));
+        group.bench_with_input(BenchmarkId::new("b", 7), &7, |b, &x| {
+            b.iter(|| runs.push(if x == 7 { "b7" } else { "?" }))
+        });
+        group.finish();
+        assert_eq!(runs, vec!["a", "b7"]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline vendored stand-in for
+//! [`crossbeam`](https://crates.io/crates/crossbeam)'s scoped threads,
+//! implemented over `std::thread::scope` (stable since Rust 1.63, which
+//! covers everything the workspace needs from crossbeam).
+//!
+//! API mirrored: `crossbeam::scope(|s| { s.spawn(|_| …) })` returning
+//! `Result`, with spawn closures receiving a `&Scope` handle for nested
+//! spawns and `ScopedJoinHandle::join` for collecting results.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::thread;
+
+/// Error payload of a panicked scope (mirrors `std::thread::Result`).
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A handle for spawning scoped threads; passed both to the `scope` closure
+/// and (by reference) to every spawned closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives this scope again so it
+    /// can spawn further threads, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Owned handle to one scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result (or the panic
+    /// payload if it panicked).
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned; all are
+/// joined before this returns. Always `Ok` here: unjoined panicking threads
+/// propagate their panic through `std::thread::scope` instead of being
+/// collected, which is strictly less forgiving than crossbeam but sound.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawn_and_join_borrowed_data() {
+        let data = [1usize, 2, 3, 4];
+        let counter = AtomicUsize::new(0);
+        let total = super::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                let counter = &counter;
+                handles.push(s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    chunk.iter().sum::<usize>()
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum::<usize>()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 10);
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let out = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().map(|x| x * 2).unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,519 @@
+//! Offline vendored stand-in for
+//! [`proptest`](https://crates.io/crates/proptest), implementing the API
+//! subset the SCPM property tests use: the `proptest!` macro,
+//! `Strategy` with `prop_map`/`prop_flat_map`, range/tuple/`Just` strategies,
+//! `collection::vec`, `any::<T>()`, `prop_oneof!`, and the
+//! `prop_assert*` family.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the case number and assertion
+//!   message; inputs are deterministic per test (seeded from the test path),
+//!   so failures reproduce exactly on re-run.
+//! * **Sampling only.** Strategies are samplers, not search trees.
+//! * `PROPTEST_CASES` overrides the default case count, as upstream.
+
+#![warn(missing_docs)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::prelude::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of one type (sampling-only stand-in for
+    /// proptest's `Strategy`).
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then samples from the strategy `f` builds
+        /// from it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice among same-typed strategies (`prop_oneof!` backend).
+    pub struct OneOf<T> {
+        choices: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds from a non-empty list of alternatives.
+        pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs >= 1 alternative");
+            OneOf { choices }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let i = rng.random_range(0..self.choices.len());
+            self.choices[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Types with a canonical "whole domain" strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.random()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            rng.random()
+        }
+    }
+
+    /// Strategy over a type's full [`Arbitrary`] domain.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct Any<A>(std::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut StdRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// Canonical whole-domain strategy for `A` (mirrors `proptest::prelude::any`).
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::prelude::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible length specifications for [`vec()`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty vec size range");
+            SizeRange {
+                lo,
+                hi_exclusive: hi + 1,
+            }
+        }
+    }
+
+    /// Strategy producing vectors of `element`-generated values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vector strategy: length drawn from `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test configuration and failure plumbing.
+pub mod test_runner {
+    use rand::prelude::*;
+    use std::hash::{DefaultHasher, Hash, Hasher};
+
+    /// Per-test configuration (only `cases` is honored by the shim).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config { cases }
+        }
+    }
+
+    /// A failed property case (carries the assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's module path and
+    /// name so failures reproduce across runs and machines.
+    pub fn deterministic_rng(test_path: &str) -> StdRng {
+        let mut h = DefaultHasher::new();
+        test_path.hash(&mut h);
+        StdRng::seed_from_u64(h.finish())
+    }
+}
+
+/// The conventional glob-import surface (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", __left, __right),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __left,
+                    __right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current property case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(__left != __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", __left, __right),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(__left != __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` != `{:?}`: {}",
+                    __left,
+                    __right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::deterministic_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "proptest '{}' failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, Vec<u32>)> {
+        (1usize..=8)
+            .prop_flat_map(|n| (Just(n), crate::collection::vec(0u32..n as u32, 0..(n * 2))))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 2u32..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((2..=5).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn flat_map_respects_dependency((n, v) in pair()) {
+            prop_assert!(v.len() < n * 2);
+            prop_assert!(v.iter().all(|&x| (x as usize) < n));
+        }
+
+        #[test]
+        fn oneof_picks_listed_values(g in prop_oneof![Just(0.5f64), Just(1.0)]) {
+            prop_assert!(g == 0.5 || g == 1.0);
+        }
+
+        #[test]
+        fn any_bool_and_vec_sizes(mask in crate::collection::vec(any::<bool>(), 7)) {
+            prop_assert_eq!(mask.len(), 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_between_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u32..100, 5..9);
+        let mut r1 = crate::test_runner::deterministic_rng("t");
+        let mut r2 = crate::test_runner::deterministic_rng("t");
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}

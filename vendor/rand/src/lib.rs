@@ -1,0 +1,290 @@
+//! Offline vendored stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, implementing exactly the API subset the SCPM workspace uses
+//! (`StdRng`, `SeedableRng::seed_from_u64`, `Rng::random`,
+//! `Rng::random_bool`, `Rng::random_range`, `SliceRandom::shuffle`/`choose`).
+//!
+//! The build environment has no network access to crates.io, so external
+//! dependencies are vendored as minimal shims (see `vendor/` in the
+//! workspace root). The generator is SplitMix64 — deterministic for a given
+//! seed, statistically solid for simulation-style workloads, and *not*
+//! cryptographically secure (neither is the workspace's use of it).
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators (mirrors `rand::rngs`).
+pub mod rngs {
+    /// A deterministic 64-bit PRNG (SplitMix64) standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        /// Advances the generator and returns the next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding interface (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // One warm-up scramble so that small seeds (0, 1, 2…) do not yield
+        // visibly correlated first outputs.
+        let mut rng = StdRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        };
+        rng.next_u64();
+        rng
+    }
+}
+
+/// Types samplable uniformly over their full domain (stand-in for sampling
+/// from `rand`'s `StandardUniform` distribution via [`Rng::random`]).
+pub trait Standard: Sized {
+    /// Draws one uniform value from `rng`.
+    fn sample_standard(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types usable as [`Rng::random_range`] bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform draw from the half-open interval `[low, high)`.
+    fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self;
+    /// The successor value (for inclusive ranges).
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u128;
+                // 64 fresh bits modulo the span: bias is < span / 2^64,
+                // negligible for the simulation workloads in this workspace.
+                let draw = (rng.next_u64() as u128) % span;
+                (low as u128).wrapping_add(draw) as $t
+            }
+            #[inline]
+            fn successor(self) -> Self { self + 1 }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_range(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (low as i128 + draw as i128) as $t
+            }
+            #[inline]
+            fn successor(self) -> Self { self + 1 }
+        }
+    )*};
+}
+impl_uniform_int_signed!(i8, i16, i32, i64, isize);
+
+/// Range shapes accepted by [`Rng::random_range`] (mirrors
+/// `rand::distr::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_range(rng, low, high.successor())
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "random_range: empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator interface (mirrors `rand::Rng`).
+pub trait Rng {
+    /// Access to the concrete generator the shim samples from.
+    fn as_std(&mut self) -> &mut StdRng;
+
+    /// Uniform draw over a type's full domain (floats: `[0, 1)`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self.as_std())
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "random_bool: p out of [0,1]");
+        f64::sample_standard(self.as_std()) < p
+    }
+
+    /// Uniform draw from a (half-open or inclusive) range.
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self.as_std())
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn as_std(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+/// Sequence-related helpers (mirrors `rand::seq`).
+pub mod seq {
+    use super::{Rng, UniformInt};
+
+    /// Slice shuffling and random choice (mirrors `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_range(rng.as_std(), 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_range(rng.as_std(), 0, self.len())])
+            }
+        }
+    }
+}
+
+/// The conventional glob-import surface (mirrors `rand::prelude`).
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = rng.random_range(5..17);
+            assert!((5..17).contains(&x));
+            let y: usize = rng.random_range(3..=9);
+            assert!((3..=9).contains(&y));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
