@@ -4,8 +4,13 @@
 //! (c, f).
 //!
 //! ```text
-//! cargo run --release -p scpm-bench --bin exp_fig10 [scale] [seed]
+//! cargo run --release -p scpm-bench --bin exp_fig10 [scale] [seed] [threads]
 //! ```
+//!
+//! The sweep runs through the work-stealing driver (`threads` workers;
+//! output is bit-identical to the serial run at any thread count) and all
+//! 18 runs share one null-model cache, so each `exp(σ)` value is computed
+//! once across the whole figure.
 //!
 //! Expected shape (paper): more restrictive quasi-clique parameters
 //! (higher γmin / min_size) reduce average ε but can *increase* average δ
@@ -13,8 +18,10 @@
 //! but lowers average δ because high-support sets also have high expected
 //! correlation.
 
+use std::sync::Arc;
+
 use scpm_bench::{arg_f64, arg_usize, row, scaled_threshold};
-use scpm_core::{Scpm, ScpmParams, ScpmResult};
+use scpm_core::{NullModelCache, ParallelConfig, Scpm, ScpmParams, ScpmResult};
 use scpm_datasets::small_dblp_like;
 use scpm_graph::attributed::AttributedGraph;
 
@@ -39,13 +46,21 @@ fn averages(
     (global, top10)
 }
 
-fn run(graph: &AttributedGraph, sigma_min: usize, gamma: f64, min_size: usize) -> ScpmResult {
+fn run(
+    graph: &AttributedGraph,
+    sigma_min: usize,
+    gamma: f64,
+    min_size: usize,
+    config: &ParallelConfig,
+    cache: &Arc<NullModelCache>,
+) -> ScpmResult {
     // Sensitivity runs need the *complete* output: no ε/δ thresholds, no
-    // per-set pattern mining (k = 0 keeps it cheap).
+    // per-set pattern mining (k = 0 keeps it cheap). The shared cache keys
+    // by (z, σ), so all 18 runs pool their exp(σ) evaluations.
     let params = ScpmParams::new(sigma_min, gamma, min_size)
         .with_top_k(0)
         .with_max_attrs(2);
-    Scpm::new(graph, params).run()
+    Scpm::with_cache(graph, params, cache.clone()).run_scheduled(config)
 }
 
 fn emit(panel_eps: &str, panel_delta: &str, param: &str, value: String, result: &ScpmResult) {
@@ -70,10 +85,13 @@ fn emit(panel_eps: &str, panel_delta: &str, param: &str, value: String, result: 
 fn main() {
     let scale = arg_f64(1, 0.05);
     let seed = arg_usize(2, 77) as u64;
+    let threads = arg_usize(3, 1);
     let dataset = small_dblp_like(scale, seed);
     let graph = &dataset.graph;
+    let config = ParallelConfig::new(threads);
+    let cache = Arc::new(NullModelCache::new());
     println!(
-        "# small-dblp-like scale={scale} vertices={} edges={}",
+        "# small-dblp-like scale={scale} vertices={} edges={} threads={threads}",
         graph.num_vertices(),
         graph.num_edges()
     );
@@ -84,7 +102,7 @@ fn main() {
 
     // (a)+(d): γmin sweep.
     for gamma in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
-        let result = run(graph, sigma_default, gamma, 10);
+        let result = run(graph, sigma_default, gamma, 10, &config, &cache);
         emit(
             "fig10a_eps",
             "fig10d_delta",
@@ -95,7 +113,7 @@ fn main() {
     }
     // (b)+(e): min_size sweep.
     for min_size in [10, 11, 12, 13, 14, 15] {
-        let result = run(graph, sigma_default, 0.5, min_size);
+        let result = run(graph, sigma_default, 0.5, min_size, &config, &cache);
         emit(
             "fig10b_eps",
             "fig10e_delta",
@@ -107,7 +125,7 @@ fn main() {
     // (c)+(f): σmin sweep (paper: 100–350).
     for paper_sigma in [100.0, 150.0, 200.0, 250.0, 300.0, 350.0] {
         let sigma_min = scaled_threshold(paper_sigma, scale, 5);
-        let result = run(graph, sigma_min, 0.5, 10);
+        let result = run(graph, sigma_min, 0.5, 10, &config, &cache);
         emit(
             "fig10c_eps",
             "fig10f_delta",
@@ -116,4 +134,10 @@ fn main() {
             &result,
         );
     }
+    eprintln!(
+        "# null-model cache: {} entries, {} hits, {} misses",
+        cache.len(),
+        cache.hits(),
+        cache.misses()
+    );
 }

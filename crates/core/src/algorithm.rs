@@ -7,6 +7,7 @@
 //! prunes extensions with Theorems 4 and 5. Theorem 3 shrinks each induced
 //! graph to the parents' covered vertices before mining.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use scpm_graph::attributed::{AttrId, AttributedGraph};
@@ -14,7 +15,7 @@ use scpm_graph::csr::{intersect_into, VertexId};
 use scpm_itemset::Tidset;
 
 use crate::correlation::CorrelationEngine;
-use crate::nullmodel::AnalyticalModel;
+use crate::nullmodel::{AnalyticalModel, NullModelCache};
 use crate::params::ScpmParams;
 use crate::pattern::{AttributeSetReport, Pattern, ScpmResult};
 
@@ -29,6 +30,18 @@ pub(crate) struct EnumEntry {
 
 /// The SCPM miner. Construct once per graph/parameter combination and call
 /// [`Scpm::run`].
+///
+/// ```
+/// use scpm_core::{Scpm, ScpmParams};
+/// use scpm_graph::figure1::figure1;
+///
+/// // Figure 1 with Table 1's parameters: σmin = 3, γmin = 0.6,
+/// // min_size = 4, εmin = 0.5 — exactly seven patterns qualify.
+/// let g = figure1();
+/// let result = Scpm::new(&g, ScpmParams::new(3, 0.6, 4).with_eps_min(0.5)).run();
+/// assert_eq!(result.patterns.len(), 7);
+/// assert_eq!(result.stats.attribute_sets_qualified, 3); // {A}, {B}, {A,B}
+/// ```
 pub struct Scpm<'g> {
     graph: &'g AttributedGraph,
     params: ScpmParams,
@@ -45,6 +58,44 @@ impl<'g> Scpm<'g> {
             params,
             model,
         }
+    }
+
+    /// Like [`Scpm::new`], but memoizing `exp(σ)` in a caller-provided
+    /// [`NullModelCache`]. Repeated runs over the *same graph* — parameter
+    /// sweeps, the experiment binaries, the parallel driver's workers —
+    /// share one cache so each support value is evaluated once globally.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use scpm_core::{NullModelCache, Scpm, ScpmParams};
+    /// use scpm_graph::figure1::figure1;
+    ///
+    /// let g = figure1();
+    /// let cache = Arc::new(NullModelCache::new());
+    /// let params = ScpmParams::new(3, 0.6, 4);
+    /// let first = Scpm::with_cache(&g, params.clone(), cache.clone()).run();
+    /// let warm = Scpm::with_cache(&g, params, cache.clone()).run();
+    ///
+    /// // The second run found every exp(σ) it needed already memoized.
+    /// assert!(cache.hits() > 0);
+    /// assert_eq!(first.reports.len(), warm.reports.len());
+    /// ```
+    pub fn with_cache(
+        graph: &'g AttributedGraph,
+        params: ScpmParams,
+        cache: Arc<NullModelCache>,
+    ) -> Self {
+        let model = AnalyticalModel::new(graph.graph(), &params.quasi_clique).with_cache(cache);
+        Scpm {
+            graph,
+            params,
+            model,
+        }
+    }
+
+    /// The shared `exp(σ)` memo of this run's null model.
+    pub fn null_cache(&self) -> &Arc<NullModelCache> {
+        self.model.cache()
     }
 
     /// The underlying null model (shared with examples and benches).
@@ -195,31 +246,67 @@ impl<'g> Scpm<'g> {
         i: usize,
         result: &mut ScpmResult,
     ) {
-        let base = &class[i];
-        let mut next: Vec<EnumEntry> = Vec::new();
-        let mut cover_buf: Vec<VertexId> = Vec::new();
-        for sibling in class.iter().skip(i + 1) {
-            let tids = base.tids.intersect(&sibling.tids);
-            if tids.support() < self.params.sigma_min {
-                result.stats.pruned_support += 1;
-                continue;
-            }
-            let mut attrs = base.attrs.clone();
-            attrs.push(*sibling.attrs.last().expect("non-empty attribute set"));
-            // Theorem 3: the child's cover is contained in both parents'.
-            let parent_cover = if self.params.prune.vertex_pruning {
-                intersect_into(&base.cover, &sibling.cover, &mut cover_buf);
-                Some(cover_buf.as_slice())
-            } else {
-                None
-            };
-            if let Some(entry) = self.evaluate(engine, attrs, tids, parent_cover, result) {
-                next.push(entry);
-            }
-        }
+        let next = self.extend_branch(engine, class, i, result);
         if !next.is_empty() {
             self.enumerate_class(engine, &next, result);
         }
+    }
+
+    /// The extension step of one branch, *without* the recursion: evaluates
+    /// every `class[i] ∪ {sibling}` (emitting their reports/patterns into
+    /// `result` in sibling order) and returns the surviving child class.
+    /// [`Scpm::enumerate_branch`] recurses on the return value; the
+    /// work-stealing driver instead turns each child branch into a
+    /// stealable task.
+    pub(crate) fn extend_branch(
+        &self,
+        engine: &CorrelationEngine<'g>,
+        class: &[EnumEntry],
+        i: usize,
+        result: &mut ScpmResult,
+    ) -> Vec<EnumEntry> {
+        let mut next: Vec<EnumEntry> = Vec::new();
+        let mut cover_buf: Vec<VertexId> = Vec::new();
+        for j in (i + 1)..class.len() {
+            if let Some(entry) = self.extend_pair(engine, class, i, j, &mut cover_buf, result) {
+                next.push(entry);
+            }
+        }
+        next
+    }
+
+    /// One iteration of the extension loop: evaluates
+    /// `class[i] ∪ {class[j]}`'s new attribute, emitting its report into
+    /// `result` and returning the child [`EnumEntry`] when the set stays
+    /// extensible. `cover_buf` is caller-provided scratch for the
+    /// Theorem 3 cover intersection. This is the work-stealing driver's
+    /// finest task granularity.
+    pub(crate) fn extend_pair(
+        &self,
+        engine: &CorrelationEngine<'g>,
+        class: &[EnumEntry],
+        i: usize,
+        j: usize,
+        cover_buf: &mut Vec<VertexId>,
+        result: &mut ScpmResult,
+    ) -> Option<EnumEntry> {
+        let base = &class[i];
+        let sibling = &class[j];
+        let tids = base.tids.intersect(&sibling.tids);
+        if tids.support() < self.params.sigma_min {
+            result.stats.pruned_support += 1;
+            return None;
+        }
+        let mut attrs = base.attrs.clone();
+        attrs.push(*sibling.attrs.last().expect("non-empty attribute set"));
+        // Theorem 3: the child's cover is contained in both parents'.
+        let parent_cover = if self.params.prune.vertex_pruning {
+            intersect_into(&base.cover, &sibling.cover, cover_buf);
+            Some(cover_buf.as_slice())
+        } else {
+            None
+        };
+        self.evaluate(engine, attrs, tids, parent_cover, result)
     }
 }
 

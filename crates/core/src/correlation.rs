@@ -10,10 +10,14 @@
 //! the mining graph before the search (they still count in the support
 //! denominator).
 
+use std::cell::RefCell;
+
 use scpm_graph::attributed::AttributedGraph;
 use scpm_graph::csr::{intersect_into, VertexId};
 use scpm_graph::induced::InducedSubgraph;
-use scpm_quasiclique::{Miner, MiningOutcome, PruneFlags, QcConfig, QuasiClique, SearchOrder};
+use scpm_quasiclique::{
+    EngineScratch, Miner, MiningMode, MiningOutcome, PruneFlags, QcConfig, QuasiClique, SearchOrder,
+};
 
 /// Result of one structural correlation evaluation.
 #[derive(Clone, Debug)]
@@ -27,6 +31,28 @@ pub struct CorrelationOutcome {
 }
 
 /// Evaluates `ε` and mines top-k patterns on induced subgraphs.
+///
+/// The engine owns reusable quasi-clique scratch memory, so repeated
+/// evaluations (one per attribute set in a mining run) recycle their
+/// buffers; the parallel driver gives each worker its own engine. That
+/// interior scratch makes the engine `Send` but not `Sync` — share the
+/// graph, not the engine.
+///
+/// ```
+/// use scpm_core::{Scpm, ScpmParams};
+/// use scpm_graph::figure1::figure1;
+///
+/// let g = figure1();
+/// let scpm = Scpm::new(&g, ScpmParams::new(3, 0.6, 4));
+/// let engine = scpm.engine();
+///
+/// // ε({A}) = 9/11: nine of A's eleven vertices are covered by
+/// // 0.6-quasi-cliques of size ≥ 4 inside G({A}).
+/// let a = g.attr_id("A").unwrap();
+/// let outcome = engine.epsilon(g.vertices_with(a), None);
+/// assert_eq!(outcome.covered.len(), 9);
+/// assert!((outcome.epsilon - 9.0 / 11.0).abs() < 1e-12);
+/// ```
 pub struct CorrelationEngine<'g> {
     graph: &'g AttributedGraph,
     cfg: QcConfig,
@@ -34,6 +60,8 @@ pub struct CorrelationEngine<'g> {
     prune: PruneFlags,
     /// Apply Theorem 3 restriction when a parent cover is provided.
     vertex_pruning: bool,
+    /// Reusable quasi-clique search buffers, recycled across evaluations.
+    scratch: RefCell<EngineScratch>,
 }
 
 impl<'g> CorrelationEngine<'g> {
@@ -51,6 +79,7 @@ impl<'g> CorrelationEngine<'g> {
             order,
             prune,
             vertex_pruning,
+            scratch: RefCell::new(EngineScratch::new()),
         }
     }
 
@@ -94,7 +123,7 @@ impl<'g> CorrelationEngine<'g> {
             };
         }
         let sub = InducedSubgraph::extract(self.graph.graph(), &mining);
-        let outcome = self.miner(&sub.graph).coverage();
+        let outcome = self.run_miner(&sub.graph, MiningMode::Coverage);
         let covered: Vec<VertexId> = outcome
             .covered
             .iter()
@@ -125,7 +154,7 @@ impl<'g> CorrelationEngine<'g> {
             return (Vec::new(), 0);
         }
         let sub = InducedSubgraph::extract(self.graph.graph(), &mining);
-        let outcome = self.miner(&sub.graph).top_k(k);
+        let outcome = self.run_miner(&sub.graph, MiningMode::TopK(k));
         let cliques = relabel(&sub, outcome);
         (cliques.0, cliques.1)
     }
@@ -137,14 +166,16 @@ impl<'g> CorrelationEngine<'g> {
             return (Vec::new(), 0);
         }
         let sub = InducedSubgraph::extract(self.graph.graph(), vertices);
-        let outcome = self.miner(&sub.graph).enumerate_maximal();
+        let outcome = self.run_miner(&sub.graph, MiningMode::EnumerateMaximal);
         relabel(&sub, outcome)
     }
 
-    fn miner<'a>(&self, g: &'a scpm_graph::csr::CsrGraph) -> Miner<'a> {
+    /// Runs one configured search over `g`, reusing the engine's scratch.
+    fn run_miner(&self, g: &scpm_graph::csr::CsrGraph, mode: MiningMode) -> MiningOutcome {
         Miner::new(g, self.cfg)
             .with_order(self.order)
             .with_prune(self.prune)
+            .run_with(mode, &mut self.scratch.borrow_mut())
     }
 }
 

@@ -19,15 +19,13 @@
 //! deliberate extension: the paper's pruning only needs a *monotone*
 //! `exp` function, which both laws provide.
 
-use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::Arc;
 
 use scpm_graph::csr::CsrGraph;
 use scpm_graph::degree::DegreeDistribution;
 use scpm_quasiclique::QcConfig;
 
-use crate::nullmodel::LnFactorial;
+use crate::nullmodel::{LnFactorial, ModelKind, NullModelCache};
 
 /// `P[Hypergeometric(population, successes, draws) = k]` via a
 /// log-factorial table. Zero when the configuration is impossible.
@@ -72,14 +70,16 @@ pub fn hypergeometric_tail(
 }
 
 /// The exact expected-structural-correlation upper bound: Theorem 2 with
-/// the hypergeometric law in place of the binomial approximation.
+/// the hypergeometric law in place of the binomial approximation. Memoized
+/// per support in a (shareable) [`NullModelCache`], under its own
+/// [`ModelKind`] so it never collides with the analytical values.
 #[derive(Debug)]
 pub struct ExactModel {
     dist: DegreeDistribution,
     n: usize,
     z: usize,
     lnf: LnFactorial,
-    cache: Mutex<HashMap<usize, f64>>,
+    cache: Arc<NullModelCache>,
 }
 
 impl ExactModel {
@@ -100,8 +100,20 @@ impl ExactModel {
             n,
             z,
             lnf,
-            cache: Mutex::new(HashMap::new()),
+            cache: Arc::new(NullModelCache::new()),
         }
+    }
+
+    /// Replaces the memo with a shared [`NullModelCache`], builder style.
+    /// The cache must come from a model over the same graph.
+    pub fn with_cache(mut self, cache: Arc<NullModelCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache backing [`ExactModel::expected`].
+    pub fn cache(&self) -> &Arc<NullModelCache> {
+        &self.cache
     }
 
     /// The degree threshold `z = ⌈γ·(min_size−1)⌉`.
@@ -111,12 +123,10 @@ impl ExactModel {
 
     /// `exact-exp(σ)`, memoized.
     pub fn expected(&self, sigma: usize) -> f64 {
-        if let Some(&v) = self.cache.lock().get(&sigma) {
-            return v;
-        }
-        let v = self.expected_uncached(sigma);
-        self.cache.lock().insert(sigma, v);
-        v
+        self.cache
+            .get_or_compute(ModelKind::Exact, self.z, sigma, || {
+                self.expected_uncached(sigma)
+            })
     }
 
     /// `exact-exp(σ) = Σ_α p(α) · P[Hyp(|V|−1, α, σ−1) ≥ z]`.

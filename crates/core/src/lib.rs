@@ -38,9 +38,10 @@
 //! The [`naive::run_naive`] baseline (Eclat + full quasi-clique
 //! enumeration) produces identical results and serves as the performance
 //! baseline of the paper's Figure 8; [`parallel::run_parallel`] distributes
-//! the attribute-set search over threads.
+//! the attribute-set search over a work-stealing subtree scheduler (see
+//! `docs/PARALLELISM.md`) with bit-identical output.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithm;
 pub mod correlation;
@@ -60,10 +61,13 @@ pub use hypergeom::{hypergeometric_pmf, hypergeometric_tail, ExactModel};
 pub use naive::run_naive;
 pub use nullmodel::{
     binomial_pmf, binomial_tail, empirical_p_value, simulate_coverage_samples, simulate_expected,
-    simulate_expected_parallel, AnalyticalModel, ExpectedCorrelation, LnFactorial, SimExpected,
-    SimulationModel,
+    simulate_expected_parallel, AnalyticalModel, ExpectedCorrelation, LnFactorial, ModelKind,
+    NullModelCache, SimExpected, SimulationModel,
 };
-pub use parallel::run_parallel;
+pub use parallel::{
+    run_parallel, run_parallel_branch_level, run_parallel_traced, run_parallel_with,
+    ParallelConfig, SubtreeTrace, DEFAULT_SPLIT_DEPTH,
+};
 pub use params::{ScpmParams, ScpmPruneFlags};
 pub use pattern::{describe_patterns, AttributeSetReport, Pattern, ScpmResult, ScpmStats};
 pub use scorp::Scorp;

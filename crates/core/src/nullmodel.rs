@@ -14,8 +14,10 @@
 //!   average the covered fraction.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -67,6 +69,111 @@ impl ExpectedCorrelation for crate::hypergeom::ExactModel {
 impl<'g> ExpectedCorrelation for SimulationModel<'g> {
     fn expected_epsilon(&self, sigma: usize) -> f64 {
         self.expected(sigma).mean
+    }
+}
+
+/// Which closed-form null model produced a cached value.
+///
+/// Part of the [`NullModelCache`] key so one cache can serve both model
+/// families without their (different) values colliding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The binomial `max-exp` bound of Theorem 2 ([`AnalyticalModel`]).
+    Analytical,
+    /// The hypergeometric variant ([`crate::ExactModel`]).
+    Exact,
+}
+
+/// A concurrent, shareable memo of expected-correlation values `exp(σ)`.
+///
+/// Evaluating `exp(σ)` costs `O(max_degree)` per support value and the
+/// same supports recur constantly — across sibling branches of the lattice
+/// search, across the workers of [`crate::run_parallel`], and across
+/// repeated runs on the same graph (parameter sweeps). One `NullModelCache`
+/// behind an [`Arc`] deduplicates all of that work: entries are keyed by
+/// `(model kind, degree threshold z, σ)`, so models with different
+/// quasi-clique parameters coexist in the same cache.
+///
+/// The map is guarded by a `parking_lot` reader–writer lock — lookups (the
+/// overwhelmingly common case after warm-up) take the read lock only.
+/// Hit/miss counters expose cache effectiveness to benches and tests.
+///
+/// **Sharing rule:** a cache must only be shared between models built from
+/// the *same graph* (more precisely: the same degree distribution); the key
+/// does not encode the topology.
+///
+/// ```
+/// use std::sync::Arc;
+/// use scpm_core::{AnalyticalModel, NullModelCache};
+/// use scpm_graph::figure1::figure1;
+/// use scpm_quasiclique::QcConfig;
+///
+/// let g = figure1();
+/// let cache = Arc::new(NullModelCache::new());
+/// let a = AnalyticalModel::new(g.graph(), &QcConfig::new(0.6, 4)).with_cache(cache.clone());
+/// let b = AnalyticalModel::new(g.graph(), &QcConfig::new(0.6, 4)).with_cache(cache.clone());
+///
+/// let first = a.expected(6);  // computed once…
+/// let second = b.expected(6); // …then served from the shared cache
+/// assert_eq!(first, second);
+/// assert_eq!(cache.misses(), 1);
+/// assert_eq!(cache.hits(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct NullModelCache {
+    map: RwLock<HashMap<(ModelKind, usize, usize), f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl NullModelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized value for `(kind, z, sigma)`, computing and
+    /// inserting it via `compute` on a miss.
+    ///
+    /// Concurrent first requests for the same key may both run `compute`
+    /// (the lock is not held across the computation); both arrive at the
+    /// same deterministic value, so the last insert is harmless.
+    pub fn get_or_compute(
+        &self,
+        kind: ModelKind,
+        z: usize,
+        sigma: usize,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
+        let key = (kind, z, sigma);
+        if let Some(&v) = self.map.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        let v = compute();
+        self.map.write().insert(key, v);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        v
+    }
+
+    /// Number of distinct `(kind, z, σ)` entries currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Lookups served from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute a fresh value.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -130,19 +237,38 @@ pub fn binomial_tail(alpha: usize, z: usize, rho: f64, lnf: &LnFactorial) -> f64
         .min(1.0)
 }
 
-/// The analytical `max-exp` upper bound of Theorem 2, memoized per support.
+/// The analytical `max-exp` upper bound of Theorem 2, memoized per support
+/// in a (shareable) [`NullModelCache`].
+///
+/// ```
+/// use scpm_core::AnalyticalModel;
+/// use scpm_graph::figure1::figure1;
+/// use scpm_quasiclique::QcConfig;
+///
+/// let g = figure1();
+/// let model = AnalyticalModel::new(g.graph(), &QcConfig::new(0.6, 4));
+///
+/// // exp(σ) is a probability, monotone in σ (the Theorem 5 prerequisite).
+/// let (small, large) = (model.expected(4), model.expected(11));
+/// assert!((0.0..=1.0).contains(&small));
+/// assert!(small <= large);
+///
+/// // δ_lb = ε / exp(σ): with ε({A}) = 9/11 at support 11,
+/// assert!(model.normalize(9.0 / 11.0, 11) >= 9.0 / 11.0 / large - 1e-12);
+/// ```
 #[derive(Debug)]
 pub struct AnalyticalModel {
     dist: DegreeDistribution,
     n: usize,
     z: usize,
     lnf: LnFactorial,
-    cache: Mutex<HashMap<usize, f64>>,
+    cache: Arc<NullModelCache>,
 }
 
 impl AnalyticalModel {
     /// Builds the model from a graph's topology and the quasi-clique
-    /// parameters.
+    /// parameters, with a private cache (see [`AnalyticalModel::with_cache`]
+    /// for sharing).
     pub fn new(g: &CsrGraph, cfg: &QcConfig) -> Self {
         Self::from_distribution(DegreeDistribution::from_graph(g), g.num_vertices(), cfg)
     }
@@ -156,8 +282,22 @@ impl AnalyticalModel {
             n,
             z,
             lnf,
-            cache: Mutex::new(HashMap::new()),
+            cache: Arc::new(NullModelCache::new()),
         }
+    }
+
+    /// Replaces the memo with a shared [`NullModelCache`], builder style.
+    /// The cache must come from a model over the same graph (the cache key
+    /// covers `z` and `σ` but not the topology).
+    pub fn with_cache(mut self, cache: Arc<NullModelCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache backing [`AnalyticalModel::expected`] — clone the `Arc` to
+    /// share memoized values with another model or a parallel run.
+    pub fn cache(&self) -> &Arc<NullModelCache> {
+        &self.cache
     }
 
     /// The degree threshold `z = ⌈γ·(min_size−1)⌉`.
@@ -167,12 +307,10 @@ impl AnalyticalModel {
 
     /// `max-exp(σ)`, memoized.
     pub fn expected(&self, sigma: usize) -> f64 {
-        if let Some(&v) = self.cache.lock().get(&sigma) {
-            return v;
-        }
-        let v = self.expected_uncached(sigma);
-        self.cache.lock().insert(sigma, v);
-        v
+        self.cache
+            .get_or_compute(ModelKind::Analytical, self.z, sigma, || {
+                self.expected_uncached(sigma)
+            })
     }
 
     /// `max-exp(σ)` via an `O(max_degree)` recurrence over the binomial

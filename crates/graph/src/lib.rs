@@ -23,7 +23,7 @@
 //! * [`figure1`] — the 11-vertex example of Figure 1 in the paper, used as a
 //!   golden fixture for Table 1.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod attributed;
 pub mod builder;

@@ -6,6 +6,19 @@ use scpm_graph::csr::{CsrGraph, VertexId};
 /// Parameters of the quasi-clique definition: a vertex set `Q` is a
 /// `γ`-quasi-clique iff `|Q| ≥ min_size` and every `v ∈ Q` has
 /// `deg_Q(v) ≥ ⌈γ·(|Q|−1)⌉`.
+///
+/// ```
+/// use scpm_quasiclique::QcConfig;
+/// use scpm_graph::builder::graph_from_edges;
+///
+/// // A 4-cycle: every vertex has degree 2 = ⌈0.6·3⌉, so the cycle is a
+/// // 0.6-quasi-clique of size 4 — but not a 0.7-quasi-clique.
+/// let g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// let cfg = QcConfig::new(0.6, 4);
+/// assert_eq!(cfg.min_required_degree(), 2);
+/// assert!(cfg.is_quasi_clique(&g, &[0, 1, 2, 3]));
+/// assert!(!QcConfig::new(0.7, 4).is_quasi_clique(&g, &[0, 1, 2, 3]));
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QcConfig {
     /// Minimum density `γ ∈ (0, 1]`.

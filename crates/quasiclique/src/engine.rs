@@ -180,6 +180,42 @@ pub struct Miner<'g> {
     pub prune: PruneFlags,
 }
 
+/// Reusable scratch memory for repeated searches.
+///
+/// Every search needs three stamp arrays, a coverage bitmap, and a work
+/// list, all sized by the (reduced) input graph. A caller running many
+/// searches — the SCPM drivers evaluate one induced subgraph per attribute
+/// set — can allocate one `EngineScratch` and pass it to
+/// [`Miner::run_with`]; buffers are then resized, not reallocated, between
+/// runs. [`Miner::run`] creates a throwaway scratch, so single-shot callers
+/// never see this type.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    cand_mark: Stamp,
+    nbr_mark: Stamp,
+    cover_mark: Stamp,
+    covered: Vec<bool>,
+    work: VecDeque<SearchNode>,
+}
+
+impl EngineScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets all buffers for a search over an `n`-vertex graph, keeping
+    /// their allocations.
+    fn reset(&mut self, n: usize) {
+        self.cand_mark.reset(n);
+        self.nbr_mark.reset(n);
+        self.cover_mark.reset(n);
+        self.covered.clear();
+        self.covered.resize(n, false);
+        self.work.clear();
+    }
+}
+
 /// Outcome of one search run.
 #[derive(Clone, Debug)]
 pub struct MiningOutcome {
@@ -231,8 +267,15 @@ impl<'g> Miner<'g> {
         self.run(MiningMode::TopK(k))
     }
 
-    /// Runs the configured search.
+    /// Runs the configured search with one-shot scratch memory.
     pub fn run(&self, mode: MiningMode) -> MiningOutcome {
+        self.run_with(mode, &mut EngineScratch::new())
+    }
+
+    /// Runs the configured search reusing the caller's [`EngineScratch`]
+    /// (identical output to [`Miner::run`]; only allocation traffic
+    /// differs).
+    pub fn run_with(&self, mode: MiningMode, scratch: &mut EngineScratch) -> MiningOutcome {
         let mut stats = SearchStats::default();
         if let MiningMode::TopK(0) = mode {
             return MiningOutcome {
@@ -252,15 +295,15 @@ impl<'g> Miner<'g> {
             };
         }
         let sub = InducedSubgraph::extract(self.input, &survivors);
-        let mut ctx = Ctx::new(&sub.graph, self.cfg, self.prune, self.order, mode);
+        scratch.reset(sub.graph.num_vertices());
+        let mut ctx = Ctx::new(&sub.graph, self.cfg, self.prune, self.order, mode, scratch);
         ctx.search(&mut stats);
-        let Ctx {
-            emitted, covered, ..
-        } = ctx;
+        let Ctx { emitted, .. } = ctx;
 
         match mode {
             MiningMode::Coverage => {
-                let covered_globals: Vec<VertexId> = covered
+                let covered_globals: Vec<VertexId> = scratch
+                    .covered
                     .iter()
                     .enumerate()
                     .filter(|(_, &c)| c)
@@ -339,23 +382,19 @@ fn is_subset(a: &[VertexId], b: &[VertexId]) -> bool {
     scpm_graph::csr::intersect_count(a, b) == a.len()
 }
 
-/// Per-run search context over the reduced local graph.
+/// Per-run search context over the reduced local graph. The sizable
+/// buffers (stamp arrays, coverage bitmap, work list) live in the borrowed
+/// [`EngineScratch`] so repeated runs reuse their allocations.
 struct Ctx<'a> {
     g: &'a CsrGraph,
     cfg: QcConfig,
     prune: PruneFlags,
     order: SearchOrder,
     mode: MiningMode,
-    /// Stamp array marking the current node's candidate set.
-    cand_mark: Stamp,
-    /// Stamp array marking a vertex's neighborhood during child creation.
-    nbr_mark: Stamp,
-    /// Stamp array marking the cover vertex's neighborhood.
-    cover_mark: Stamp,
+    /// Reusable buffers (stamps, coverage bitmap, work list).
+    s: &'a mut EngineScratch,
     /// Emitted local sets, each sorted (maximal / top-k modes).
     emitted: Vec<Vec<VertexId>>,
-    /// Coverage bitmap (coverage mode).
-    covered: Vec<bool>,
     /// Vertices not yet covered (coverage early exit).
     remaining: usize,
     /// Current size bound for top-k (size of the k-th best so far).
@@ -365,17 +404,18 @@ struct Ctx<'a> {
 }
 
 /// Generation-stamped membership array: `O(1)` set/test/clear.
+#[derive(Debug, Default)]
 struct Stamp {
     gen: u32,
     marks: Vec<u32>,
 }
 
 impl Stamp {
-    fn new(n: usize) -> Self {
-        Stamp {
-            gen: 0,
-            marks: vec![0; n],
-        }
+    /// Prepares the stamp for a graph of `n` vertices, keeping capacity.
+    fn reset(&mut self, n: usize) {
+        self.gen = 0;
+        self.marks.clear();
+        self.marks.resize(n, 0);
     }
 
     fn begin(&mut self) {
@@ -408,6 +448,7 @@ impl<'a> Ctx<'a> {
         prune: PruneFlags,
         order: SearchOrder,
         mode: MiningMode,
+        scratch: &'a mut EngineScratch,
     ) -> Self {
         let n = g.num_vertices();
         Ctx {
@@ -416,11 +457,8 @@ impl<'a> Ctx<'a> {
             prune,
             order,
             mode,
-            cand_mark: Stamp::new(n),
-            nbr_mark: Stamp::new(n),
-            cover_mark: Stamp::new(n),
+            s: scratch,
             emitted: Vec::new(),
-            covered: vec![false; n],
             remaining: n,
             topk_bound: 0,
             topk_sizes: Vec::new(),
@@ -429,7 +467,7 @@ impl<'a> Ctx<'a> {
 
     fn search(&mut self, stats: &mut SearchStats) {
         let n = self.g.num_vertices();
-        let mut work: VecDeque<SearchNode> = VecDeque::new();
+        let mut work = std::mem::take(&mut self.s.work);
         work.push_back(SearchNode::root((0..n as VertexId).collect()));
         while let Some(node) = match self.order {
             SearchOrder::Dfs => work.pop_back(),
@@ -440,6 +478,9 @@ impl<'a> Ctx<'a> {
             }
             self.process(node, &mut work, stats);
         }
+        // Hand the (empty or drained) buffer back for the next run.
+        work.clear();
+        self.s.work = work;
     }
 
     /// Feasibility fixpoint, interval bounds, and critical-vertex forcing,
@@ -549,15 +590,15 @@ impl<'a> Ctx<'a> {
     /// candidates.
     fn force_candidates(&mut self, node: &mut SearchNode, member_idx: usize) {
         let v = node.x[member_idx];
-        self.nbr_mark.begin();
+        self.s.nbr_mark.begin();
         for &u in self.g.neighbors(v) {
-            self.nbr_mark.set(u);
+            self.s.nbr_mark.set(u);
         }
         let mut forced: Vec<VertexId> = Vec::new();
         let mut rest: Vec<VertexId> = Vec::with_capacity(node.cands.len());
         let mut rest_indeg: Vec<u32> = Vec::with_capacity(node.cands.len());
         for (j, &c) in node.cands.iter().enumerate() {
-            if self.nbr_mark.get(c) {
+            if self.s.nbr_mark.get(c) {
                 forced.push(c);
             } else {
                 rest.push(c);
@@ -568,13 +609,13 @@ impl<'a> Ctx<'a> {
         node.cands = rest;
         node.cands_indeg = rest_indeg;
         for w in forced {
-            self.nbr_mark.begin();
+            self.s.nbr_mark.begin();
             for &u in self.g.neighbors(w) {
-                self.nbr_mark.set(u);
+                self.s.nbr_mark.set(u);
             }
             let mut w_indeg = 0u32;
             for (i, &u) in node.x.iter().enumerate() {
-                if self.nbr_mark.get(u) {
+                if self.s.nbr_mark.get(u) {
                     node.x_indeg[i] += 1;
                     w_indeg += 1;
                 }
@@ -582,7 +623,7 @@ impl<'a> Ctx<'a> {
             node.x.push(w);
             node.x_indeg.push(w_indeg);
             for (j, &c) in node.cands.iter().enumerate() {
-                if self.nbr_mark.get(c) {
+                if self.s.nbr_mark.get(c) {
                     node.cands_indeg[j] += 1;
                 }
             }
@@ -603,7 +644,7 @@ impl<'a> Ctx<'a> {
                 .x
                 .iter()
                 .chain(node.cands.iter())
-                .all(|&v| self.covered[v as usize]);
+                .all(|&v| self.s.covered[v as usize]);
             if all_covered {
                 stats.pruned_covered += 1;
                 return;
@@ -667,14 +708,14 @@ impl<'a> Ctx<'a> {
                 .filter(|&j| node.cands_indeg[j] as usize == x_len && cands_exdeg[j] > 0)
                 .max_by_key(|&j| (cands_exdeg[j], std::cmp::Reverse(node.cands[j])));
             if let Some(jbest) = best {
-                self.cover_mark.begin();
+                self.s.cover_mark.begin();
                 for &u in self.g.neighbors(node.cands[jbest]) {
-                    self.cover_mark.set(u);
+                    self.s.cover_mark.set(u);
                 }
                 // Stable partition: uncovered pivots first, covered last.
                 let (uncovered, covered): (Vec<u32>, Vec<u32>) = order
                     .iter()
-                    .partition(|&&j| !self.cover_mark.get(node.cands[j as usize]));
+                    .partition(|&&j| !self.s.cover_mark.get(node.cands[j as usize]));
                 skip_from = uncovered.len();
                 stats.pruned_cover += covered.len() as u64;
                 order = uncovered;
@@ -710,16 +751,16 @@ impl<'a> Ctx<'a> {
                 continue;
             }
             // Mark N(v).
-            self.nbr_mark.begin();
+            self.s.nbr_mark.begin();
             for &u in self.g.neighbors(v) {
-                self.nbr_mark.set(u);
+                self.s.nbr_mark.set(u);
             }
 
             let mut child_x = node.x.clone();
             child_x.push(v);
             let mut child_x_indeg = node.x_indeg.clone();
             for (i, &u) in node.x.iter().enumerate() {
-                if self.nbr_mark.get(u) {
+                if self.s.nbr_mark.get(u) {
                     child_x_indeg[i] += 1;
                 }
             }
@@ -730,7 +771,7 @@ impl<'a> Ctx<'a> {
             for &jnext in order.iter().skip(pos + 1) {
                 let j = jnext as usize;
                 let w = node.cands[j];
-                let bump = self.nbr_mark.get(w) as u32;
+                let bump = self.s.nbr_mark.get(w) as u32;
                 child_pairs.push((w, node.cands_indeg[j] + bump));
             }
             // Keep candidate lists ascending: each node re-derives its own
@@ -767,12 +808,12 @@ impl<'a> Ctx<'a> {
     /// candidate).
     fn seed_child(&mut self, v: VertexId, pos: u32, rank: &[u32]) -> SearchNode {
         // Collect the two-hop reach of v (excluding v itself).
-        self.nbr_mark.begin();
-        self.nbr_mark.set(v);
+        self.s.nbr_mark.begin();
+        self.s.nbr_mark.set(v);
         let mut reach: Vec<VertexId> = Vec::new();
         for &u in self.g.neighbors(v) {
-            if !self.nbr_mark.get(u) {
-                self.nbr_mark.set(u);
+            if !self.s.nbr_mark.get(u) {
+                self.s.nbr_mark.set(u);
                 reach.push(u);
             }
         }
@@ -780,8 +821,8 @@ impl<'a> Ctx<'a> {
         for i in 0..first_hop {
             let u = reach[i];
             for &w in self.g.neighbors(u) {
-                if !self.nbr_mark.get(w) {
-                    self.nbr_mark.set(w);
+                if !self.s.nbr_mark.get(w) {
+                    self.s.nbr_mark.set(w);
                     reach.push(w);
                 }
             }
@@ -789,7 +830,7 @@ impl<'a> Ctx<'a> {
         let mut child_cands: Vec<VertexId> = reach
             .into_iter()
             .filter(|&w| {
-                self.cand_mark.get(w) && rank[w as usize] != u32::MAX && rank[w as usize] > pos
+                self.s.cand_mark.get(w) && rank[w as usize] != u32::MAX && rank[w as usize] > pos
             })
             .collect();
         child_cands.sort_unstable();
@@ -807,21 +848,21 @@ impl<'a> Ctx<'a> {
     }
 
     fn compute_exdegs(&mut self, node: &SearchNode, x_exdeg: &mut [u32], cands_exdeg: &mut [u32]) {
-        self.cand_mark.begin();
+        self.s.cand_mark.begin();
         for &v in &node.cands {
-            self.cand_mark.set(v);
+            self.s.cand_mark.set(v);
         }
         for (i, &u) in node.x.iter().enumerate() {
             let mut d = 0;
             for &w in self.g.neighbors(u) {
-                d += self.cand_mark.get(w) as u32;
+                d += self.s.cand_mark.get(w) as u32;
             }
             x_exdeg[i] = d;
         }
         for (j, &v) in node.cands.iter().enumerate() {
             let mut d = 0;
             for &w in self.g.neighbors(v) {
-                d += self.cand_mark.get(w) as u32;
+                d += self.s.cand_mark.get(w) as u32;
             }
             cands_exdeg[j] = d;
         }
@@ -837,8 +878,8 @@ impl<'a> Ctx<'a> {
         match self.mode {
             MiningMode::Coverage => {
                 for &v in &set {
-                    if !self.covered[v as usize] {
-                        self.covered[v as usize] = true;
+                    if !self.s.covered[v as usize] {
+                        self.s.covered[v as usize] = true;
                         self.remaining -= 1;
                     }
                 }
@@ -873,15 +914,15 @@ impl<'a> Ctx<'a> {
         let req = self.cfg.required_degree(set.len() + 1);
         // Count set-neighbors of every outside vertex.
         let mut counts: Vec<(VertexId, u32)> = Vec::new();
-        self.nbr_mark.begin();
+        self.s.nbr_mark.begin();
         for &u in set {
-            self.nbr_mark.set(u);
+            self.s.nbr_mark.set(u);
         }
         let mut touched: std::collections::HashMap<VertexId, u32> =
             std::collections::HashMap::new();
         for &u in set {
             for &w in self.g.neighbors(u) {
-                if !self.nbr_mark.get(w) {
+                if !self.s.nbr_mark.get(w) {
                     *touched.entry(w).or_insert(0) += 1;
                 }
             }

@@ -32,7 +32,7 @@ pub mod reduce;
 pub use bounds::SizeInterval;
 pub use config::{ceil_gamma, QcConfig};
 pub use engine::{
-    pattern_order, Miner, MiningMode, MiningOutcome, PruneFlags, QuasiClique, SearchOrder,
-    SearchStats,
+    pattern_order, EngineScratch, Miner, MiningMode, MiningOutcome, PruneFlags, QuasiClique,
+    SearchOrder, SearchStats,
 };
 pub use reduce::reduce_vertices;

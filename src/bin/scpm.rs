@@ -4,7 +4,7 @@
 //! ```text
 //! scpm mine      --graph g.txt [--sigma-min N] [--gamma F] [--min-size N]
 //!                [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
-//!                [--min-attrs N] [--max-attrs N] [--threads N]
+//!                [--min-attrs N] [--max-attrs N] [--threads N] [--split-depth N]
 //!                [--algo scpm|levelwise|scorp|naive] [--limit N]
 //! scpm induce    --graph g.txt --attrs name,name [--dot out.dot]
 //!                [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
@@ -25,8 +25,8 @@ use std::process::ExitCode;
 
 use scpm_core::report::{render_patterns, render_summary, render_top_tables};
 use scpm_core::{
-    empirical_p_value, run_naive, run_parallel, AnalyticalModel, ExactModel, Scorp, Scpm,
-    ScpmParams, SimulationModel,
+    empirical_p_value, run_naive, run_parallel_with, AnalyticalModel, ExactModel, ParallelConfig,
+    Scorp, Scpm, ScpmParams, SimulationModel, DEFAULT_SPLIT_DEPTH,
 };
 use scpm_datasets::DatasetSpec;
 use scpm_graph::io::{load_attributed, save_attributed, write_dot};
@@ -70,7 +70,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   scpm mine      --graph <file> [--sigma-min N] [--gamma F] [--min-size N]
                  [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
-                 [--min-attrs N] [--max-attrs N] [--threads N]
+                 [--min-attrs N] [--max-attrs N] [--threads N] [--split-depth N]
                  [--algo scpm|levelwise|scorp|naive] [--limit N]
   scpm induce    --graph <file> --attrs name,name [--dot <file>]
                  [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
@@ -181,6 +181,9 @@ fn mine(flags: &Flags) -> Result<(), String> {
     let params = params_from(flags)?;
     let limit = flags.num("limit", 10usize)?;
     let threads = flags.num("threads", 1usize)?;
+    // Work-stealing task granularity; deeper splits expose more stealable
+    // subtrees on skewed lattices (docs/PARALLELISM.md).
+    let split_depth = flags.num("split-depth", DEFAULT_SPLIT_DEPTH)?;
     let algo = if flags.flag("naive") {
         "naive"
     } else {
@@ -192,7 +195,8 @@ fn mine(flags: &Flags) -> Result<(), String> {
         "levelwise" => Scpm::new(&graph, params).run_levelwise(),
         "scpm" => {
             if threads > 1 {
-                run_parallel(&graph, params, threads)
+                let config = ParallelConfig::new(threads).with_split_depth(split_depth);
+                run_parallel_with(&graph, params, &config)
             } else {
                 Scpm::new(&graph, params).run()
             }

@@ -40,3 +40,20 @@ fn prelude_covers_every_layer() {
     // core (re-exported via `scpm_core::*`)
     let _ = ScpmParams::new(2, 0.5, 3);
 }
+
+#[test]
+fn prelude_exposes_parallel_driver_and_null_cache() {
+    // The work-stealing driver, its configuration, and the shared
+    // null-model cache are part of the façade surface.
+    let g = figure1();
+    let params = ScpmParams::new(3, 0.6, 4).with_eps_min(0.5);
+    let serial = Scpm::new(&g, params.clone()).run();
+    let config = ParallelConfig::new(2).with_split_depth(DEFAULT_SPLIT_DEPTH);
+    let parallel = run_parallel_with(&g, params.clone(), &config);
+    assert_eq!(serial.reports, parallel.reports);
+
+    let cache = std::sync::Arc::new(NullModelCache::new());
+    let cached = Scpm::with_cache(&g, params, cache.clone()).run();
+    assert_eq!(serial.reports, cached.reports);
+    assert!(!cache.is_empty());
+}

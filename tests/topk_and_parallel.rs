@@ -1,8 +1,17 @@
 //! Top-k consistency (§3.2.3) and parallel-driver equivalence on dataset
-//! graphs.
+//! graphs: the work-stealing scheduler, the branch-level baseline, and the
+//! shared null-model cache must all be invisible in the output.
 
-use scpm_core::{run_naive, run_parallel, Scpm, ScpmParams, ScpmResult};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use scpm_core::{
+    run_naive, run_parallel, run_parallel_branch_level, run_parallel_with, AnalyticalModel,
+    NullModelCache, ParallelConfig, Scpm, ScpmParams, ScpmResult, DEFAULT_SPLIT_DEPTH,
+};
 use scpm_datasets::{dblp_like, lastfm_like};
+use scpm_graph::generators::erdos_renyi::gnm;
+use scpm_quasiclique::QcConfig;
 
 fn pattern_rows(r: &ScpmResult) -> Vec<(Vec<u32>, Vec<u32>)> {
     let mut v: Vec<(Vec<u32>, Vec<u32>)> = r
@@ -92,6 +101,78 @@ fn patterns_are_quasi_cliques_of_induced_graphs() {
             cfg.is_quasi_clique(&sub.graph, &sorted),
             "pattern is not a quasi-clique of G(S)"
         );
+    }
+}
+
+/// Byte-level fingerprint of everything a run reports (the counters are
+/// compared separately because `elapsed` is wall-clock).
+fn fingerprint(r: &ScpmResult) -> String {
+    format!("{:?}|{:?}", r.reports, r.patterns)
+}
+
+#[test]
+fn determinism_sweep_on_planted_partition_graph() {
+    // The synthetic DBLP stand-in is a planted-partition graph (dense
+    // attribute-correlated communities over a preferential-attachment
+    // background) with a skewed attribute-support distribution — the
+    // workload where work stealing actually redistributes subtrees.
+    let dataset = dblp_like(0.01, 21);
+    let g = &dataset.graph;
+    let params = ScpmParams::new(8, 0.5, 8)
+        .with_eps_min(0.1)
+        .with_top_k(3)
+        .with_max_attrs(3);
+    let serial = Scpm::new(g, params.clone()).run();
+    let reference = fingerprint(&serial);
+    for threads in [1usize, 2, 4, 8] {
+        for split_depth in [0usize, DEFAULT_SPLIT_DEPTH] {
+            let config = ParallelConfig::new(threads).with_split_depth(split_depth);
+            let run = run_parallel_with(g, params.clone(), &config);
+            assert_eq!(
+                fingerprint(&run),
+                reference,
+                "threads {threads}, split_depth {split_depth}"
+            );
+            let mut stats = run.stats;
+            stats.elapsed = serial.stats.elapsed;
+            assert_eq!(
+                stats, serial.stats,
+                "threads {threads}, split_depth {split_depth}"
+            );
+        }
+    }
+    // The retained branch-level baseline is a third independent driver.
+    let legacy = run_parallel_branch_level(g, params.clone(), 4);
+    assert_eq!(fingerprint(&legacy), reference, "branch-level baseline");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// The shared null-model cache is transparent: a cached model returns
+    /// exactly the values a fresh uncached evaluation produces, for any
+    /// graph, quasi-clique configuration, and support.
+    #[test]
+    fn shared_null_cache_equals_uncached_model(
+        seed in 0u64..1_000,
+        sigma in 0usize..=80,
+        gamma_tenths in 1usize..=10,
+        min_size in 2usize..8,
+    ) {
+        let g = gnm(80, 240, seed);
+        let cfg = QcConfig::new(gamma_tenths as f64 / 10.0, min_size);
+        let cache = Arc::new(NullModelCache::new());
+        let shared_a = AnalyticalModel::new(&g, &cfg).with_cache(cache.clone());
+        let shared_b = AnalyticalModel::new(&g, &cfg).with_cache(cache.clone());
+        let fresh = AnalyticalModel::new(&g, &cfg);
+
+        let first = shared_a.expected(sigma);
+        prop_assert_eq!(first, fresh.expected_uncached(sigma));
+        // A second model on the same cache sees the identical value, and
+        // the lookup is served from the memo.
+        let hits_before = cache.hits();
+        prop_assert_eq!(shared_b.expected(sigma), first);
+        prop_assert!(cache.hits() > hits_before);
+        prop_assert_eq!(cache.misses(), 1);
     }
 }
 

@@ -1,0 +1,251 @@
+//! Work-stealing deques, mirroring
+//! [`crossbeam-deque`](https://crates.io/crates/crossbeam-deque)'s
+//! `Injector` / `Worker` / `Stealer` / `Steal` surface.
+//!
+//! The real crate uses the lock-free Chase–Lev deque; this offline shim
+//! implements the same API over a `Mutex<VecDeque>` per queue, which is
+//! correct (and fast enough at subtree-task granularity, where each queue
+//! operation amortizes a quasi-clique search). Semantics match the
+//! original where it matters for schedulers built on top:
+//!
+//! * [`Worker::pop`] is LIFO — the owner works depth-first on its newest
+//!   (smallest) subtasks, keeping caches warm,
+//! * [`Stealer::steal`] and [`Injector::steal`] are FIFO — thieves take
+//!   the *oldest* (largest) task, minimizing steal traffic,
+//! * a [`Stealer`] is `Clone + Send + Sync` and can be polled from any
+//!   thread.
+//!
+//! The one intentional simplification: this shim's `steal` never returns
+//! [`Steal::Retry`] (a mutex cannot lose a race mid-operation), but the
+//! variant exists so loops written against the real crate compile
+//! unchanged.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried (never produced by
+    /// this shim; kept for API compatibility).
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Converts to `Option`, treating `Retry` as `None`.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether a task was obtained.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+/// A FIFO queue shared by all workers; tasks with no natural owner (e.g.
+/// the roots of a computation) are pushed here and stolen by idle workers.
+#[derive(Debug)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a task at the back.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+    }
+
+    /// Steals the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("injector poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the queue is currently empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("injector poisoned").is_empty()
+    }
+
+    /// Number of queued tasks (racy, advisory only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("injector poisoned").len()
+    }
+}
+
+/// A worker-owned deque: the owner pushes and pops at the back (LIFO),
+/// thieves steal from the front (FIFO) through [`Stealer`] handles.
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates an empty LIFO worker queue (the variant schedulers want for
+    /// depth-first owners; the real crate also offers `new_fifo`).
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .expect("worker queue poisoned")
+            .push_back(task);
+    }
+
+    /// Pops the most recently pushed task (owner side, LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().expect("worker queue poisoned").pop_back()
+    }
+
+    /// Creates a steal handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Whether the deque is currently empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("worker queue poisoned").is_empty()
+    }
+
+    /// Number of queued tasks (racy, advisory only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("worker queue poisoned").len()
+    }
+}
+
+/// A handle stealing from the *front* of one [`Worker`]'s deque.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task from the owning worker's deque.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .queue
+            .lock()
+            .expect("worker queue poisoned")
+            .pop_front()
+        {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the deque is currently empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("worker queue poisoned").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1)); // oldest
+        assert_eq!(w.pop(), Some(3)); // newest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.steal().is_empty());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn steal_across_threads() {
+        let w = Worker::new_lifo();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let stealers: Vec<Stealer<i32>> = (0..4).map(|_| w.stealer()).collect();
+        let total: i32 = crate::scope(|scope| {
+            let handles: Vec<_> = stealers
+                .iter()
+                .map(|s| {
+                    scope.spawn(move |_| {
+                        let mut sum = 0;
+                        while let Steal::Success(v) = s.steal() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total + w.pop().map_or(0, |v| v), (0..100).sum());
+    }
+
+    #[test]
+    fn steal_success_helpers() {
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<i32>::Empty.success(), None);
+        assert_eq!(Steal::<i32>::Retry.success(), None);
+        assert!(Steal::Success(7).is_success());
+        assert!(!Steal::<i32>::Retry.is_empty());
+    }
+}

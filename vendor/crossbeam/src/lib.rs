@@ -5,9 +5,13 @@
 //!
 //! API mirrored: `crossbeam::scope(|s| { s.spawn(|_| …) })` returning
 //! `Result`, with spawn closures receiving a `&Scope` handle for nested
-//! spawns and `ScopedJoinHandle::join` for collecting results.
+//! spawns and `ScopedJoinHandle::join` for collecting results; plus the
+//! [`deque`] module's `Injector`/`Worker`/`Stealer` work-stealing queues
+//! (mirroring `crossbeam-deque`, which the real `crossbeam` re-exports).
 
 #![warn(missing_docs)]
+
+pub mod deque;
 
 use std::any::Any;
 use std::thread;
