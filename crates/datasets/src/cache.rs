@@ -1,10 +1,21 @@
-//! Snapshot-backed dataset cache.
+//! Snapshot-backed dataset caches.
 //!
-//! Bench-scale synthetic graphs take seconds to generate; the experiment
-//! harness and examples ask for the same `(spec, scale, seed)` triples
-//! over and over. [`load_or_generate`] keys a binary snapshot
-//! (`scpm_graph::snapshot`) by those parameters and reloads it in
-//! milliseconds on later calls.
+//! Bench-scale synthetic graphs take seconds to generate and real datasets
+//! take seconds to parse; the experiment harness and examples ask for the
+//! same inputs over and over. Two cache families share one storage format
+//! (the versioned binary snapshot of `scpm_graph::snapshot`):
+//!
+//! * [`load_or_generate`] keys a snapshot by a synthetic `(spec, scale,
+//!   seed)` triple;
+//! * [`ingest_cached`] keys a snapshot by a [`source_fingerprint`] — an
+//!   FNV-1a hash over the source files' bytes, the normalization options,
+//!   and the snapshot format version, so edited sources, changed options
+//!   and stale format revisions all miss cleanly.
+//!
+//! Corrupt, stale-version, or foreign cache entries are never trusted:
+//! decoding validates magic, version, and checksum, and any failure
+//! regenerates the entry. Cache-key semantics are documented in
+//! `docs/DATASETS.md`.
 //!
 //! Only the attributed graph is cached — planted-community ground truth
 //! is cheap to regenerate and callers that need it should call
@@ -13,8 +24,9 @@
 use std::path::{Path, PathBuf};
 
 use scpm_graph::attributed::AttributedGraph;
-use scpm_graph::snapshot::{load_snapshot, save_snapshot};
+use scpm_graph::snapshot::{fnv1a64, load_snapshot, save_snapshot, VERSION};
 
+use crate::ingest::{ingest_files, IdPolicy, IngestError, IngestOptions, SourceFormat};
 use crate::synthetic::{generate, DatasetSpec};
 
 /// The cache file for a `(spec, scale, seed)` triple under `dir`.
@@ -47,6 +59,79 @@ pub fn load_or_generate(
         eprintln!("warning: could not write dataset cache {path:?}: {e}");
     }
     Ok(dataset.graph)
+}
+
+fn options_fingerprint_bytes(format: SourceFormat, opts: &IngestOptions) -> [u8; 5] {
+    [
+        match format {
+            SourceFormat::EdgeList => 0,
+            SourceFormat::Adjacency => 1,
+            SourceFormat::Unified => 2,
+        },
+        match opts.id_policy {
+            IdPolicy::Auto => 0,
+            IdPolicy::Intern => 1,
+            IdPolicy::Numeric => 2,
+        },
+        matches!(opts.self_loops, crate::ingest::SelfLoopPolicy::Error) as u8,
+        matches!(
+            opts.unknown_vertices,
+            crate::ingest::UnknownVertexPolicy::Error
+        ) as u8,
+        opts.canonical_attrs as u8,
+    ]
+}
+
+/// Content fingerprint of an ingest request: hashes every source file's
+/// length and bytes, the normalization options, and the snapshot format
+/// [`VERSION`]. Any change to any of those yields a different key.
+pub fn source_fingerprint(
+    format: SourceFormat,
+    paths: &[&Path],
+    opts: &IngestOptions,
+) -> std::io::Result<u64> {
+    let mut acc = Vec::new();
+    acc.extend_from_slice(&VERSION.to_le_bytes());
+    acc.extend_from_slice(&options_fingerprint_bytes(format, opts));
+    for path in paths {
+        let data = std::fs::read(path)?;
+        acc.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        acc.extend_from_slice(&fnv1a64(&data).to_le_bytes());
+    }
+    Ok(fnv1a64(&acc))
+}
+
+/// The cache file for an ingest fingerprint under `dir`.
+pub fn ingest_cache_path(dir: &Path, label: &str, fingerprint: u64) -> PathBuf {
+    dir.join(format!("{label}-{fingerprint:016x}.snap"))
+}
+
+/// Loads the cached snapshot for an on-disk dataset or ingests the files
+/// and writes the cache. Returns the graph and whether it was a cache hit.
+///
+/// On a hit the parse-time [`crate::ingest::IngestReport`] is not
+/// reconstructed (the counters only exist during a real parse); callers
+/// that need the report should call [`ingest_files`] directly.
+pub fn ingest_cached(
+    dir: impl AsRef<Path>,
+    format: SourceFormat,
+    structure: &Path,
+    attrs: Option<&Path>,
+    opts: &IngestOptions,
+) -> Result<(AttributedGraph, bool), IngestError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut paths = vec![structure];
+    paths.extend(attrs);
+    let fingerprint = source_fingerprint(format, &paths, opts)?;
+    let label = crate::ingest::label_of(structure);
+    let path = ingest_cache_path(dir, &label, fingerprint);
+    if let Ok(graph) = load_snapshot(&path) {
+        return Ok((graph, true));
+    }
+    let out = ingest_files(format, structure, attrs, opts)?;
+    save_snapshot(&out.graph, &path)?;
+    Ok((out.graph, false))
 }
 
 #[cfg(test)]
@@ -89,6 +174,49 @@ mod tests {
                 assert_ne!(x, y);
             }
         }
+    }
+
+    #[test]
+    fn ingest_cache_hits_and_invalidates_on_content_change() {
+        let dir = temp_dir("ingest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let attrs = dir.join("g.attrs");
+        std::fs::write(&edges, "0 1\n1 2\n").unwrap();
+        std::fs::write(&attrs, "0 red\n2 blue\n").unwrap();
+        let opts = IngestOptions::default();
+        let cache = dir.join("cache");
+        let (g1, hit1) =
+            ingest_cached(&cache, SourceFormat::EdgeList, &edges, Some(&attrs), &opts).unwrap();
+        assert!(!hit1);
+        let (g2, hit2) =
+            ingest_cached(&cache, SourceFormat::EdgeList, &edges, Some(&attrs), &opts).unwrap();
+        assert!(hit2);
+        assert_eq!(
+            scpm_graph::snapshot::encode(&g1).as_ref(),
+            scpm_graph::snapshot::encode(&g2).as_ref()
+        );
+        // Editing a source file misses the cache and picks up the change.
+        std::fs::write(&attrs, "0 red\n2 green\n").unwrap();
+        let (g3, hit3) =
+            ingest_cached(&cache, SourceFormat::EdgeList, &edges, Some(&attrs), &opts).unwrap();
+        assert!(!hit3);
+        assert!(g3.attr_id("green").is_some());
+        // Changing options also misses.
+        let strict = IngestOptions {
+            id_policy: IdPolicy::Intern,
+            ..IngestOptions::default()
+        };
+        let (_, hit4) = ingest_cached(
+            &cache,
+            SourceFormat::EdgeList,
+            &edges,
+            Some(&attrs),
+            &strict,
+        )
+        .unwrap();
+        assert!(!hit4);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,734 @@
+//! Ingestion: normalize any parsed graph source into an
+//! [`AttributedGraph`] plus an [`IngestReport`].
+//!
+//! The parsers in `scpm_graph::io::source` produce a [`RawSource`] — raw
+//! interned edges and vertex-attribute pairs, duplicates and all. This
+//! module applies the normalization the miners rely on:
+//!
+//! 1. **Vertex relabeling** ([`IdPolicy`]): fully numeric sources keep
+//!    their externally assigned ids (so reports match the publisher's
+//!    numbering); everything else is relabeled densely in first-appearance
+//!    order.
+//! 2. **Edge hygiene**: self-loops are dropped (or rejected, per
+//!    [`SelfLoopPolicy`]) and parallel edges merged, both counted.
+//! 3. **Attribute canonicalization**: attribute ids are assigned in
+//!    lexicographic name order, making the numbering a function of the
+//!    graph's *content* rather than of file row order — two files
+//!    describing the same graph ingest to byte-identical snapshots and
+//!    byte-identical mining reports.
+//! 4. **Statistics**: the report carries counts, merge/drop counters and
+//!    the attribute-frequency head, which `scpm ingest` and `scpm stats`
+//!    print.
+//!
+//! ```
+//! use scpm_datasets::ingest::{ingest_source, IngestOptions};
+//! use scpm_graph::io::source::RawSource;
+//!
+//! let mut src = RawSource::new();
+//! src.read_edge_list("0 1\n1 2\n2 0\n2 0\n1 1\n".as_bytes()).unwrap();
+//! src.read_attr_table("0 db ml\n1 db\n2 db\n".as_bytes()).unwrap();
+//! let out = ingest_source(src, "demo", &IngestOptions::default()).unwrap();
+//! assert_eq!(out.graph.num_vertices(), 3);
+//! assert_eq!(out.graph.num_edges(), 3); // duplicate (2,0) merged
+//! let parse = out.report.parse.as_ref().unwrap();
+//! assert_eq!(parse.self_loops_dropped, 1);
+//! assert_eq!(parse.duplicate_edges_merged, 1);
+//! assert_eq!(out.report.top_attributes[0], ("db".to_string(), 3));
+//! ```
+
+use std::fmt;
+use std::path::Path;
+
+use scpm_graph::attributed::{AttributedGraph, AttributedGraphBuilder};
+use scpm_graph::io::source::{canonical_numeric, RawSource};
+use scpm_graph::io::ParseError;
+use scpm_graph::snapshot::SnapshotError;
+
+/// How vertex tokens map to dense vertex ids.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IdPolicy {
+    /// Keep numeric ids when every token is a canonical decimal integer
+    /// and the id space is reasonably dense (`max < 2·distinct + 1024`);
+    /// otherwise fall back to interning. The default.
+    #[default]
+    Auto,
+    /// Always relabel tokens in first-appearance order.
+    Intern,
+    /// Require numeric tokens and keep them verbatim (sparse id spaces
+    /// allocate isolated filler vertices up to the maximum id).
+    Numeric,
+}
+
+/// What to do with self-loops in the source.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SelfLoopPolicy {
+    /// Drop them, counting the drops in the report. The default.
+    #[default]
+    Drop,
+    /// Reject the source outright.
+    Error,
+}
+
+/// What to do with attribute-table vertices that never appear in an edge
+/// or adjacency file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum UnknownVertexPolicy {
+    /// Admit them as isolated vertices (the vertex universe is the union
+    /// of all files). The default.
+    #[default]
+    Allow,
+    /// Reject the source — the structural files define the universe and
+    /// anything else in an attribute table is treated as a typo.
+    Error,
+}
+
+/// Normalization options for one ingest run.
+#[derive(Clone, Debug)]
+pub struct IngestOptions {
+    /// Vertex relabeling policy.
+    pub id_policy: IdPolicy,
+    /// Self-loop policy.
+    pub self_loops: SelfLoopPolicy,
+    /// Unknown-vertex policy for attribute tables.
+    pub unknown_vertices: UnknownVertexPolicy,
+    /// Renumber attributes into lexicographic name order (recommended:
+    /// makes snapshots and mining reports independent of file row order).
+    pub canonical_attrs: bool,
+    /// How many attribute-frequency rows to keep in the report.
+    pub top_attributes: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            id_policy: IdPolicy::Auto,
+            self_loops: SelfLoopPolicy::Drop,
+            unknown_vertices: UnknownVertexPolicy::Allow,
+            canonical_attrs: true,
+            top_attributes: 10,
+        }
+    }
+}
+
+/// The on-disk shape of a source dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceFormat {
+    /// One `u v` edge per line, optional separate attribute table.
+    EdgeList,
+    /// One `u: v1 v2 ...` line per vertex, optional attribute table.
+    Adjacency,
+    /// The single-file `v`/`e`/`a` format of `scpm_graph::io`.
+    Unified,
+}
+
+/// Guesses a [`SourceFormat`] from a file extension: `.adj` → adjacency,
+/// `.scpm` → unified, anything else → edge list.
+pub fn detect_format(path: &Path) -> SourceFormat {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("adj") => SourceFormat::Adjacency,
+        Some("scpm") => SourceFormat::Unified,
+        _ => SourceFormat::EdgeList,
+    }
+}
+
+/// Errors produced by ingestion.
+#[derive(Debug)]
+pub enum IngestError {
+    /// A source file failed to parse.
+    Parse(ParseError),
+    /// Snapshot encode/decode failed (cached ingest only).
+    Snapshot(SnapshotError),
+    /// Underlying I/O failure (opening source files, writing snapshots).
+    Io(std::io::Error),
+    /// The source contains self-loops and [`SelfLoopPolicy::Error`] is set.
+    SelfLoops {
+        /// Number of self-loops seen.
+        count: usize,
+    },
+    /// An attribute table references a vertex absent from the structural
+    /// files and [`UnknownVertexPolicy::Error`] is set.
+    UnknownVertex {
+        /// The offending vertex token.
+        token: String,
+    },
+    /// [`IdPolicy::Numeric`] is set but a vertex token is not a canonical
+    /// decimal integer.
+    NonNumericId {
+        /// The offending vertex token.
+        token: String,
+    },
+    /// The caller combined inputs that do not go together (e.g. an
+    /// attribute table next to the unified format).
+    BadRequest(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Parse(e) => write!(f, "{e}"),
+            IngestError::Snapshot(e) => write!(f, "{e}"),
+            IngestError::Io(e) => write!(f, "i/o error: {e}"),
+            IngestError::SelfLoops { count } => {
+                write!(
+                    f,
+                    "source contains {count} self-loop(s) and --self-loops error is set"
+                )
+            }
+            IngestError::UnknownVertex { token } => write!(
+                f,
+                "attribute table references vertex `{token}` absent from the edge files"
+            ),
+            IngestError::NonNumericId { token } => write!(
+                f,
+                "--ids numeric requires canonical decimal vertex ids, got `{token}`"
+            ),
+            IngestError::BadRequest(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Parse(e) => Some(e),
+            IngestError::Snapshot(e) => Some(e),
+            IngestError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for IngestError {
+    fn from(e: ParseError) -> Self {
+        IngestError::Parse(e)
+    }
+}
+
+impl From<SnapshotError> for IngestError {
+    fn from(e: SnapshotError) -> Self {
+        IngestError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+/// Counters only a real parse can produce (absent on cache hits and on
+/// already-built graphs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParseCounters {
+    /// Self-loops dropped from the edge files.
+    pub self_loops_dropped: usize,
+    /// Parallel edges merged into one.
+    pub duplicate_edges_merged: usize,
+    /// Duplicate vertex-attribute pairs merged into one.
+    pub duplicate_pairs_merged: usize,
+    /// Vertices that appeared only in attribute tables.
+    pub attr_only_vertices: usize,
+}
+
+/// What an ingest run produced, printable via `Display`.
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    /// Human-readable label (usually the source file stem).
+    pub label: String,
+    /// Vertices in the normalized graph.
+    pub vertices: usize,
+    /// Undirected edges after merging.
+    pub edges: usize,
+    /// Distinct attributes.
+    pub attributes: usize,
+    /// Vertex-attribute pairs after merging.
+    pub pairs: usize,
+    /// Whether externally assigned numeric vertex ids were kept.
+    pub numeric_ids: bool,
+    /// Attribute-frequency head: `(name, support)`, most frequent first.
+    pub top_attributes: Vec<(String, usize)>,
+    /// Parse-time counters (`None` when the graph was already built).
+    pub parse: Option<ParseCounters>,
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} vertices, {} edges, {} attributes, {} vertex-attribute pairs ({} ids)",
+            self.label,
+            self.vertices,
+            self.edges,
+            self.attributes,
+            self.pairs,
+            if self.numeric_ids {
+                "numeric"
+            } else {
+                "interned"
+            },
+        )?;
+        if let Some(p) = &self.parse {
+            writeln!(
+                f,
+                "  normalized: {} self-loops dropped, {} duplicate edges merged, \
+                 {} duplicate pairs merged, {} attribute-only vertices",
+                p.self_loops_dropped,
+                p.duplicate_edges_merged,
+                p.duplicate_pairs_merged,
+                p.attr_only_vertices
+            )?;
+        }
+        if !self.top_attributes.is_empty() {
+            writeln!(f, "  top attributes by frequency:")?;
+            for (name, support) in &self.top_attributes {
+                writeln!(f, "    {name:<32} {support}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A normalized graph plus its ingest report.
+#[derive(Clone, Debug)]
+pub struct Ingested {
+    /// The normalized attributed graph.
+    pub graph: AttributedGraph,
+    /// What happened during normalization.
+    pub report: IngestReport,
+}
+
+fn top_attributes(g: &AttributedGraph, limit: usize) -> Vec<(String, usize)> {
+    let mut rows: Vec<(String, usize)> = g
+        .attributes()
+        .map(|a| (g.attr_name(a).to_string(), g.support(a)))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rows.truncate(limit);
+    rows
+}
+
+/// Rewrites `g`'s attribute table into canonical form: attributes carried
+/// by no vertex are dropped (an on-disk vertex→attribute table cannot
+/// express them anyway), and the survivors are renumbered in
+/// lexicographic name order.
+///
+/// The result is structurally identical (same vertices, edges, and
+/// per-vertex attribute *names*) but its attribute ids — and therefore
+/// snapshot bytes and mining-report row order — depend only on the graph's
+/// content, not on the order names were first seen. This is the invariant
+/// behind the byte-identical pipeline guarantee: ingesting a graph from
+/// files and canonicalizing the same graph built in memory produce
+/// identical snapshots.
+///
+/// ```
+/// use scpm_datasets::ingest::canonicalize_attributes;
+/// use scpm_graph::AttributedGraphBuilder;
+///
+/// let mut b = AttributedGraphBuilder::new(2);
+/// b.add_edge(0, 1);
+/// b.add_attr_named(0, "zebra");
+/// b.add_attr_named(1, "apple");
+/// b.intern_attr("unused");
+/// let g = canonicalize_attributes(&b.build());
+/// assert_eq!(g.num_attributes(), 2); // "unused" is dropped
+/// assert_eq!(g.attr_name(0), "apple");
+/// assert_eq!(g.attr_name(1), "zebra");
+/// ```
+pub fn canonicalize_attributes(g: &AttributedGraph) -> AttributedGraph {
+    let n = g.num_vertices();
+    let mut b = AttributedGraphBuilder::new(n);
+    for (u, v) in g.graph().edges() {
+        b.add_edge(u, v);
+    }
+    let mut order: Vec<u32> = g.attributes().filter(|&a| g.support(a) > 0).collect();
+    order.sort_by(|&a, &x| g.attr_name(a).cmp(g.attr_name(x)));
+    for &a in &order {
+        b.intern_attr(g.attr_name(a));
+    }
+    for v in 0..n as u32 {
+        for &a in g.attributes_of(v) {
+            b.add_attr_named(v, g.attr_name(a));
+        }
+    }
+    b.build()
+}
+
+/// Normalizes a parsed [`RawSource`] into an attributed graph (see the
+/// module docs for the exact steps).
+pub fn ingest_source(
+    src: RawSource,
+    label: &str,
+    opts: &IngestOptions,
+) -> Result<Ingested, IngestError> {
+    if src.self_loops > 0 && opts.self_loops == SelfLoopPolicy::Error {
+        return Err(IngestError::SelfLoops {
+            count: src.self_loops,
+        });
+    }
+    let attr_only = (0..src.vertices.len() as u32)
+        .filter(|&v| !src.is_structural(v))
+        .count();
+    if opts.unknown_vertices == UnknownVertexPolicy::Error {
+        if let Some(v) = (0..src.vertices.len() as u32).find(|&v| !src.is_structural(v)) {
+            return Err(IngestError::UnknownVertex {
+                token: src.vertices.name(v).to_string(),
+            });
+        }
+    }
+
+    // Vertex relabeling.
+    let distinct = src.vertices.len();
+    let numeric_ok = src.vertices.all_numeric();
+    let dense_enough = (src.vertices.max_numeric() as usize) < 2 * distinct + 1024;
+    let use_numeric = match opts.id_policy {
+        IdPolicy::Intern => false,
+        IdPolicy::Auto => distinct > 0 && numeric_ok && dense_enough,
+        IdPolicy::Numeric => {
+            if let Some(bad) = src
+                .vertices
+                .names()
+                .iter()
+                .find(|t| canonical_numeric(t).is_none())
+            {
+                return Err(IngestError::NonNumericId { token: bad.clone() });
+            }
+            true
+        }
+    };
+    let (map, n): (Option<Vec<u32>>, usize) = if use_numeric {
+        let map: Vec<u32> = src
+            .vertices
+            .names()
+            .iter()
+            .map(|t| canonical_numeric(t).expect("checked numeric"))
+            .collect();
+        let n = if distinct == 0 {
+            0
+        } else {
+            src.vertices.max_numeric() as usize + 1
+        };
+        (Some(map), n)
+    } else {
+        (None, distinct)
+    };
+    let relabel = |v: u32| -> u32 { map.as_ref().map_or(v, |m| m[v as usize]) };
+
+    // Edge merging.
+    let mut edges: Vec<(u32, u32)> = src
+        .edges
+        .iter()
+        .map(|&(u, v)| {
+            let (u, v) = (relabel(u), relabel(v));
+            (u.min(v), u.max(v))
+        })
+        .collect();
+    edges.sort_unstable();
+    let raw_edges = edges.len();
+    edges.dedup();
+    let duplicate_edges = raw_edges - edges.len();
+
+    // Attribute renumbering (canonical = lexicographic by name).
+    let mut attr_order: Vec<u32> = (0..src.attributes.len() as u32).collect();
+    if opts.canonical_attrs {
+        attr_order.sort_by(|&a, &b| src.attributes.name(a).cmp(src.attributes.name(b)));
+    }
+    let mut attr_map = vec![0u32; src.attributes.len()];
+    for (new, &old) in attr_order.iter().enumerate() {
+        attr_map[old as usize] = new as u32;
+    }
+
+    let mut pairs: Vec<(u32, u32)> = src
+        .pairs
+        .iter()
+        .map(|&(v, a)| (relabel(v), attr_map[a as usize]))
+        .collect();
+    pairs.sort_unstable();
+    let raw_pairs = pairs.len();
+    pairs.dedup();
+    let duplicate_pairs = raw_pairs - pairs.len();
+
+    let mut b = AttributedGraphBuilder::new(n);
+    for &(u, v) in &edges {
+        b.add_edge(u, v);
+    }
+    for &old in &attr_order {
+        b.intern_attr(src.attributes.name(old));
+    }
+    for &(v, a) in &pairs {
+        b.add_attr(v, a);
+    }
+    let graph = b.build();
+
+    let report = IngestReport {
+        label: label.to_string(),
+        vertices: graph.num_vertices(),
+        edges: graph.num_edges(),
+        attributes: graph.num_attributes(),
+        pairs: pairs.len(),
+        numeric_ids: use_numeric,
+        top_attributes: top_attributes(&graph, opts.top_attributes),
+        parse: Some(ParseCounters {
+            self_loops_dropped: src.self_loops,
+            duplicate_edges_merged: duplicate_edges,
+            duplicate_pairs_merged: duplicate_pairs,
+            attr_only_vertices: attr_only,
+        }),
+    };
+    Ok(Ingested { graph, report })
+}
+
+/// Wraps an already-built graph in the ingest interface: canonicalizes
+/// attributes (if enabled) and computes the graph-level report. Used for
+/// the unified text format and for re-ingesting snapshots.
+pub fn ingest_graph(g: AttributedGraph, label: &str, opts: &IngestOptions) -> Ingested {
+    let graph = if opts.canonical_attrs {
+        canonicalize_attributes(&g)
+    } else {
+        g
+    };
+    let pairs: usize = (0..graph.num_vertices() as u32)
+        .map(|v| graph.attributes_of(v).len())
+        .sum();
+    let report = IngestReport {
+        label: label.to_string(),
+        vertices: graph.num_vertices(),
+        edges: graph.num_edges(),
+        attributes: graph.num_attributes(),
+        pairs,
+        numeric_ids: true,
+        top_attributes: top_attributes(&graph, opts.top_attributes),
+        parse: None,
+    };
+    Ingested { graph, report }
+}
+
+pub(crate) fn label_of(path: &Path) -> String {
+    path.file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset")
+        .to_string()
+}
+
+/// Ingests on-disk files: a structural file (edge list, adjacency list, or
+/// unified `v`/`e`/`a` file) plus an optional vertex→attribute table.
+///
+/// This is the library entry point behind `scpm ingest`; the formats are
+/// specified in `docs/DATASETS.md`.
+pub fn ingest_files(
+    format: SourceFormat,
+    structure: &Path,
+    attrs: Option<&Path>,
+    opts: &IngestOptions,
+) -> Result<Ingested, IngestError> {
+    let label = label_of(structure);
+    match format {
+        SourceFormat::Unified => {
+            if attrs.is_some() {
+                return Err(IngestError::BadRequest(
+                    "the unified format carries attributes inline; --attrs does not apply"
+                        .to_string(),
+                ));
+            }
+            let g = scpm_graph::io::load_attributed(structure)?;
+            Ok(ingest_graph(g, &label, opts))
+        }
+        SourceFormat::EdgeList | SourceFormat::Adjacency => {
+            let mut src = RawSource::new();
+            let file = std::fs::File::open(structure)?;
+            match format {
+                SourceFormat::EdgeList => src.read_edge_list(file)?,
+                SourceFormat::Adjacency => src.read_adjacency(file)?,
+                SourceFormat::Unified => unreachable!(),
+            }
+            if let Some(attrs) = attrs {
+                let file = std::fs::File::open(attrs)?;
+                src.read_attr_table(file)?;
+            }
+            ingest_source(src, &label, opts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(edges: &str, attrs: &str) -> RawSource {
+        let mut src = RawSource::new();
+        src.read_edge_list(edges.as_bytes()).unwrap();
+        if !attrs.is_empty() {
+            src.read_attr_table(attrs.as_bytes()).unwrap();
+        }
+        src
+    }
+
+    #[test]
+    fn numeric_ids_kept_under_auto() {
+        let src = source("0 2\n2 1\n", "1 red\n");
+        let out = ingest_source(src, "t", &IngestOptions::default()).unwrap();
+        assert!(out.report.numeric_ids);
+        assert_eq!(out.graph.num_vertices(), 3);
+        assert!(out.graph.graph().has_edge(0, 2));
+        let red = out.graph.attr_id("red").unwrap();
+        assert_eq!(out.graph.vertices_with(red), &[1]);
+    }
+
+    #[test]
+    fn string_ids_interned_in_first_appearance_order() {
+        let src = source("carol alice\nalice bob\n", "bob jazz\n");
+        let out = ingest_source(src, "t", &IngestOptions::default()).unwrap();
+        assert!(!out.report.numeric_ids);
+        assert_eq!(out.graph.num_vertices(), 3);
+        // carol=0, alice=1, bob=2 by first appearance.
+        assert!(out.graph.graph().has_edge(0, 1));
+        assert!(out.graph.graph().has_edge(1, 2));
+        let jazz = out.graph.attr_id("jazz").unwrap();
+        assert_eq!(out.graph.vertices_with(jazz), &[2]);
+    }
+
+    #[test]
+    fn sparse_numeric_ids_fall_back_to_interning_under_auto() {
+        let src = source("1000000000 2000000000\n", "");
+        let out = ingest_source(src, "t", &IngestOptions::default()).unwrap();
+        assert!(!out.report.numeric_ids);
+        assert_eq!(out.graph.num_vertices(), 2);
+    }
+
+    #[test]
+    fn forced_numeric_allocates_gap_vertices() {
+        let src = source("0 5\n", "");
+        let opts = IngestOptions {
+            id_policy: IdPolicy::Numeric,
+            ..Default::default()
+        };
+        let out = ingest_source(src, "t", &opts).unwrap();
+        assert_eq!(out.graph.num_vertices(), 6);
+        assert_eq!(out.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn forced_numeric_rejects_string_tokens() {
+        let src = source("alice 1\n", "");
+        let opts = IngestOptions {
+            id_policy: IdPolicy::Numeric,
+            ..Default::default()
+        };
+        match ingest_source(src, "t", &opts) {
+            Err(IngestError::NonNumericId { token }) => assert_eq!(token, "alice"),
+            other => panic!("expected NonNumericId, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_policy_error_rejects() {
+        let src = source("0 0\n0 1\n", "");
+        let opts = IngestOptions {
+            self_loops: SelfLoopPolicy::Error,
+            ..Default::default()
+        };
+        assert!(matches!(
+            ingest_source(src, "t", &opts),
+            Err(IngestError::SelfLoops { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn unknown_vertex_policy_error_rejects_attr_only_vertices() {
+        let src = source("0 1\n", "0 red\n7 blue\n");
+        let opts = IngestOptions {
+            unknown_vertices: UnknownVertexPolicy::Error,
+            ..Default::default()
+        };
+        match ingest_source(src, "t", &opts) {
+            Err(IngestError::UnknownVertex { token }) => assert_eq!(token, "7"),
+            other => panic!("expected UnknownVertex, got {other:?}"),
+        }
+        // Default policy admits it as an isolated vertex.
+        let src = source("0 1\n", "0 red\n7 blue\n");
+        let out = ingest_source(src, "t", &IngestOptions::default()).unwrap();
+        assert_eq!(out.graph.num_vertices(), 8); // numeric mode: 0..=7
+        assert_eq!(out.report.parse.unwrap().attr_only_vertices, 1);
+    }
+
+    #[test]
+    fn canonical_attr_order_is_row_order_independent() {
+        let a = source("0 1\n", "0 zebra\n1 apple\n");
+        let b = source("0 1\n", "1 apple\n0 zebra\n");
+        let ga = ingest_source(a, "t", &IngestOptions::default())
+            .unwrap()
+            .graph;
+        let gb = ingest_source(b, "t", &IngestOptions::default())
+            .unwrap()
+            .graph;
+        assert_eq!(ga.attr_name(0), "apple");
+        assert_eq!(
+            scpm_graph::snapshot::encode(&ga).as_ref(),
+            scpm_graph::snapshot::encode(&gb).as_ref()
+        );
+    }
+
+    #[test]
+    fn report_counts_and_display() {
+        let src = source("0 1\n1 0\n2 2\n0 2\n", "0 x y\n1 x\n2 x x\n");
+        let out = ingest_source(src, "demo", &IngestOptions::default()).unwrap();
+        let p = out.report.parse.clone().unwrap();
+        assert_eq!(p.self_loops_dropped, 1);
+        assert_eq!(p.duplicate_edges_merged, 1);
+        assert_eq!(p.duplicate_pairs_merged, 1);
+        assert_eq!(out.report.edges, 2);
+        assert_eq!(out.report.pairs, 4);
+        assert_eq!(out.report.top_attributes[0].0, "x");
+        let text = out.report.to_string();
+        assert!(text.contains("demo: 3 vertices"), "{text}");
+        assert!(text.contains("1 self-loops dropped"), "{text}");
+    }
+
+    #[test]
+    fn ingest_graph_canonicalizes_prebuilt_graphs() {
+        let d = crate::dblp_like(0.003, 3);
+        let out = ingest_graph(d.graph.clone(), "dblp", &IngestOptions::default());
+        let direct = canonicalize_attributes(&d.graph);
+        assert_eq!(
+            scpm_graph::snapshot::encode(&out.graph).as_ref(),
+            scpm_graph::snapshot::encode(&direct).as_ref()
+        );
+        assert!(out.report.parse.is_none());
+    }
+
+    #[test]
+    fn detect_format_by_extension() {
+        assert_eq!(detect_format(Path::new("g.adj")), SourceFormat::Adjacency);
+        assert_eq!(detect_format(Path::new("g.scpm")), SourceFormat::Unified);
+        assert_eq!(detect_format(Path::new("g.txt")), SourceFormat::EdgeList);
+        assert_eq!(detect_format(Path::new("edges")), SourceFormat::EdgeList);
+    }
+
+    #[test]
+    fn ingest_files_edge_list_plus_attrs() {
+        let dir = std::env::temp_dir().join("scpm_ingest_files_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let attrs = dir.join("g.attrs");
+        std::fs::write(&edges, "0 1\n1 2\n").unwrap();
+        std::fs::write(&attrs, "0 red\n1 red\n2 blue\n").unwrap();
+        let out = ingest_files(
+            SourceFormat::EdgeList,
+            &edges,
+            Some(&attrs),
+            &IngestOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.report.label, "g");
+        assert_eq!(out.graph.num_vertices(), 3);
+        assert_eq!(out.graph.num_attributes(), 2);
+        // Unified + attrs is a usage error.
+        let e = ingest_files(
+            SourceFormat::Unified,
+            &edges,
+            Some(&attrs),
+            &IngestOptions::default(),
+        );
+        assert!(matches!(e, Err(IngestError::BadRequest(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,17 +1,35 @@
-//! Synthetic attributed-graph datasets calibrated to the networks of the
-//! SCPM paper's evaluation: a DBLP-like collaboration network, a
-//! LastFm-like social music network, a CiteSeer-like citation network, and
-//! the SmallDBLP performance dataset. Each generator is seeded and
-//! scalable; see [`synthetic`] for the calibration details and DESIGN.md
-//! for the substitution rationale.
+//! Datasets for the SCPM suite: synthetic stand-ins for the paper's
+//! evaluation networks, plus the ingestion pipeline that loads *real*
+//! attributed graphs from disk.
+//!
+//! * [`synthetic`] — seeded, scalable generators calibrated to the paper's
+//!   DBLP / LastFm / CiteSeer / SmallDBLP networks (see the calibration
+//!   notes in the module docs).
+//! * [`ingest`] — normalization of on-disk sources (edge lists, adjacency
+//!   lists, vertex→attribute tables, the unified text format) into
+//!   [`AttributedGraph`](scpm_graph::AttributedGraph)s with dedup,
+//!   relabeling and attribute statistics; the engine behind `scpm ingest`.
+//! * [`cache`] — binary-snapshot caching for both worlds: generated
+//!   datasets keyed by `(spec, scale, seed)`, ingested datasets keyed by a
+//!   content fingerprint of their source files.
+//! * [`vocab`] — attribute vocabularies and the string-interning [`Vocab`]
+//!   used throughout parsing.
+//!
+//! The on-disk formats are specified normatively in `docs/DATASETS.md`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
+pub mod ingest;
 pub mod synthetic;
 pub mod vocab;
 
-pub use cache::load_or_generate;
+pub use cache::{ingest_cached, load_or_generate, source_fingerprint};
+pub use ingest::{
+    canonicalize_attributes, ingest_files, ingest_graph, ingest_source, IdPolicy, IngestError,
+    IngestOptions, IngestReport, Ingested, SelfLoopPolicy, SourceFormat, UnknownVertexPolicy,
+};
 pub use synthetic::{
     citeseer_like, dblp_like, generate, lastfm_like, small_dblp_like, DatasetSpec, SyntheticDataset,
 };
+pub use vocab::Vocab;

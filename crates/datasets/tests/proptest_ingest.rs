@@ -1,0 +1,135 @@
+//! Property tests for the ingestion pipeline: for *any* generated
+//! attributed graph, the cycle
+//!
+//! ```text
+//! graph → write (edge list + attr table) → parse → normalize
+//!       → snapshot encode → decode → write again → parse again
+//! ```
+//!
+//! is a fixed point — every stage reproduces the same canonical graph,
+//! byte-for-byte at the snapshot level.
+
+use proptest::prelude::*;
+use scpm_datasets::ingest::{canonicalize_attributes, ingest_source, IngestOptions};
+use scpm_graph::io::source::RawSource;
+use scpm_graph::io::{write_attr_table, write_edge_list};
+use scpm_graph::snapshot;
+use scpm_graph::AttributedGraphBuilder;
+
+/// A raw graph draw: vertex count, edge rows, and (vertex, attr) rows.
+type RawRows = (usize, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// Strategy: a random attributed graph with adversarial attribute names
+/// (separators, quotes, unicode) and possibly isolated vertices.
+fn graph_strategy() -> impl Strategy<Value = RawRows> {
+    (2usize..=24).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        let pair = (0..n as u32, 0u32..10);
+        (
+            Just(n),
+            proptest::collection::vec(edge, 0..(n * 2)),
+            proptest::collection::vec(pair, 0..(n * 3)),
+        )
+    })
+}
+
+const NAMES: [&str; 10] = [
+    "plain",
+    "two words",
+    "comma,sep",
+    "quo\"te",
+    "tab\there",
+    "naïve-töken",
+    "*topic*",
+    "UPPER",
+    "0numeric",
+    "db",
+];
+
+proptest! {
+    #[test]
+    fn parse_encode_decode_write_is_a_fixed_point(
+        (n, edges, pairs) in graph_strategy(),
+    ) {
+        // Build an arbitrary graph (names interned in arbitrary order, so
+        // canonicalization has real work to do).
+        let mut b = AttributedGraphBuilder::new(n);
+        for (u, v) in &edges { if u != v { b.add_edge(*u, *v); } }
+        for name in NAMES { b.intern_attr(name); }
+        for (v, a) in &pairs { b.add_attr(*v, *a); }
+        let g = b.build();
+        let canonical = canonicalize_attributes(&g);
+
+        // Pass 1: write → parse → normalize.
+        let ingest = |graph: &scpm_graph::AttributedGraph| {
+            let mut edge_buf = Vec::new();
+            write_edge_list(graph.graph(), &mut edge_buf).unwrap();
+            let mut attr_buf = Vec::new();
+            write_attr_table(graph, &mut attr_buf).unwrap();
+            let mut src = RawSource::new();
+            src.read_edge_list(edge_buf.as_slice()).unwrap();
+            src.read_attr_table(attr_buf.as_slice()).unwrap();
+            ingest_source(src, "prop", &IngestOptions::default()).unwrap().graph
+        };
+        let once = ingest(&g);
+        let (snap_once, snap_canonical) = (snapshot::encode(&once), snapshot::encode(&canonical));
+        prop_assert_eq!(
+            snap_once.as_ref(),
+            snap_canonical.as_ref(),
+            "ingest(write(g)) != canonical(g)"
+        );
+
+        // Snapshot round-trip in the middle.
+        let decoded = snapshot::decode(&snap_once).unwrap();
+
+        // Pass 2: write → parse → normalize again — the fixed point.
+        let twice = ingest(&decoded);
+        let snap_twice = snapshot::encode(&twice);
+        prop_assert_eq!(
+            snap_twice.as_ref(),
+            snap_once.as_ref(),
+            "second write/parse cycle drifted"
+        );
+    }
+
+    #[test]
+    fn ingest_report_counters_are_consistent(
+        (n, edges, pairs) in graph_strategy(),
+    ) {
+        // Feed the raw rows (duplicates, self-loops and all) straight into
+        // the normalizer and check the arithmetic: kept + merged = seen.
+        let mut src = RawSource::new();
+        let mut edge_text = String::new();
+        for (u, v) in &edges {
+            edge_text.push_str(&format!("{u} {v}\n"));
+        }
+        src.read_edge_list(edge_text.as_bytes()).unwrap();
+        let mut attr_text = String::new();
+        for v in 0..n as u32 {
+            attr_text.push_str(&format!("{v}"));
+            for (pv, a) in &pairs {
+                if *pv == v {
+                    attr_text.push_str(&format!(" a{a}"));
+                }
+            }
+            attr_text.push('\n');
+        }
+        src.read_attr_table(attr_text.as_bytes()).unwrap();
+
+        let self_loops = edges.iter().filter(|(u, v)| u == v).count();
+        prop_assert_eq!(src.self_loops, self_loops);
+        let out = ingest_source(src, "prop", &IngestOptions::default()).unwrap();
+        let parse = out.report.parse.clone().unwrap();
+        prop_assert_eq!(parse.self_loops_dropped, self_loops);
+        prop_assert_eq!(
+            out.report.edges + parse.duplicate_edges_merged + self_loops,
+            edges.len()
+        );
+        prop_assert_eq!(
+            out.report.pairs + parse.duplicate_pairs_merged,
+            pairs.len()
+        );
+        prop_assert_eq!(out.report.vertices, n);
+        prop_assert_eq!(out.graph.num_edges(), out.report.edges);
+    }
+}

@@ -1,20 +1,32 @@
 //! Text I/O for attributed graphs.
 //!
-//! The format is line-oriented and mirrors the public releases of the
-//! paper's datasets (an edge file plus a vertex-attribute file), merged into
-//! a single file for convenience:
+//! Two families of formats live here (both specified normatively in
+//! `docs/DATASETS.md`):
 //!
-//! ```text
-//! # comments and blank lines are ignored
-//! v <n>              # vertex count (required, first directive)
-//! e <u> <v>          # undirected edge, 0-based ids
-//! a <v> <name...>    # whitespace-separated attribute names for vertex v
-//! ```
+//! * the **unified** format of this module — a single line-oriented file
+//!   mirroring the public releases of the paper's datasets (an edge file
+//!   plus a vertex-attribute file), merged for convenience:
+//!
+//!   ```text
+//!   # comments and blank lines are ignored
+//!   v <n>              # vertex count (required, first directive)
+//!   e <u> <v>          # undirected edge, 0-based ids
+//!   a <v> <name...>    # whitespace-separated attribute names for vertex v
+//!   ```
+//!
+//! * the **interchange** shapes of [`source`] — split edge-list /
+//!   adjacency-list / vertex-attribute-table files with arbitrary vertex
+//!   tokens, as real datasets actually ship. Those parse into a
+//!   [`source::RawSource`] that `scpm_datasets::ingest` normalizes.
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::attributed::{AttributedGraph, AttributedGraphBuilder};
+
+pub mod source;
+
+pub use source::{write_adjacency, write_attr_table, write_edge_list, Interner, RawSource};
 
 /// Errors produced while parsing the text format.
 #[derive(Debug)]
@@ -56,7 +68,7 @@ impl From<std::io::Error> for ParseError {
     }
 }
 
-fn syntax(line: usize, message: impl Into<String>) -> ParseError {
+pub(crate) fn syntax(line: usize, message: impl Into<String>) -> ParseError {
     ParseError::Syntax {
         line,
         message: message.into(),

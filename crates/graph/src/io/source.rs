@@ -1,0 +1,510 @@
+//! Streaming parsers for the common attributed-graph interchange shapes.
+//!
+//! Public releases of attributed graphs (SNAP edge lists, CiteSeer-style
+//! `.content` tables, Pajek-flavored adjacency lists) almost always ship as
+//! *separate* files: an edge list over arbitrary vertex tokens plus a
+//! vertex→attribute table. This module parses any mix of those shapes into
+//! a [`RawSource`] — an interned, *unnormalized* pool of edges and
+//! vertex-attribute pairs. Normalization (id relabeling, dedup, self-loop
+//! policy, statistics) lives one layer up, in `scpm_datasets::ingest`; the
+//! byte-level grammar of every format is specified in `docs/DATASETS.md`.
+//!
+//! All parsers share one tokenizer: lines are split into fields on
+//! whitespace and commas (so plain, TSV and CSV files all work), blank
+//! lines and lines starting with `#` or `%` are ignored, and fields may be
+//! double-quoted to carry separators (`"R Peppers"`; a doubled `""` is a
+//! literal quote). Errors carry 1-based line numbers.
+//!
+//! ```
+//! use scpm_graph::io::source::RawSource;
+//!
+//! let mut src = RawSource::new();
+//! src.read_edge_list("0 1\n1 2\n".as_bytes()).unwrap();
+//! src.read_attr_table("0 red blue\n2 red\n".as_bytes()).unwrap();
+//! assert_eq!(src.edges.len(), 2);
+//! assert_eq!(src.attributes.len(), 2);
+//! assert_eq!(src.vertices.name(0), "0");
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use super::{syntax, ParseError};
+use crate::attributed::AttributedGraph;
+use crate::csr::CsrGraph;
+
+/// A string interner mapping tokens to dense `u32` ids in first-appearance
+/// order, tracking whether every token is a canonical decimal integer
+/// (which lets the ingest layer keep externally assigned numeric ids).
+///
+/// ```
+/// use scpm_graph::io::source::Interner;
+///
+/// let mut it = Interner::new();
+/// assert_eq!(it.intern("alice"), 0);
+/// assert_eq!(it.intern("bob"), 1);
+/// assert_eq!(it.intern("alice"), 0);
+/// assert_eq!(it.name(1), "bob");
+/// assert!(!it.all_numeric());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+    all_numeric: bool,
+    max_numeric: u32,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+/// Parses a token as a *canonical* decimal `u32`: ASCII digits only, no
+/// leading zeros (except `"0"` itself), no sign. Canonicality matters
+/// because two distinct tokens (`"7"`, `"07"`) must never collapse onto
+/// one numeric id.
+pub fn canonical_numeric(token: &str) -> Option<u32> {
+    if token.is_empty() || !token.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    if token.len() > 1 && token.starts_with('0') {
+        return None;
+    }
+    token.parse().ok()
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner {
+            names: Vec::new(),
+            index: HashMap::new(),
+            all_numeric: true,
+            max_numeric: 0,
+        }
+    }
+
+    /// Interns `token`, returning its dense id (existing or fresh).
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.index.get(token) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        match canonical_numeric(token) {
+            Some(v) => self.max_numeric = self.max_numeric.max(v),
+            None => self.all_numeric = false,
+        }
+        self.names.push(token.to_string());
+        self.index.insert(token.to_string(), id);
+        id
+    }
+
+    /// The id of `token`, if already interned.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    /// The token behind id `i`.
+    pub fn name(&self, i: u32) -> &str {
+        &self.names[i as usize]
+    }
+
+    /// Number of distinct tokens interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no token has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All tokens, in interning (first-appearance) order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether every interned token is a canonical decimal integer.
+    pub fn all_numeric(&self) -> bool {
+        self.all_numeric
+    }
+
+    /// The largest numeric token value seen (0 when none).
+    pub fn max_numeric(&self) -> u32 {
+        self.max_numeric
+    }
+}
+
+/// A parsed-but-unnormalized graph source.
+///
+/// Repeated `read_*` calls accumulate: an edge file and an attribute table
+/// parsed into the same `RawSource` share one vertex interner, which is how
+/// split-file datasets (the common release shape) come back together.
+/// Self-loops are counted but never stored; duplicate edges and pairs are
+/// kept verbatim (the ingest layer merges and counts them).
+#[derive(Clone, Debug, Default)]
+pub struct RawSource {
+    /// Vertex tokens, interned in first-appearance order.
+    pub vertices: Interner,
+    /// Attribute tokens, interned in first-appearance order.
+    pub attributes: Interner,
+    /// Edges over interned vertex ids, `(min, max)`-normalized, with
+    /// duplicates preserved.
+    pub edges: Vec<(u32, u32)>,
+    /// Vertex-attribute pairs over interned ids, duplicates preserved.
+    pub pairs: Vec<(u32, u32)>,
+    /// Self-loops encountered (and dropped) while reading edges.
+    pub self_loops: usize,
+    /// `structural[v]`: vertex `v` appeared in an edge list or adjacency
+    /// list (as opposed to only in an attribute table). Indexed by
+    /// interned id; may be shorter than `vertices.len()`.
+    pub structural: Vec<bool>,
+}
+
+impl RawSource {
+    /// An empty source.
+    pub fn new() -> Self {
+        RawSource::default()
+    }
+
+    fn mark_structural(&mut self, v: u32) {
+        let v = v as usize;
+        if self.structural.len() <= v {
+            self.structural.resize(v + 1, false);
+        }
+        self.structural[v] = true;
+    }
+
+    /// Whether interned vertex `v` appeared in structural (edge) context.
+    pub fn is_structural(&self, v: u32) -> bool {
+        self.structural.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// Reads an edge list: one edge per line, `u v` (an optional third
+    /// field, e.g. a weight, is accepted and ignored). Self-loops are
+    /// counted, not stored.
+    pub fn read_edge_list<R: Read>(&mut self, reader: R) -> Result<(), ParseError> {
+        for_each_row(reader, |lineno, fields| {
+            if fields.len() < 2 {
+                return Err(syntax(lineno, "edge line needs two fields `u v`"));
+            }
+            if fields.len() > 3 {
+                return Err(syntax(
+                    lineno,
+                    format!(
+                        "edge line has {} fields (max 3: `u v weight`)",
+                        fields.len()
+                    ),
+                ));
+            }
+            let u = self.vertices.intern(&fields[0]);
+            let v = self.vertices.intern(&fields[1]);
+            self.mark_structural(u);
+            self.mark_structural(v);
+            if u == v {
+                self.self_loops += 1;
+            } else {
+                self.edges.push((u.min(v), u.max(v)));
+            }
+            Ok(())
+        })
+    }
+
+    /// Reads an adjacency list: each line names a source vertex (an
+    /// optional trailing `:` on the first field is stripped) followed by
+    /// its neighbors. A line with no neighbors declares an isolated
+    /// vertex. Symmetric listings (each edge on both endpoints' lines)
+    /// simply produce duplicates, merged at ingest.
+    pub fn read_adjacency<R: Read>(&mut self, reader: R) -> Result<(), ParseError> {
+        for_each_row(reader, |lineno, fields| {
+            let head = fields[0].strip_suffix(':').unwrap_or(&fields[0]);
+            if head.is_empty() {
+                return Err(syntax(lineno, "adjacency line has an empty source vertex"));
+            }
+            let u = self.vertices.intern(head);
+            self.mark_structural(u);
+            for tok in &fields[1..] {
+                let v = self.vertices.intern(tok);
+                self.mark_structural(v);
+                if u == v {
+                    self.self_loops += 1;
+                } else {
+                    self.edges.push((u.min(v), u.max(v)));
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Reads a vertex→attribute table: each line is a vertex token
+    /// followed by that vertex's attribute tokens. A bare vertex token
+    /// declares the vertex with no attributes. A vertex may head at most
+    /// one row per table — a second row for the same token is an error
+    /// (real-world duplicate rows are nearly always data corruption).
+    pub fn read_attr_table<R: Read>(&mut self, reader: R) -> Result<(), ParseError> {
+        let mut seen: HashMap<u32, usize> = HashMap::new();
+        for_each_row(reader, |lineno, fields| {
+            let v = self.vertices.intern(&fields[0]);
+            if let Some(first) = seen.insert(v, lineno) {
+                return Err(syntax(
+                    lineno,
+                    format!(
+                        "duplicate attribute row for vertex `{}` (first at line {first})",
+                        fields[0]
+                    ),
+                ));
+            }
+            for tok in &fields[1..] {
+                let a = self.attributes.intern(tok);
+                self.pairs.push((v, a));
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Splits one line into fields on whitespace/commas, honoring double
+/// quotes (`""` inside a quoted field is a literal quote).
+pub(crate) fn split_fields(line: &str, lineno: usize) -> Result<Vec<String>, ParseError> {
+    let mut fields = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        // Skip separators.
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        let Some(&c) = chars.peek() else { break };
+        let mut field = String::new();
+        if c == '"' {
+            chars.next();
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            field.push('"');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(ch) => field.push(ch),
+                    None => return Err(syntax(lineno, "unterminated quoted field")),
+                }
+            }
+        } else {
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() || ch == ',' {
+                    break;
+                }
+                field.push(ch);
+                chars.next();
+            }
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Quotes `field` if it contains a separator or quote, else borrows it.
+fn quoted(field: &str) -> std::borrow::Cow<'_, str> {
+    if field.is_empty() || field.contains(|c: char| c.is_whitespace() || c == ',' || c == '"') {
+        std::borrow::Cow::Owned(format!("\"{}\"", field.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(field)
+    }
+}
+
+/// Streams non-comment, non-blank rows of `reader` through `f` as
+/// `(lineno, fields)`. Rows that split to zero fields (all separators)
+/// are skipped like blank lines.
+fn for_each_row<R: Read>(
+    reader: R,
+    mut f: impl FnMut(usize, Vec<String>) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    let reader = BufReader::new(reader);
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let fields = split_fields(&line, lineno)?;
+        if fields.is_empty() {
+            continue;
+        }
+        f(lineno, fields)?;
+    }
+    Ok(())
+}
+
+/// Writes `g`'s edges as an edge list (`u<TAB>v`, one edge per line, both
+/// endpoints as decimal vertex ids). The counterpart of
+/// [`RawSource::read_edge_list`].
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# scpm edge list: {} vertices", g.num_vertices())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+/// Writes `g` as an adjacency list (`u: v1 v2 ...`, every vertex gets a
+/// line, each edge appears on both endpoints' lines). The counterpart of
+/// [`RawSource::read_adjacency`].
+pub fn write_adjacency<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# scpm adjacency list: {} vertices", g.num_vertices())?;
+    for u in g.vertices() {
+        write!(w, "{u}:")?;
+        for &v in g.neighbors(u) {
+            write!(w, " {v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Writes `g`'s vertex→attribute table: one row per vertex (including
+/// attribute-less vertices, so the vertex universe is explicit), attribute
+/// names quoted when they contain separators. The counterpart of
+/// [`RawSource::read_attr_table`].
+pub fn write_attr_table<W: Write>(g: &AttributedGraph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# scpm vertex-attribute table: {} vertices",
+        g.num_vertices()
+    )?;
+    for v in g.graph().vertices() {
+        write!(w, "{v}")?;
+        for &a in g.attributes_of(v) {
+            write!(w, "\t{}", quoted(g.attr_name(a)))?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::figure1;
+
+    #[test]
+    fn edge_list_whitespace_and_csv_parse_identically() {
+        let mut ws = RawSource::new();
+        ws.read_edge_list("# c\n0 1\n1\t2\n".as_bytes()).unwrap();
+        let mut csv = RawSource::new();
+        csv.read_edge_list("% c\n0,1\n1,2\n".as_bytes()).unwrap();
+        assert_eq!(ws.edges, csv.edges);
+        assert_eq!(ws.vertices.names(), csv.vertices.names());
+        assert!(ws.vertices.all_numeric());
+    }
+
+    #[test]
+    fn edge_list_counts_self_loops_and_accepts_weights() {
+        let mut s = RawSource::new();
+        s.read_edge_list("0 1 0.5\n2 2\n1 0\n".as_bytes()).unwrap();
+        assert_eq!(s.self_loops, 1);
+        assert_eq!(s.edges, vec![(0, 1), (0, 1)]); // duplicate kept
+    }
+
+    #[test]
+    fn edge_list_field_count_errors() {
+        let mut s = RawSource::new();
+        let e = s.read_edge_list("0\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("two fields"));
+        let e = s.read_edge_list("0 1 2 3\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("fields"));
+    }
+
+    #[test]
+    fn adjacency_with_and_without_colon() {
+        let mut s = RawSource::new();
+        s.read_adjacency("0: 1 2\n1 0\n3:\n".as_bytes()).unwrap();
+        assert_eq!(s.edges, vec![(0, 1), (0, 2), (0, 1)]);
+        assert_eq!(s.vertices.len(), 4); // isolated 3 declared
+        assert!(s.is_structural(3));
+    }
+
+    #[test]
+    fn attr_table_duplicate_vertex_row_is_an_error() {
+        let mut s = RawSource::new();
+        let e = s
+            .read_attr_table("7 red\n8 blue\n7 green\n".as_bytes())
+            .unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("duplicate attribute row"), "{msg}");
+        assert!(msg.contains("line 3"), "{msg}");
+    }
+
+    #[test]
+    fn attr_table_bare_row_declares_vertex() {
+        let mut s = RawSource::new();
+        s.read_attr_table("5\n".as_bytes()).unwrap();
+        assert_eq!(s.vertices.len(), 1);
+        assert!(s.pairs.is_empty());
+        assert!(!s.is_structural(0));
+    }
+
+    #[test]
+    fn quoted_fields_roundtrip_through_writer() {
+        let mut b = crate::attributed::AttributedGraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_attr_named(0, "R Peppers");
+        b.add_attr_named(1, "plain");
+        b.add_attr_named(1, "has\"quote");
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_attr_table(&g, &mut buf).unwrap();
+        let mut s = RawSource::new();
+        s.read_attr_table(buf.as_slice()).unwrap();
+        assert_eq!(s.attributes.len(), 3);
+        assert!(s.attributes.get("R Peppers").is_some());
+        assert!(s.attributes.get("has\"quote").is_some());
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let mut s = RawSource::new();
+        let e = s.read_attr_table("0 \"oops\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn numeric_canonicality() {
+        assert_eq!(canonical_numeric("0"), Some(0));
+        assert_eq!(canonical_numeric("42"), Some(42));
+        assert_eq!(canonical_numeric("07"), None);
+        assert_eq!(canonical_numeric("-3"), None);
+        assert_eq!(canonical_numeric("4e2"), None);
+        assert_eq!(canonical_numeric(""), None);
+        let mut it = Interner::new();
+        it.intern("3");
+        assert!(it.all_numeric());
+        it.intern("07");
+        assert!(!it.all_numeric());
+    }
+
+    #[test]
+    fn writers_roundtrip_figure1_topology() {
+        let g = figure1();
+        let mut buf = Vec::new();
+        write_edge_list(g.graph(), &mut buf).unwrap();
+        let mut s = RawSource::new();
+        s.read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(s.edges.len(), g.num_edges());
+        assert!(s.vertices.all_numeric());
+
+        let mut buf = Vec::new();
+        write_adjacency(g.graph(), &mut buf).unwrap();
+        let mut s = RawSource::new();
+        s.read_adjacency(buf.as_slice()).unwrap();
+        // Each edge listed twice; dedup happens at ingest.
+        assert_eq!(s.edges.len(), 2 * g.num_edges());
+    }
+}

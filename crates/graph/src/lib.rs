@@ -19,7 +19,10 @@
 //!   algorithm in the workspace.
 //! * [`generators`] — random graph models (G(n,p), G(n,m), Barabási–Albert,
 //!   planted communities) and attribute-assignment models.
-//! * [`io`] — a simple text format for attributed graphs.
+//! * [`io`] — text formats for attributed graphs: the unified `v`/`e`/`a`
+//!   file plus streaming parsers for the interchange shapes real datasets
+//!   ship in (edge lists, adjacency lists, vertex→attribute tables).
+//! * [`snapshot`] — the versioned, checksummed binary snapshot format.
 //! * [`figure1`] — the 11-vertex example of Figure 1 in the paper, used as a
 //!   golden fixture for Table 1.
 
@@ -47,6 +50,7 @@ pub use components::Components;
 pub use csr::{CsrGraph, VertexId};
 pub use degree::DegreeDistribution;
 pub use induced::InducedSubgraph;
+pub use io::source::{Interner, RawSource};
 pub use kcore::CoreDecomposition;
-pub use snapshot::{decode, encode, load_snapshot, save_snapshot, SnapshotError};
+pub use snapshot::{decode, encode, fnv1a64, load_snapshot, save_snapshot, SnapshotError};
 pub use stats::GraphSummary;

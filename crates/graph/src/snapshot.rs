@@ -1,22 +1,28 @@
-//! Binary snapshot format for attributed graphs.
+//! Versioned, checksummed binary snapshot format for attributed graphs.
 //!
-//! The synthetic datasets take seconds to generate at bench scale; the
-//! experiment harness snapshots them once and reloads in milliseconds.
-//! The format is a little-endian, length-prefixed layout behind an 8-byte
-//! magic and a version word:
+//! The synthetic datasets take seconds to generate at bench scale and
+//! ingested real datasets take seconds to parse; the harness snapshots
+//! them once and reloads in milliseconds. The format (version 2) is a
+//! little-endian, length-prefixed layout behind an 8-byte magic, a version
+//! word, and a trailing FNV-1a 64 checksum over everything before it:
 //!
 //! ```text
-//! "SCPMSNAP" u32 version
+//! "SCPMSNAP" u32 version=2
 //! u64 n                       vertex count
 //! u64 m                       edge count, then m × (u32 u, u32 v), u < v
 //! u64 a                       attribute count, then a × (u32 len, bytes)
 //! u64 pairs                   then pairs × (u32 vertex, u32 attr)
+//! u64 checksum                FNV-1a 64 of every preceding byte
 //! ```
 //!
-//! Decoding is defensive: every read checks the remaining length, ids are
-//! range-checked, and failures return a [`SnapshotError`] instead of
-//! panicking — the failure-injection tests feed truncated and corrupted
-//! buffers through the decoder.
+//! The byte-exact normative spec lives in `docs/DATASETS.md`. Decoding is
+//! defensive in layers: the magic rejects foreign files, the version
+//! rejects stale files from other format revisions, the checksum rejects
+//! bit rot and truncation wholesale, and the structural pass re-checks
+//! every length and id range anyway (defense in depth: a file with a
+//! *forged* checksum still cannot make the decoder panic). Failures
+//! return a [`SnapshotError`]; the failure-injection tests feed
+//! truncated and corrupted buffers through the decoder.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::path::Path;
@@ -24,19 +30,52 @@ use std::path::Path;
 use crate::attributed::{AttributedGraph, AttributedGraphBuilder};
 
 const MAGIC: &[u8; 8] = b"SCPMSNAP";
-const VERSION: u32 = 1;
+
+/// Current snapshot format version. Version 1 (unchecksummed) is no longer
+/// readable; decoding it fails with [`SnapshotError::BadVersion`] and
+/// callers (the dataset cache, `scpm ingest`) regenerate.
+pub const VERSION: u32 = 2;
+
+/// FNV-1a 64-bit hash — the snapshot checksum function, also used by the
+/// dataset cache to fingerprint source files.
+///
+/// ```
+/// use scpm_graph::snapshot::fnv1a64;
+/// assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(fnv1a64(b"scpm"), fnv1a64(b"scpn"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Errors produced while decoding a snapshot.
 #[derive(Debug, PartialEq, Eq)]
 pub enum SnapshotError {
-    /// The buffer does not start with the snapshot magic.
+    /// The buffer does not start with the snapshot magic (a foreign file).
     BadMagic,
-    /// Unsupported format version.
+    /// Unsupported format version (a stale file from another revision).
     BadVersion(u32),
+    /// The trailing checksum does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the content.
+        computed: u64,
+    },
     /// The buffer ended before the declared content.
     Truncated {
         /// What the decoder was reading.
         reading: &'static str,
+    },
+    /// Bytes remain after the declared content (corrupt or concatenated).
+    TrailingData {
+        /// Number of unconsumed payload bytes.
+        bytes: usize,
     },
     /// An id exceeded its declared range.
     OutOfRange {
@@ -55,9 +94,22 @@ impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SnapshotError::BadMagic => write!(f, "not a scpm snapshot (bad magic)"),
-            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::BadVersion(v) => write!(
+                f,
+                "unsupported snapshot version {v} (this build reads version {VERSION})"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
             SnapshotError::Truncated { reading } => {
                 write!(f, "snapshot truncated while reading {reading}")
+            }
+            SnapshotError::TrailingData { bytes } => {
+                write!(
+                    f,
+                    "snapshot has {bytes} trailing bytes after declared content"
+                )
             }
             SnapshotError::OutOfRange { reading, value } => {
                 write!(f, "snapshot {reading} value {value} out of range")
@@ -84,7 +136,7 @@ pub fn encode(g: &AttributedGraph) -> Bytes {
     let pairs: usize = (0..n as u32).map(|v| g.attributes_of(v).len()).sum();
 
     let name_bytes: usize = (0..a as u32).map(|x| g.attr_name(x).len() + 4).sum();
-    let mut buf = BytesMut::with_capacity(8 + 4 + 8 * 4 + m * 8 + name_bytes + pairs * 8);
+    let mut buf = BytesMut::with_capacity(8 + 4 + 8 * 5 + m * 8 + name_bytes + pairs * 8);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u64_le(n as u64);
@@ -106,6 +158,8 @@ pub fn encode(g: &AttributedGraph) -> Bytes {
             buf.put_u32_le(x);
         }
     }
+    let checksum = fnv1a64(buf.as_ref());
+    buf.put_u64_le(checksum);
     buf.freeze()
 }
 
@@ -118,17 +172,52 @@ fn need(buf: &impl Buf, bytes: usize, reading: &'static str) -> Result<(), Snaps
 }
 
 /// Decodes a snapshot buffer into an attributed graph.
-pub fn decode(mut buf: impl Buf) -> Result<AttributedGraph, SnapshotError> {
-    need(&buf, 8 + 4, "header")?;
-    let mut magic = [0u8; 8];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+///
+/// Checks run outside-in: magic, version, whole-file checksum, then the
+/// structural pass with per-field length and range validation.
+///
+/// ```
+/// use scpm_graph::snapshot::{decode, encode};
+/// use scpm_graph::figure1::figure1;
+///
+/// let g = figure1();
+/// let bytes = encode(&g);
+/// let g2 = decode(&bytes).unwrap();
+/// assert_eq!(g2.num_vertices(), g.num_vertices());
+/// assert_eq!(g2.num_edges(), g.num_edges());
+/// ```
+pub fn decode(data: impl AsRef<[u8]>) -> Result<AttributedGraph, SnapshotError> {
+    let data = data.as_ref();
+    if data.len() < 8 {
+        // Too short to even carry the magic: classify by what we can see.
+        if data == &MAGIC[..data.len()] {
+            return Err(SnapshotError::Truncated { reading: "header" });
+        }
         return Err(SnapshotError::BadMagic);
     }
-    let version = buf.get_u32_le();
+    if &data[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if data.len() < 12 {
+        return Err(SnapshotError::Truncated { reading: "header" });
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().unwrap());
     if version != VERSION {
         return Err(SnapshotError::BadVersion(version));
     }
+    if data.len() < 12 + 8 {
+        return Err(SnapshotError::Truncated {
+            reading: "checksum",
+        });
+    }
+    let body = &data[..data.len() - 8];
+    let stored = u64::from_le_bytes(data[data.len() - 8..].try_into().unwrap());
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut buf: &[u8] = &body[12..];
     need(&buf, 8, "vertex count")?;
     let n = buf.get_u64_le();
     if n > u32::MAX as u64 {
@@ -200,6 +289,11 @@ pub fn decode(mut buf: impl Buf) -> Result<AttributedGraph, SnapshotError> {
         }
         b.add_attr(v, x);
     }
+    if buf.remaining() != 0 {
+        return Err(SnapshotError::TrailingData {
+            bytes: buf.remaining(),
+        });
+    }
     Ok(b.build())
 }
 
@@ -219,6 +313,15 @@ pub fn load_snapshot(path: impl AsRef<Path>) -> Result<AttributedGraph, Snapshot
 mod tests {
     use super::*;
     use crate::figure1::figure1;
+
+    /// Recomputes the trailing checksum after a test patched the body —
+    /// lets tests reach the structural validation layer behind it.
+    fn reseal(mut raw: Vec<u8>) -> Vec<u8> {
+        let body = raw.len() - 8;
+        let sum = fnv1a64(&raw[..body]).to_le_bytes();
+        raw[body..].copy_from_slice(&sum);
+        raw
+    }
 
     fn equivalent(a: &AttributedGraph, b: &AttributedGraph) -> bool {
         if a.num_vertices() != b.num_vertices()
@@ -262,37 +365,84 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_magic() {
-        let mut raw = encode(&figure1()).to_vec();
-        raw[0] = b'X';
-        assert!(matches!(
-            decode(Bytes::from(raw)),
-            Err(SnapshotError::BadMagic)
-        ));
+    fn encoding_is_deterministic() {
+        let g = figure1();
+        assert_eq!(encode(&g).as_ref(), encode(&g).as_ref());
     }
 
     #[test]
-    fn rejects_bad_version() {
+    fn rejects_bad_magic() {
         let mut raw = encode(&figure1()).to_vec();
-        raw[8] = 99;
+        raw[0] = b'X';
+        assert!(matches!(decode(raw), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        for foreign in [
+            &b"PK\x03\x04 this is a zip, honest"[..],
+            &b"{\"json\": true, \"padding\": \"padding padding\"}"[..],
+            &b"v 3\ne 0 1\ne 1 2\na 0 red blue\n"[..],
+            &[0u8; 64][..],
+        ] {
+            assert!(
+                matches!(decode(foreign), Err(SnapshotError::BadMagic)),
+                "foreign input accepted: {foreign:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_stale_version_1() {
+        // A version-1 header (what pre-checksum snapshots carried).
+        let mut raw = encode(&figure1()).to_vec();
+        raw[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(decode(raw), Err(SnapshotError::BadVersion(1))));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut raw = encode(&figure1()).to_vec();
+        raw[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(decode(raw), Err(SnapshotError::BadVersion(99))));
+    }
+
+    #[test]
+    fn bit_flips_anywhere_in_body_fail_the_checksum() {
+        let raw = encode(&figure1()).to_vec();
+        let body = raw.len() - 8;
+        // Flip one bit at a sample of offsets past the version word.
+        for off in (12..body).step_by(7) {
+            let mut bad = raw.clone();
+            bad[off] ^= 0x10;
+            assert!(
+                matches!(decode(&bad), Err(SnapshotError::ChecksumMismatch { .. })),
+                "flip at {off} not caught"
+            );
+        }
+        // A flip in the stored checksum itself also fails.
+        let mut bad = raw.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
         assert!(matches!(
-            decode(Bytes::from(raw)),
-            Err(SnapshotError::BadVersion(_))
+            decode(&bad),
+            Err(SnapshotError::ChecksumMismatch { .. })
         ));
     }
 
     #[test]
     fn rejects_truncation_at_every_length() {
         let raw = encode(&figure1()).to_vec();
-        // Any strict prefix must fail with Truncated (never panic).
+        // Any strict prefix must fail (never panic): short prefixes as
+        // magic/header truncation, longer ones via the checksum.
         for cut in 0..raw.len() {
-            let r = decode(Bytes::from(raw[..cut].to_vec()));
+            let r = decode(&raw[..cut]);
             assert!(
                 matches!(
                     r,
                     Err(SnapshotError::Truncated { .. })
                         | Err(SnapshotError::BadMagic)
-                        | Err(SnapshotError::OutOfRange { .. })
+                        | Err(SnapshotError::ChecksumMismatch { .. })
                 ),
                 "cut at {cut} gave {r:?}"
             );
@@ -300,20 +450,45 @@ mod tests {
     }
 
     #[test]
-    fn rejects_out_of_range_edge() {
+    fn rejects_trailing_garbage() {
+        let mut raw = encode(&figure1()).to_vec();
+        raw.extend_from_slice(b"tail");
+        // The appended bytes shift the checksum window: caught there.
+        assert!(decode(&raw).is_err());
+    }
+
+    #[test]
+    fn structural_check_rejects_resealed_trailing_payload() {
+        // Insert extra payload *before* the checksum and reseal: the
+        // checksum passes, the structural layer must still refuse.
+        let raw = encode(&figure1()).to_vec();
+        let mut bad = raw[..raw.len() - 8].to_vec();
+        bad.extend_from_slice(&[0u8; 6]);
+        bad.extend_from_slice(&[0u8; 8]); // checksum placeholder
+        let bad = reseal(bad);
+        assert!(matches!(
+            decode(&bad),
+            Err(SnapshotError::TrailingData { bytes: 6 })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge_behind_valid_checksum() {
         let g = figure1();
-        let mut raw = encode(&g).to_vec();
+        let raw = encode(&g).to_vec();
         // First edge endpoint lives right after header + n + m.
         let off = 8 + 4 + 8 + 8;
-        raw[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut bad = raw.clone();
+        bad[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let bad = reseal(bad);
         assert!(matches!(
-            decode(Bytes::from(raw)),
+            decode(&bad),
             Err(SnapshotError::OutOfRange { .. })
         ));
     }
 
     #[test]
-    fn rejects_invalid_utf8_name() {
+    fn rejects_invalid_utf8_name_behind_valid_checksum() {
         let g = figure1();
         let raw = encode(&g).to_vec();
         // Find the first attribute name (after edges): header(12) + n(8) +
@@ -322,10 +497,8 @@ mod tests {
         let off = 12 + 8 + 8 + 8 * m + 8 + 4;
         let mut bad = raw.clone();
         bad[off] = 0xFF;
-        assert!(matches!(
-            decode(Bytes::from(bad)),
-            Err(SnapshotError::BadName)
-        ));
+        let bad = reseal(bad);
+        assert!(matches!(decode(&bad), Err(SnapshotError::BadName)));
     }
 
     #[test]

@@ -169,11 +169,61 @@ proptest! {
         raw in proptest::collection::vec(any::<u8>(), 0..256),
     ) {
         // Arbitrary bytes: decoding must return an error or a graph, never
-        // panic. Prepend the magic half the time to reach deeper paths.
+        // panic. Three escalating shapes: raw noise (dies at the magic),
+        // noise behind a valid header (dies at the checksum), and noise
+        // behind a valid header *and* a resealed checksum (reaches the
+        // structural validation layer).
         let _ = snapshot::decode(bytes::Bytes::from(raw.clone()));
-        let mut with_magic = b"SCPMSNAP".to_vec();
-        with_magic.extend_from_slice(&1u32.to_le_bytes());
-        with_magic.extend_from_slice(&raw);
-        let _ = snapshot::decode(bytes::Bytes::from(with_magic));
+        let mut with_header = b"SCPMSNAP".to_vec();
+        with_header.extend_from_slice(&snapshot::VERSION.to_le_bytes());
+        with_header.extend_from_slice(&raw);
+        let _ = snapshot::decode(bytes::Bytes::from(with_header.clone()));
+        let sum = snapshot::fnv1a64(&with_header);
+        with_header.extend_from_slice(&sum.to_le_bytes());
+        let _ = snapshot::decode(bytes::Bytes::from(with_header));
+    }
+
+    #[test]
+    fn interchange_writers_and_parsers_roundtrip(
+        (n, edges) in edges_strategy(20),
+        attrs in proptest::collection::vec((0u32..20, 0u32..8), 0..40),
+    ) {
+        // Names deliberately include separators and quotes to exercise
+        // the quoting layer.
+        let names = ["plain", "two words", "comma,name", "q\"uote", "tab\tname",
+                     "x", "y", "z"];
+        let mut b = AttributedGraphBuilder::new(n);
+        for (u, v) in edges { if u != v { b.add_edge(u, v); } }
+        for name in names { b.intern_attr(name); }
+        for (v, a) in attrs {
+            if (v as usize) < n { b.add_attr(v, a); }
+        }
+        let g = b.build();
+
+        let mut edge_buf = Vec::new();
+        scpm_graph::io::write_edge_list(g.graph(), &mut edge_buf).unwrap();
+        let mut attr_buf = Vec::new();
+        scpm_graph::io::write_attr_table(&g, &mut attr_buf).unwrap();
+
+        let mut src = scpm_graph::io::RawSource::new();
+        src.read_edge_list(edge_buf.as_slice()).unwrap();
+        src.read_attr_table(attr_buf.as_slice()).unwrap();
+
+        // Vertex tokens are ids; every vertex appears in the attr table.
+        prop_assert!(src.vertices.all_numeric());
+        prop_assert_eq!(src.vertices.len(), n);
+        prop_assert_eq!(src.edges.len(), g.num_edges());
+        prop_assert_eq!(src.self_loops, 0);
+        // Every pair survives with its exact name (quoting round-trips).
+        let total_pairs: usize = g.graph().vertices()
+            .map(|v| g.attributes_of(v).len()).sum();
+        prop_assert_eq!(src.pairs.len(), total_pairs);
+        for &(v, a) in &src.pairs {
+            let vid: u32 = src.vertices.name(v).parse().unwrap();
+            let name = src.attributes.name(a);
+            let orig = g.attr_id(name);
+            prop_assert!(orig.is_some(), "attribute {:?} lost", name);
+            prop_assert!(g.attributes_of(vid).contains(&orig.unwrap()));
+        }
     }
 }

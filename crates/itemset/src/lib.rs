@@ -7,7 +7,7 @@
 //! [`eclat`](fn@eclat) miner (Zaki, TKDE 2000) is used by the naive baseline; the
 //! [`Tidset`] machinery is shared with the SCPM attribute-set search.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod apriori;
 pub mod closed;

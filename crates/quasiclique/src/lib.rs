@@ -20,7 +20,7 @@
 //! assert_eq!(out.cliques.len(), 2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bounds;
 pub mod bruteforce;

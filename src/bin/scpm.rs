@@ -2,7 +2,12 @@
 //! mining.
 //!
 //! ```text
-//! scpm mine      --graph g.txt [--sigma-min N] [--gamma F] [--min-size N]
+//! scpm ingest    --edges e.txt [--attrs a.txt] --out g.snap
+//!                [--format auto|edgelist|adjacency|unified]
+//!                [--ids auto|intern|numeric] [--self-loops drop|error]
+//!                [--strict-vertices] [--raw-attr-order] [--top N]
+//! scpm mine      --graph g.txt | --snapshot g.snap
+//!                [--sigma-min N] [--gamma F] [--min-size N]
 //!                [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
 //!                [--min-attrs N] [--max-attrs N] [--threads N] [--split-depth N]
 //!                [--algo scpm|levelwise|scorp|naive] [--limit N]
@@ -10,23 +15,30 @@
 //!                [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
 //! scpm generate  --dataset dblp|lastfm|citeseer|smalldblp [--scale F]
 //!                [--seed N] --out g.txt|g.snap
-//! scpm stats     --graph g.txt
+//! scpm stats     --graph g.txt | --edges e.txt [--attrs a.txt]
 //! scpm nullmodel --graph g.txt [--gamma F] [--min-size N] [--points N]
 //!                [--sims N] [--seed N]
 //! scpm convert   --graph g.txt --out g.snap   (and vice versa)
 //! ```
 //!
-//! Graph files ending in `.snap` use the binary snapshot format
-//! (`scpm_graph::snapshot`); anything else uses the text format
-//! (`scpm_graph::io`).
+//! Graph files ending in `.snap` use the versioned binary snapshot format
+//! (`scpm_graph::snapshot`); anything else uses the unified text format
+//! (`scpm_graph::io`). `scpm ingest` additionally reads the split
+//! interchange shapes real datasets ship in — edge lists, adjacency lists
+//! and vertex→attribute tables — all specified in `docs/DATASETS.md`.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 use scpm_core::report::{render_patterns, render_summary, render_top_tables};
 use scpm_core::{
     empirical_p_value, run_naive, run_parallel_with, AnalyticalModel, ExactModel, ParallelConfig,
     Scorp, Scpm, ScpmParams, SimulationModel, DEFAULT_SPLIT_DEPTH,
+};
+use scpm_datasets::ingest::{
+    detect_format, ingest_files, IdPolicy, IngestOptions, SelfLoopPolicy, SourceFormat,
+    UnknownVertexPolicy,
 };
 use scpm_datasets::DatasetSpec;
 use scpm_graph::io::{load_attributed, save_attributed, write_dot};
@@ -49,6 +61,7 @@ fn main() -> ExitCode {
         }
     };
     let result = match command.as_str() {
+        "ingest" => ingest(&flags),
         "mine" => mine(&flags),
         "induce" => induce(&flags),
         "generate" => generate(&flags),
@@ -68,7 +81,12 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  scpm mine      --graph <file> [--sigma-min N] [--gamma F] [--min-size N]
+  scpm ingest    --edges <file> [--attrs <file>] --out <file.snap>
+                 [--format auto|edgelist|adjacency|unified]
+                 [--ids auto|intern|numeric] [--self-loops drop|error]
+                 [--strict-vertices] [--raw-attr-order] [--top N]
+  scpm mine      --graph <file> | --snapshot <file.snap>
+                 [--sigma-min N] [--gamma F] [--min-size N]
                  [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
                  [--min-attrs N] [--max-attrs N] [--threads N] [--split-depth N]
                  [--algo scpm|levelwise|scorp|naive] [--limit N]
@@ -76,11 +94,13 @@ const USAGE: &str = "usage:
                  [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
   scpm generate  --dataset dblp|lastfm|citeseer|smalldblp [--scale F] [--seed N]
                  --out <file>[.snap]
-  scpm stats     --graph <file>
+  scpm stats     --graph <file> | --edges <file> [--attrs <file>] [--format F]
   scpm nullmodel --graph <file> [--gamma F] [--min-size N] [--points N]
                  [--sims N] [--seed N] [--max-frac F]
   scpm convert   --graph <file> --out <file>
-  scpm closed    --graph <file> [--sigma-min N] [--max-attrs N] [--limit N]";
+  scpm closed    --graph <file> [--sigma-min N] [--max-attrs N] [--limit N]
+
+formats: see docs/DATASETS.md for the byte-level grammars";
 
 /// Minimal `--flag value` parser (boolean flags take no value).
 struct Flags {
@@ -88,7 +108,7 @@ struct Flags {
     bools: Vec<String>,
 }
 
-const BOOL_FLAGS: &[&str] = &["naive"];
+const BOOL_FLAGS: &[&str] = &["naive", "strict-vertices", "raw-attr-order"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
@@ -153,8 +173,83 @@ fn save_any(g: &AttributedGraph, path: &str) -> Result<(), String> {
     }
 }
 
+/// Resolves the graph input: `--graph <file>` (format by extension) or
+/// `--snapshot <file>` (strictly the binary snapshot format, no guessing).
 fn load(flags: &Flags) -> Result<AttributedGraph, String> {
-    load_any(flags.required("graph")?)
+    match (flags.str("graph"), flags.str("snapshot")) {
+        (Some(_), Some(_)) => Err("--graph and --snapshot are mutually exclusive".into()),
+        (Some(path), None) => load_any(path),
+        (None, Some(path)) => load_snapshot(path).map_err(|e| format!("loading {path}: {e}")),
+        (None, None) => Err("--graph (or --snapshot) is required".into()),
+    }
+}
+
+/// Parses the shared ingest flags into [`IngestOptions`].
+fn ingest_opts_from(flags: &Flags) -> Result<IngestOptions, String> {
+    let id_policy = match flags.str("ids").unwrap_or("auto") {
+        "auto" => IdPolicy::Auto,
+        "intern" => IdPolicy::Intern,
+        "numeric" => IdPolicy::Numeric,
+        other => {
+            return Err(format!(
+                "invalid --ids `{other}` (want auto|intern|numeric)"
+            ))
+        }
+    };
+    let self_loops = match flags.str("self-loops").unwrap_or("drop") {
+        "drop" => SelfLoopPolicy::Drop,
+        "error" => SelfLoopPolicy::Error,
+        other => return Err(format!("invalid --self-loops `{other}` (want drop|error)")),
+    };
+    Ok(IngestOptions {
+        id_policy,
+        self_loops,
+        unknown_vertices: if flags.flag("strict-vertices") {
+            UnknownVertexPolicy::Error
+        } else {
+            UnknownVertexPolicy::Allow
+        },
+        canonical_attrs: !flags.flag("raw-attr-order"),
+        top_attributes: flags.num("top", 10usize)?,
+    })
+}
+
+/// Parses `--format`, defaulting to extension-based auto-detection.
+fn format_from(flags: &Flags, structure: &Path) -> Result<SourceFormat, String> {
+    match flags.str("format").unwrap_or("auto") {
+        "auto" => Ok(detect_format(structure)),
+        "edgelist" => Ok(SourceFormat::EdgeList),
+        "adjacency" => Ok(SourceFormat::Adjacency),
+        "unified" => Ok(SourceFormat::Unified),
+        other => Err(format!(
+            "invalid --format `{other}` (want auto|edgelist|adjacency|unified)"
+        )),
+    }
+}
+
+/// Runs the ingest pipeline shared by `scpm ingest` and raw-file `scpm
+/// stats`: parse, normalize, report.
+fn ingest_from_flags(flags: &Flags) -> Result<scpm_datasets::Ingested, String> {
+    let structure = flags.required("edges")?;
+    let structure = Path::new(structure);
+    let format = format_from(flags, structure)?;
+    let attrs = flags.str("attrs").map(Path::new);
+    let opts = ingest_opts_from(flags)?;
+    ingest_files(format, structure, attrs, &opts).map_err(|e| e.to_string())
+}
+
+fn ingest(flags: &Flags) -> Result<(), String> {
+    let out = flags.required("out")?;
+    let ingested = ingest_from_flags(flags)?;
+    print!("{}", ingested.report);
+    let bytes = scpm_graph::snapshot::encode(&ingested.graph);
+    std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: snapshot v{} ({} bytes, fnv1a-checksummed)",
+        scpm_graph::snapshot::VERSION,
+        bytes.len()
+    );
+    Ok(())
 }
 
 fn params_from(flags: &Flags) -> Result<ScpmParams, String> {
@@ -288,7 +383,24 @@ fn generate(flags: &Flags) -> Result<(), String> {
 }
 
 fn stats(flags: &Flags) -> Result<(), String> {
-    let graph = load(flags)?;
+    // Either a ready graph (--graph/--snapshot) or raw interchange files
+    // (--edges [--attrs]) statted through the ingest pipeline.
+    if flags.str("edges").is_some()
+        && (flags.str("graph").is_some() || flags.str("snapshot").is_some())
+    {
+        return Err("--edges and --graph/--snapshot are mutually exclusive".into());
+    }
+    let graph = if flags.str("edges").is_some() {
+        let ingested = ingest_from_flags(flags)?;
+        // The support list below covers the frequency head; print the
+        // normalization counters only.
+        let mut report = ingested.report;
+        report.top_attributes.clear();
+        print!("{report}");
+        ingested.graph
+    } else {
+        load(flags)?
+    };
     print!("{}", GraphSummary::of_attributed(&graph));
     let mut supports: Vec<(usize, u32)> =
         graph.attributes().map(|a| (graph.support(a), a)).collect();
@@ -477,6 +589,92 @@ mod tests {
             mine(&f).unwrap_or_else(|e| panic!("algo {algo}: {e}"));
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ingest_then_mine_snapshot() {
+        let dir = std::env::temp_dir().join("scpm_cli_ingest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("tiny.edges");
+        let attrs = dir.join("tiny.attrs");
+        // A 4-clique of `db` vertices plus a pendant, with noise.
+        std::fs::write(&edges, "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n3 4\n4 4\n0 1\n").unwrap();
+        std::fs::write(&attrs, "0 db\n1 db\n2 db\n3 db ml\n4 ml\n").unwrap();
+        let snap = dir.join("tiny.snap");
+        let f = parse(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--attrs",
+            attrs.to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .unwrap();
+        ingest(&f).unwrap();
+        let f = parse(&[
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--sigma-min",
+            "3",
+            "--gamma",
+            "0.6",
+            "--min-size",
+            "4",
+        ])
+        .unwrap();
+        mine(&f).unwrap();
+        // --snapshot refuses non-snapshot files.
+        let f = parse(&["--snapshot", edges.to_str().unwrap()]).unwrap();
+        assert!(load(&f).is_err());
+        // --graph + --snapshot is ambiguous.
+        let f = parse(&[
+            "--graph",
+            edges.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(load(&f).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_flag_validation() {
+        let f = parse(&["--ids", "sideways"]).unwrap();
+        assert!(ingest_opts_from(&f).is_err());
+        let f = parse(&["--self-loops", "keep"]).unwrap();
+        assert!(ingest_opts_from(&f).is_err());
+        let f = parse(&["--format", "yaml"]).unwrap();
+        assert!(format_from(&f, Path::new("g.txt")).is_err());
+        let f = parse(&[]).unwrap();
+        assert_eq!(
+            format_from(&f, Path::new("g.adj")).unwrap(),
+            SourceFormat::Adjacency
+        );
+        let f = parse(&["--strict-vertices", "--raw-attr-order"]).unwrap();
+        let opts = ingest_opts_from(&f).unwrap();
+        assert_eq!(opts.unknown_vertices, UnknownVertexPolicy::Error);
+        assert!(!opts.canonical_attrs);
+    }
+
+    #[test]
+    fn stats_accepts_raw_files() {
+        let dir = std::env::temp_dir().join("scpm_cli_stats_raw");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.edges");
+        std::fs::write(&edges, "0 1\n1 2\n").unwrap();
+        let f = parse(&["--edges", edges.to_str().unwrap()]).unwrap();
+        stats(&f).unwrap();
+        // Raw files and ready graphs are mutually exclusive inputs.
+        let f = parse(&[
+            "--edges",
+            edges.to_str().unwrap(),
+            "--graph",
+            edges.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(stats(&f).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

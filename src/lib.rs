@@ -24,8 +24,13 @@ pub use scpm_quasiclique as quasiclique;
 /// Commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use scpm_core::*;
-    pub use scpm_datasets::{citeseer_like, dblp_like, lastfm_like, small_dblp_like};
+    pub use scpm_datasets::{
+        citeseer_like, dblp_like, ingest_cached, ingest_files, lastfm_like, small_dblp_like,
+        IngestOptions, Ingested, SourceFormat,
+    };
     pub use scpm_graph::figure1::figure1;
-    pub use scpm_graph::{AttributedGraph, AttributedGraphBuilder, CsrGraph, GraphBuilder};
+    pub use scpm_graph::{
+        AttributedGraph, AttributedGraphBuilder, CsrGraph, GraphBuilder, RawSource,
+    };
     pub use scpm_quasiclique::{QcConfig, SearchOrder};
 }

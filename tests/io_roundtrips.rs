@@ -121,13 +121,23 @@ fn corrupted_text_inputs_fail_with_line_numbers() {
 fn corrupted_snapshots_fail_closed() {
     let g = dblp_like(0.003, 31).graph;
     let raw = snapshot::encode(&g).to_vec();
-    // Flip a byte in the middle of the edge section.
+    // Flip bytes in the middle of the edge section: the trailing checksum
+    // catches it before the structural pass even looks.
     let mut bad = raw.clone();
     let off = 12 + 8 + 8 + 4;
     bad[off] = 0xFF;
     bad[off + 1] = 0xFF;
     bad[off + 2] = 0xFF;
     bad[off + 3] = 0xFF;
+    assert!(matches!(
+        snapshot::decode(bytes::Bytes::from(bad.clone())),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+    // Even with the checksum forged to match, the structural layer still
+    // range-checks the now-invalid edge endpoint.
+    let body = bad.len() - 8;
+    let sum = snapshot::fnv1a64(&bad[..body]).to_le_bytes();
+    bad[body..].copy_from_slice(&sum);
     assert!(matches!(
         snapshot::decode(bytes::Bytes::from(bad)),
         Err(SnapshotError::OutOfRange { .. })
@@ -137,6 +147,51 @@ fn corrupted_snapshots_fail_closed() {
     for cut in [0, 10, 13, raw.len() / 2, raw.len() - 1] {
         assert!(snapshot::decode(bytes::Bytes::from(raw[..cut].to_vec())).is_err());
     }
+}
+
+#[test]
+fn stale_and_foreign_snapshots_fail_closed() {
+    let g = dblp_like(0.003, 31).graph;
+    // A version-1 file (pre-checksum layout) is stale, not silently read.
+    let mut stale = snapshot::encode(&g).to_vec();
+    stale[8..12].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        snapshot::decode(bytes::Bytes::from(stale)),
+        Err(SnapshotError::BadVersion(1))
+    ));
+    // Foreign files of any size fail at the magic.
+    for foreign in [
+        &b"GRPH0001 some other tool's graph dump format"[..],
+        &b"v 3\ne 0 1\n"[..],
+        &[0xFFu8; 128][..],
+    ] {
+        assert!(matches!(
+            snapshot::decode(bytes::Bytes::from(foreign.to_vec())),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+}
+
+#[test]
+fn interchange_parser_error_paths() {
+    use scpm_graph::io::RawSource;
+    // Truncated edge line.
+    let mut s = RawSource::new();
+    let err = s.read_edge_list("0 1\n2\n".as_bytes()).unwrap_err();
+    assert!(matches!(err, ParseError::Syntax { line: 2, .. }), "{err}");
+    // Duplicate vertex row in an attribute table.
+    let mut s = RawSource::new();
+    let err = s
+        .read_attr_table("0 db\n1 ml\n0 ir\n".as_bytes())
+        .unwrap_err();
+    assert!(matches!(err, ParseError::Syntax { line: 3, .. }), "{err}");
+    assert!(err.to_string().contains("duplicate"), "{err}");
+    // Unterminated quoted field.
+    let mut s = RawSource::new();
+    let err = s.read_attr_table("0 \"unclosed\n".as_bytes()).unwrap_err();
+    assert!(err.to_string().contains("unterminated"), "{err}");
+    // Unknown vertex references surface through strict ingest (exercised
+    // end-to-end in tests/ingest_pipeline.rs).
 }
 
 #[test]
