@@ -5,8 +5,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scpm_core::{Scorp, Scpm, ScpmParams, ScpmPruneFlags};
 use scpm_datasets::small_dblp_like;
+use scpm_graph::bitadj::{BitAdjacency, VertexBitset};
+use scpm_graph::csr::intersect_count;
 use scpm_graph::generators::planted::{BackgroundModel, PlantedCommunityConfig, PlantedGraph};
-use scpm_quasiclique::{Miner, PruneFlags, QcConfig};
+use scpm_graph::induced::InducedSubgraph;
+use scpm_quasiclique::{Miner, PruneFlags, QcConfig, Representation};
 
 fn engine_flag_variants() -> Vec<(&'static str, PruneFlags)> {
     let all = PruneFlags::default();
@@ -183,11 +186,74 @@ fn bench_scorp_vs_scpm(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sorted-slice vs packed-bitset hot path: end-to-end coverage searches
+/// (the A/B the `--repr` switch and `exp_perf` expose) plus the raw
+/// kernels underneath (edge tests, external-degree counting, incremental
+/// subgraph projection).
+fn bench_representation_kernels(c: &mut Criterion) {
+    let pg = PlantedGraph::generate(
+        &PlantedCommunityConfig {
+            n: 600,
+            background: BackgroundModel::Uniform { mean_degree: 3.0 },
+            num_communities: 6,
+            community_size: (8, 14),
+            p_in: 0.8,
+        },
+        7,
+    );
+    let cfg = QcConfig::new(0.5, 6);
+    let mut group = c.benchmark_group("representation");
+    group.sample_size(10);
+    for (name, repr) in [
+        ("slice", Representation::Slice),
+        ("bitset", Representation::Bitset),
+    ] {
+        group.bench_with_input(BenchmarkId::new("coverage", name), &repr, |b, &r| {
+            b.iter(|| {
+                Miner::new(&pg.graph, cfg)
+                    .with_repr(r)
+                    .coverage()
+                    .covered
+                    .len()
+            })
+        });
+    }
+
+    // Raw kernels over one mid-sized induced subgraph.
+    let set: Vec<u32> = (0..300u32).collect();
+    let sub = InducedSubgraph::extract(&pg.graph, &set);
+    let adj = BitAdjacency::from_csr(&sub.graph);
+    let cands: Vec<u32> = (0..sub.num_vertices() as u32).step_by(2).collect();
+    let cand_bits = VertexBitset::from_sorted(sub.num_vertices(), &cands);
+    group.bench_function("exdeg/slice_merge", |b| {
+        b.iter(|| {
+            (0..sub.num_vertices() as u32)
+                .map(|v| intersect_count(sub.graph.neighbors(v), &cands))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("exdeg/bitset_popcount", |b| {
+        b.iter(|| {
+            (0..sub.num_vertices() as u32)
+                .map(|v| adj.degree_within(v, &cand_bits))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("project/from_parent", |b| {
+        b.iter(|| sub.project(&cand_bits).num_vertices())
+    });
+    group.bench_function("project/global_extract", |b| {
+        b.iter(|| InducedSubgraph::extract(&pg.graph, &cands).num_vertices())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_prunings,
     bench_scpm_theorem_ablation,
     bench_lattice_traversal,
-    bench_scorp_vs_scpm
+    bench_scorp_vs_scpm,
+    bench_representation_kernels
 );
 criterion_main!(benches);

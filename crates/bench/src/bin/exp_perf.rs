@@ -1,0 +1,247 @@
+//! E-PERF — tracked performance baseline: sorted-slice vs packed-bitset
+//! hot path on the synthetic DBLP/Last.fm stand-ins, under fixed seeds.
+//!
+//! ```text
+//! cargo run --release -p scpm-bench --bin exp_perf \
+//!     [dblp_scale] [lastfm_scale] [out.json] [--no-timing]
+//! ```
+//!
+//! For each workload the full SCPM run executes twice — once with
+//! `Representation::Slice`, once with `Representation::Bitset` — and the
+//! binary **exits nonzero unless the two outcomes (reports + patterns) are
+//! byte-identical**. Wall-clock plus the hardware-independent counters
+//! (qc-search nodes, point edge tests, modeled kernel operations = slice
+//! elements touched vs bitset words touched) land in a JSON file, which is
+//! committed at the repo root as `BENCH_scpm.json` to track the
+//! baseline-vs-bitset trajectory across PRs (see `docs/PERFORMANCE.md`).
+//!
+//! Determinism: every seed is a compile-time constant and the scales are
+//! plain CLI flags — there is no `SystemTime`-derived input anywhere, so
+//! with `--no-timing` (which zeroes the `wall_secs` fields) repeated runs
+//! produce byte-identical JSON. CI diffs two back-to-back runs to enforce
+//! exactly that.
+
+use std::process::ExitCode;
+
+use scpm_bench::{arg_f64, arg_str, timed};
+use scpm_core::{Scpm, ScpmParams, ScpmResult};
+use scpm_datasets::{dblp_like, lastfm_like, SyntheticDataset};
+use scpm_quasiclique::Representation;
+
+/// Fixed workload seeds (never derived from the clock).
+const DBLP_SEED: u64 = 42;
+const LASTFM_SEED: u64 = 7;
+
+struct PathResult {
+    wall_secs: f64,
+    result: ScpmResult,
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    scale: f64,
+    seed: u64,
+    vertices: usize,
+    edges: usize,
+    attributes: usize,
+    slice: PathResult,
+    bitset: PathResult,
+    identical: bool,
+}
+
+/// Everything a run reports except wall-clock, as one comparable string.
+fn fingerprint(r: &ScpmResult) -> String {
+    format!("{:?}|{:?}", r.reports, r.patterns)
+}
+
+fn run_workload(
+    name: &'static str,
+    dataset: &SyntheticDataset,
+    scale: f64,
+    seed: u64,
+    params: &ScpmParams,
+    timing: bool,
+) -> WorkloadReport {
+    let g = &dataset.graph;
+    let run = |repr: Representation| {
+        // One warm-up pass (page-in, allocator steady state), then the
+        // timed pass — single-shot cold timings on a shared container are
+        // too noisy to track.
+        let p = params.clone().with_repr(repr);
+        if timing {
+            let _ = Scpm::new(g, p.clone()).run();
+        }
+        let (result, secs) = timed(|| Scpm::new(g, p).run());
+        PathResult {
+            wall_secs: if timing { secs } else { 0.0 },
+            result,
+        }
+    };
+    let slice = run(Representation::Slice);
+    let bitset = run(Representation::Bitset);
+    let identical = fingerprint(&slice.result) == fingerprint(&bitset.result);
+    WorkloadReport {
+        name,
+        scale,
+        seed,
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        attributes: g.num_attributes(),
+        slice,
+        bitset,
+        identical,
+    }
+}
+
+fn json_path(p: &PathResult) -> String {
+    let s = &p.result.stats;
+    format!(
+        concat!(
+            "{{\"wall_secs\": {:.6}, \"qc_nodes\": {}, \"edge_tests\": {}, ",
+            "\"kernel_ops\": {}, \"reports\": {}, \"patterns\": {}}}"
+        ),
+        p.wall_secs,
+        s.qc_nodes_coverage + s.qc_nodes_topk,
+        s.qc_edge_tests,
+        s.qc_kernel_ops,
+        p.result.reports.len(),
+        p.result.patterns.len()
+    )
+}
+
+fn ratio(slice: u64, bitset: u64) -> f64 {
+    slice as f64 / bitset.max(1) as f64
+}
+
+fn json_workload(w: &WorkloadReport) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"name\": \"{}\",\n",
+            "      \"scale\": {},\n",
+            "      \"seed\": {},\n",
+            "      \"vertices\": {},\n",
+            "      \"edges\": {},\n",
+            "      \"attributes\": {},\n",
+            "      \"slice\": {},\n",
+            "      \"bitset\": {},\n",
+            "      \"kernel_ops_ratio\": {:.4},\n",
+            "      \"outcomes_identical\": {}\n",
+            "    }}"
+        ),
+        w.name,
+        w.scale,
+        w.seed,
+        w.vertices,
+        w.edges,
+        w.attributes,
+        json_path(&w.slice),
+        json_path(&w.bitset),
+        ratio(
+            w.slice.result.stats.qc_kernel_ops,
+            w.bitset.result.stats.qc_kernel_ops
+        ),
+        w.identical
+    )
+}
+
+fn main() -> ExitCode {
+    let dblp_scale = arg_f64(1, 0.02);
+    let lastfm_scale = arg_f64(2, 0.01);
+    // `--no-timing` is recognized at any position; a flag mistakenly
+    // landing in the out-path slot must not become a file name.
+    let timing = !std::env::args().any(|a| a == "--no-timing");
+    let out_path = match arg_str(3, "BENCH_scpm.json") {
+        p if p.starts_with("--") => "BENCH_scpm.json".to_string(),
+        p => p,
+    };
+
+    // The paper-shaped parameters the repo's other experiments use for
+    // these stand-ins (exp_speedup / the tier-1 determinism sweep).
+    let dblp_params = ScpmParams::new(8, 0.5, 8)
+        .with_eps_min(0.1)
+        .with_top_k(3)
+        .with_max_attrs(3);
+    let lastfm_params = ScpmParams::new(8, 0.5, 5)
+        .with_eps_min(0.1)
+        .with_top_k(4)
+        .with_max_attrs(2);
+
+    let dblp = dblp_like(dblp_scale, DBLP_SEED);
+    let lastfm = lastfm_like(lastfm_scale, LASTFM_SEED);
+    let reports = vec![
+        run_workload("dblp", &dblp, dblp_scale, DBLP_SEED, &dblp_params, timing),
+        run_workload(
+            "lastfm",
+            &lastfm,
+            lastfm_scale,
+            LASTFM_SEED,
+            &lastfm_params,
+            timing,
+        ),
+    ];
+
+    let mut ok = true;
+    for w in &reports {
+        let r = ratio(
+            w.slice.result.stats.qc_kernel_ops,
+            w.bitset.result.stats.qc_kernel_ops,
+        );
+        eprintln!(
+            "# {}: V={} E={} | slice kernel_ops={} bitset kernel_ops={} ratio={:.2}x | identical={}",
+            w.name,
+            w.vertices,
+            w.edges,
+            w.slice.result.stats.qc_kernel_ops,
+            w.bitset.result.stats.qc_kernel_ops,
+            r,
+            w.identical
+        );
+        if !w.identical {
+            eprintln!("# ERROR: {} slice/bitset outcomes diverge", w.name);
+            ok = false;
+        }
+    }
+
+    let min_ratio = reports
+        .iter()
+        .map(|w| {
+            ratio(
+                w.slice.result.stats.qc_kernel_ops,
+                w.bitset.result.stats.qc_kernel_ops,
+            )
+        })
+        .fold(f64::INFINITY, f64::min);
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"version\": 1,\n",
+            "  \"harness\": \"exp_perf\",\n",
+            "  \"counters\": {{\n",
+            "    \"qc_nodes\": \"set-enumeration nodes visited (coverage + top-k)\",\n",
+            "    \"edge_tests\": \"point adjacency/membership queries in the hot loops\",\n",
+            "    \"kernel_ops\": \"modeled work: slice elements touched vs bitset u64 words touched\"\n",
+            "  }},\n",
+            "  \"workloads\": [\n{}\n  ],\n",
+            "  \"summary\": {{\"min_kernel_ops_ratio\": {:.4}, \"all_outcomes_identical\": {}}}\n",
+            "}}\n"
+        ),
+        reports
+            .iter()
+            .map(json_workload)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        min_ratio,
+        ok
+    );
+    if let Err(e) = std::fs::write(&out_path, &body) {
+        eprintln!("# ERROR: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {out_path} (min kernel_ops ratio {min_ratio:.2}x)");
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -19,13 +19,26 @@ use crate::nullmodel::{AnalyticalModel, NullModelCache};
 use crate::params::ScpmParams;
 use crate::pattern::{AttributeSetReport, Pattern, ScpmResult};
 
-/// An attribute set queued for extension: its attributes, tidset `V(S)`
-/// and covered set `K_S`.
+/// Largest mining subgraph (by vertex count) an [`EnumEntry`] keeps alive
+/// for child projection. Entries survive until their branch (or scheduler
+/// task class) completes, so an uncapped frontier over hub attributes
+/// would pin many large CSR copies simultaneously; over-cap entries store
+/// `None` and their children fall back to global extraction (identical
+/// results, pre-projection cost).
+const PROJECT_RETAIN_MAX_VERTICES: usize = 1 << 14;
+
+/// An attribute set queued for extension: its attributes, tidset `V(S)`,
+/// covered set `K_S`, and (when one was built and is under
+/// [`PROJECT_RETAIN_MAX_VERTICES`]) its mining subgraph `G[mining(S)]` —
+/// children project their subgraphs out of it instead of re-extracting
+/// from the global graph (`Arc` because the work-stealing driver shares
+/// entries across workers).
 #[derive(Clone, Debug)]
 pub(crate) struct EnumEntry {
     pub attrs: Vec<AttrId>,
     pub tids: Tidset,
     pub cover: Vec<VertexId>,
+    pub sub: Option<Arc<scpm_graph::induced::InducedSubgraph>>,
 }
 
 /// The SCPM miner. Construct once per graph/parameter combination and call
@@ -121,6 +134,7 @@ impl<'g> Scpm<'g> {
             self.params.quasi_clique,
             self.params.search_order,
             self.params.qc_prune,
+            self.params.repr,
             self.params.prune.vertex_pruning,
         )
     }
@@ -149,28 +163,33 @@ impl<'g> Scpm<'g> {
                 continue;
             }
             let tids = Tidset::from_sorted(self.graph.vertices_with(a).to_vec());
-            if let Some(entry) = self.evaluate(engine, vec![a], tids, None, result) {
+            if let Some(entry) = self.evaluate(engine, vec![a], tids, None, None, result) {
                 entries.push(entry);
             }
         }
         entries
     }
 
-    /// Evaluates one attribute set: computes ε and δ_lb, records the
-    /// report, emits top-k patterns when the set qualifies, and returns an
-    /// [`EnumEntry`] when the Theorem 4/5 gates allow extension.
+    /// Evaluates one attribute set: computes ε and δ_lb (projecting the
+    /// mining subgraph from `parent_sub` when the caller holds one),
+    /// records the report, emits top-k patterns when the set qualifies
+    /// (reusing the coverage subgraph), and returns an [`EnumEntry`] when
+    /// the Theorem 4/5 gates allow extension.
     pub(crate) fn evaluate(
         &self,
         engine: &CorrelationEngine<'g>,
         attrs: Vec<AttrId>,
         tids: Tidset,
         parent_cover: Option<&[VertexId]>,
+        parent_sub: Option<&scpm_graph::induced::InducedSubgraph>,
         result: &mut ScpmResult,
     ) -> Option<EnumEntry> {
         let support = tids.support();
-        let outcome = engine.epsilon(tids.as_slice(), parent_cover);
+        let outcome = engine.epsilon_projected(tids.as_slice(), parent_cover, parent_sub);
         result.stats.attribute_sets_examined += 1;
-        result.stats.qc_nodes_coverage += outcome.qc_nodes;
+        result.stats.qc_nodes_coverage += outcome.stats.nodes_visited;
+        result.stats.qc_edge_tests += outcome.stats.edge_tests;
+        result.stats.qc_kernel_ops += outcome.stats.kernel_ops;
         let epsilon = outcome.epsilon;
         let delta_lb = self.model.normalize(epsilon, support);
         let qualified = epsilon >= self.params.eps_min && delta_lb >= self.params.delta_min;
@@ -186,13 +205,19 @@ impl<'g> Scpm<'g> {
             });
             if qualified {
                 result.stats.attribute_sets_qualified += 1;
-                let (cliques, nodes) = engine.top_k(tids.as_slice(), parent_cover, self.params.k);
-                result.stats.qc_nodes_topk += nodes;
-                for clique in cliques {
-                    result.patterns.push(Pattern {
-                        attrs: attrs.clone(),
-                        clique,
-                    });
+                // The top-k search runs on the same mining set as the
+                // coverage search — reuse its subgraph verbatim.
+                if let Some(sub) = outcome.sub.as_deref() {
+                    let (cliques, tk_stats) = engine.top_k_on(sub, self.params.k);
+                    result.stats.qc_nodes_topk += tk_stats.nodes_visited;
+                    result.stats.qc_edge_tests += tk_stats.edge_tests;
+                    result.stats.qc_kernel_ops += tk_stats.kernel_ops;
+                    for clique in cliques {
+                        result.patterns.push(Pattern {
+                            attrs: attrs.clone(),
+                            clique,
+                        });
+                    }
                 }
             }
         } else if qualified {
@@ -217,10 +242,21 @@ impl<'g> Scpm<'g> {
                 return None;
             }
         }
+        // Retain the mining subgraph for child projection only when it is
+        // modestly sized: a frontier entry lives until its whole branch
+        // (or, under the work-stealing driver, its task class) drains, so
+        // retaining hub-attribute subgraphs without a cap would hold many
+        // large CSR copies at once. Children of an over-cap entry extract
+        // from the global graph — the pre-projection behavior, identical
+        // results.
+        let sub = outcome
+            .sub
+            .filter(|s| s.num_vertices() <= PROJECT_RETAIN_MAX_VERTICES);
         Some(EnumEntry {
             attrs,
             tids,
             cover: outcome.covered,
+            sub,
         })
     }
 
@@ -306,7 +342,17 @@ impl<'g> Scpm<'g> {
         } else {
             None
         };
-        self.evaluate(engine, attrs, tids, parent_cover, result)
+        // The child's mining set is contained in `base`'s (the tidset
+        // shrinks, and the cover restriction lies inside `base`'s mining
+        // set), so the child subgraph projects out of `base.sub`.
+        self.evaluate(
+            engine,
+            attrs,
+            tids,
+            parent_cover,
+            base.sub.as_deref(),
+            result,
+        )
     }
 }
 

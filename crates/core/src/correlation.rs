@@ -9,14 +9,28 @@
 //! `K_S ⊆ K_parent`, so vertices of `V(S) \ K_parent` can be deleted from
 //! the mining graph before the search (they still count in the support
 //! denominator).
+//!
+//! **Incremental projection.** The mining vertex set of a child attribute
+//! set is always contained in its parent's (`V(S ∪ {a}) ⊆ V(S)`, and the
+//! cover restriction only shrinks it further), so when the lattice driver
+//! hands down the parent's already-extracted [`InducedSubgraph`], the
+//! child's subgraph is *projected* out of the parent's compact CSR
+//! ([`InducedSubgraph::project`]) instead of re-merged against the global
+//! graph — and the coverage subgraph is reused verbatim by the top-k
+//! search of the same attribute set. Both constructions are byte-identical
+//! to a fresh global extraction (tested), so every downstream guarantee
+//! (determinism sweep, files→mine byte-identity) is unaffected.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use scpm_graph::attributed::AttributedGraph;
+use scpm_graph::bitadj::VertexBitset;
 use scpm_graph::csr::{intersect_into, VertexId};
 use scpm_graph::induced::InducedSubgraph;
 use scpm_quasiclique::{
-    EngineScratch, Miner, MiningMode, MiningOutcome, PruneFlags, QcConfig, QuasiClique, SearchOrder,
+    EngineScratch, Miner, MiningMode, MiningOutcome, PruneFlags, QcConfig, QuasiClique,
+    Representation, SearchOrder, SearchStats,
 };
 
 /// Result of one structural correlation evaluation.
@@ -26,8 +40,25 @@ pub struct CorrelationOutcome {
     pub covered: Vec<VertexId>,
     /// `ε(S) = |K_S| / |V(S)|` (0 when the support is 0).
     pub epsilon: f64,
-    /// Nodes visited by the coverage search.
-    pub qc_nodes: u64,
+    /// Counters of the coverage search (zeroed when the evaluation
+    /// short-circuited below `min_size`).
+    pub stats: SearchStats,
+    /// The extracted mining subgraph `G[mining(S)]`, when one was built
+    /// (`None` when the evaluation short-circuited). The lattice driver
+    /// stashes it on the enumeration entry so child evaluations project
+    /// from it and the same set's top-k search reuses it.
+    pub sub: Option<Arc<InducedSubgraph>>,
+}
+
+impl CorrelationOutcome {
+    fn short_circuit() -> Self {
+        CorrelationOutcome {
+            covered: Vec::new(),
+            epsilon: 0.0,
+            stats: SearchStats::default(),
+            sub: None,
+        }
+    }
 }
 
 /// Evaluates `ε` and mines top-k patterns on induced subgraphs.
@@ -58,10 +89,13 @@ pub struct CorrelationEngine<'g> {
     cfg: QcConfig,
     order: SearchOrder,
     prune: PruneFlags,
+    repr: Representation,
     /// Apply Theorem 3 restriction when a parent cover is provided.
     vertex_pruning: bool,
     /// Reusable quasi-clique search buffers, recycled across evaluations.
     scratch: RefCell<EngineScratch>,
+    /// Reusable parent-local keep set for subgraph projection.
+    keep: RefCell<VertexBitset>,
 }
 
 impl<'g> CorrelationEngine<'g> {
@@ -71,6 +105,7 @@ impl<'g> CorrelationEngine<'g> {
         cfg: QcConfig,
         order: SearchOrder,
         prune: PruneFlags,
+        repr: Representation,
         vertex_pruning: bool,
     ) -> Self {
         CorrelationEngine {
@@ -78,8 +113,10 @@ impl<'g> CorrelationEngine<'g> {
             cfg,
             order,
             prune,
+            repr,
             vertex_pruning,
             scratch: RefCell::new(EngineScratch::new()),
+            keep: RefCell::new(VertexBitset::empty(0)),
         }
     }
 
@@ -101,28 +138,35 @@ impl<'g> CorrelationEngine<'g> {
     }
 
     /// Computes `ε(S)` given `V(S)` (sorted global ids) and, optionally,
-    /// the parents' covered set for Theorem 3 restriction.
+    /// the parents' covered set for Theorem 3 restriction. Extracts the
+    /// mining subgraph from the global graph; lattice drivers that hold
+    /// the parent's subgraph should use [`Self::epsilon_projected`].
     pub fn epsilon(
         &self,
         vertices: &[VertexId],
         parent_cover: Option<&[VertexId]>,
     ) -> CorrelationOutcome {
+        self.epsilon_projected(vertices, parent_cover, None)
+    }
+
+    /// Like [`Self::epsilon`], but carving the mining subgraph out of
+    /// `parent`'s (the enclosing attribute set's already-extracted
+    /// subgraph) when one is supplied — the incremental-projection fast
+    /// path of the lattice DFS. Output is identical either way.
+    pub fn epsilon_projected(
+        &self,
+        vertices: &[VertexId],
+        parent_cover: Option<&[VertexId]>,
+        parent: Option<&InducedSubgraph>,
+    ) -> CorrelationOutcome {
         if vertices.is_empty() {
-            return CorrelationOutcome {
-                covered: Vec::new(),
-                epsilon: 0.0,
-                qc_nodes: 0,
-            };
+            return CorrelationOutcome::short_circuit();
         }
         let mining = self.mining_set(vertices, parent_cover);
         if mining.len() < self.cfg.min_size {
-            return CorrelationOutcome {
-                covered: Vec::new(),
-                epsilon: 0.0,
-                qc_nodes: 0,
-            };
+            return CorrelationOutcome::short_circuit();
         }
-        let sub = InducedSubgraph::extract(self.graph.graph(), &mining);
+        let sub = Arc::new(self.subgraph_for(&mining, parent));
         let outcome = self.run_miner(&sub.graph, MiningMode::Coverage);
         let covered: Vec<VertexId> = outcome
             .covered
@@ -133,37 +177,88 @@ impl<'g> CorrelationEngine<'g> {
         CorrelationOutcome {
             covered,
             epsilon,
-            qc_nodes: outcome.stats.nodes_visited,
+            stats: outcome.stats,
+            sub: Some(sub),
         }
+    }
+
+    /// Extracts `G[mining]`, projecting from `parent`'s compact CSR when
+    /// the mining set is contained in it (always the case on the lattice
+    /// paths; falls back to a global extraction otherwise).
+    fn subgraph_for(
+        &self,
+        mining: &[VertexId],
+        parent: Option<&InducedSubgraph>,
+    ) -> InducedSubgraph {
+        if let Some(parent) = parent {
+            let mut keep = self.keep.borrow_mut();
+            keep.reset(parent.num_vertices());
+            // Merge `mining` against the parent's (sorted) global-id list,
+            // packing matched parent-local ids.
+            let originals = &parent.original;
+            let mut matched = 0usize;
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < mining.len() && j < originals.len() {
+                match mining[i].cmp(&originals[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        keep.insert(j as VertexId);
+                        matched += 1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(
+                matched,
+                mining.len(),
+                "lattice child mining set must be contained in the parent's"
+            );
+            if matched == mining.len() {
+                return parent.project(&keep);
+            }
+        }
+        InducedSubgraph::extract(self.graph.graph(), mining)
     }
 
     /// Mines the top-`k` patterns of `G(S)` (size primary, density
     /// secondary), with the same Theorem 3 restriction as [`Self::epsilon`].
-    /// Returns cliques in global ids plus the nodes visited.
+    /// Returns cliques in global ids plus the search counters.
     pub fn top_k(
         &self,
         vertices: &[VertexId],
         parent_cover: Option<&[VertexId]>,
         k: usize,
-    ) -> (Vec<QuasiClique>, u64) {
+    ) -> (Vec<QuasiClique>, SearchStats) {
         if k == 0 || vertices.is_empty() {
-            return (Vec::new(), 0);
+            return (Vec::new(), SearchStats::default());
         }
         let mining = self.mining_set(vertices, parent_cover);
         if mining.len() < self.cfg.min_size {
-            return (Vec::new(), 0);
+            return (Vec::new(), SearchStats::default());
         }
         let sub = InducedSubgraph::extract(self.graph.graph(), &mining);
+        self.top_k_on(&sub, k)
+    }
+
+    /// Mines the top-`k` patterns on an already-extracted mining subgraph
+    /// — the reuse path for drivers that just ran [`Self::epsilon`] on the
+    /// same attribute set (same mining set ⇒ same subgraph, no second
+    /// extraction).
+    pub fn top_k_on(&self, sub: &InducedSubgraph, k: usize) -> (Vec<QuasiClique>, SearchStats) {
+        if k == 0 {
+            return (Vec::new(), SearchStats::default());
+        }
         let outcome = self.run_miner(&sub.graph, MiningMode::TopK(k));
-        let cliques = relabel(&sub, outcome);
-        (cliques.0, cliques.1)
+        relabel(sub, outcome)
     }
 
     /// Enumerates *all* maximal quasi-cliques of `G(S)` (used by the naive
     /// baseline; no Theorem 3 restriction is applied).
-    pub fn enumerate_all(&self, vertices: &[VertexId]) -> (Vec<QuasiClique>, u64) {
+    pub fn enumerate_all(&self, vertices: &[VertexId]) -> (Vec<QuasiClique>, SearchStats) {
         if vertices.len() < self.cfg.min_size {
-            return (Vec::new(), 0);
+            return (Vec::new(), SearchStats::default());
         }
         let sub = InducedSubgraph::extract(self.graph.graph(), vertices);
         let outcome = self.run_miner(&sub.graph, MiningMode::EnumerateMaximal);
@@ -175,12 +270,13 @@ impl<'g> CorrelationEngine<'g> {
         Miner::new(g, self.cfg)
             .with_order(self.order)
             .with_prune(self.prune)
+            .with_repr(self.repr)
             .run_with(mode, &mut self.scratch.borrow_mut())
     }
 }
 
 /// Maps a mining outcome's cliques back to global vertex ids.
-fn relabel(sub: &InducedSubgraph, outcome: MiningOutcome) -> (Vec<QuasiClique>, u64) {
+fn relabel(sub: &InducedSubgraph, outcome: MiningOutcome) -> (Vec<QuasiClique>, SearchStats) {
     let cliques = outcome
         .cliques
         .into_iter()
@@ -190,7 +286,7 @@ fn relabel(sub: &InducedSubgraph, outcome: MiningOutcome) -> (Vec<QuasiClique>, 
             edge_density: q.edge_density,
         })
         .collect();
-    (cliques, outcome.stats.nodes_visited)
+    (cliques, outcome.stats)
 }
 
 #[cfg(test)]
@@ -204,6 +300,7 @@ mod tests {
             QcConfig::new(0.6, 4),
             SearchOrder::Dfs,
             PruneFlags::default(),
+            Representation::default(),
             true,
         )
     }
@@ -244,6 +341,51 @@ mod tests {
         let without = eng.epsilon(&vab, None);
         assert_eq!(with_parent.covered, without.covered);
         assert_eq!(with_parent.epsilon, without.epsilon);
+    }
+
+    #[test]
+    fn projection_equals_global_extraction() {
+        // ε of {A,B} computed by projecting from {A}'s subgraph must be
+        // byte-identical to the global-extraction path, with and without a
+        // parent cover.
+        let g = figure1();
+        let eng = engine(&g);
+        let a = g.attr_id("A").unwrap();
+        let b = g.attr_id("B").unwrap();
+        let va = g.vertices_with(a).to_vec();
+        let parent_out = eng.epsilon(&va, None);
+        let parent_sub = parent_out.sub.as_deref().expect("parent subgraph built");
+        let vab = g.vertices_with_all(&[a, b]);
+
+        let direct = eng.epsilon(&vab, None);
+        let projected = eng.epsilon_projected(&vab, None, Some(parent_sub));
+        assert_eq!(direct.covered, projected.covered);
+        assert_eq!(direct.epsilon, projected.epsilon);
+        assert_eq!(direct.stats, projected.stats);
+        let (ds, ps) = (direct.sub.unwrap(), projected.sub.unwrap());
+        assert_eq!(ds.graph, ps.graph);
+        assert_eq!(ds.original, ps.original);
+
+        let with_cover = eng.epsilon(&vab, Some(&parent_out.covered));
+        let with_cover_proj =
+            eng.epsilon_projected(&vab, Some(&parent_out.covered), Some(parent_sub));
+        assert_eq!(with_cover.covered, with_cover_proj.covered);
+        assert_eq!(
+            with_cover.sub.unwrap().graph,
+            with_cover_proj.sub.unwrap().graph
+        );
+    }
+
+    #[test]
+    fn top_k_on_reuses_coverage_subgraph() {
+        let g = figure1();
+        let eng = engine(&g);
+        let a = g.attr_id("A").unwrap();
+        let va = g.vertices_with(a).to_vec();
+        let out = eng.epsilon(&va, None);
+        let (via_sub, _) = eng.top_k_on(out.sub.as_deref().unwrap(), 2);
+        let (direct, _) = eng.top_k(&va, None, 2);
+        assert_eq!(via_sub, direct);
     }
 
     #[test]

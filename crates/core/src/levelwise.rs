@@ -82,9 +82,14 @@ impl<'g> Scpm<'g> {
                     } else {
                         None
                     };
-                    if let Some(entry) =
-                        self.evaluate(&engine, attrs, tids, parent_cover, &mut result)
-                    {
+                    if let Some(entry) = self.evaluate(
+                        &engine,
+                        attrs,
+                        tids,
+                        parent_cover,
+                        a.sub.as_deref(),
+                        &mut result,
+                    ) {
                         next.push(entry);
                     }
                 }

@@ -29,6 +29,7 @@ pub fn run_naive(graph: &AttributedGraph, params: &ScpmParams) -> ScpmResult {
         params.quasi_clique,
         params.search_order,
         params.qc_prune,
+        params.repr,
         false,
     );
     let mut result = ScpmResult::default();
@@ -40,8 +41,10 @@ pub fn run_naive(graph: &AttributedGraph, params: &ScpmParams) -> ScpmResult {
         result.stats.attribute_sets_examined += 1;
         let support = itemset.support();
         // Full maximal quasi-clique enumeration of G(S).
-        let (cliques, nodes) = engine.enumerate_all(itemset.tids.as_slice());
-        result.stats.qc_nodes_coverage += nodes;
+        let (cliques, stats) = engine.enumerate_all(itemset.tids.as_slice());
+        result.stats.qc_nodes_coverage += stats.nodes_visited;
+        result.stats.qc_edge_tests += stats.edge_tests;
+        result.stats.qc_kernel_ops += stats.kernel_ops;
         let mut covered: Vec<u32> = cliques
             .iter()
             .flat_map(|q| q.vertices.iter().copied())

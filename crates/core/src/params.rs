@@ -1,7 +1,7 @@
 //! Parameters of the structural correlation pattern mining problem
 //! (Definition 4 plus the algorithmic knobs of §3.2).
 
-use scpm_quasiclique::{PruneFlags, QcConfig, SearchOrder};
+use scpm_quasiclique::{PruneFlags, QcConfig, Representation, SearchOrder};
 
 /// Switches for SCPM's attribute-level pruning rules (Theorems 3–5). Used
 /// by ablation benches; disabling a rule never changes results.
@@ -50,6 +50,10 @@ pub struct ScpmParams {
     pub prune: ScpmPruneFlags,
     /// Quasi-clique-level pruning switches.
     pub qc_prune: PruneFlags,
+    /// Engine hot-loop representation (packed bitsets by default; the
+    /// sorted-slice baseline is selectable for A/B runs — results are
+    /// identical either way, see `docs/PERFORMANCE.md`).
+    pub repr: Representation,
 }
 
 impl ScpmParams {
@@ -67,6 +71,7 @@ impl ScpmParams {
             min_attrs: 1,
             prune: ScpmPruneFlags::default(),
             qc_prune: PruneFlags::default(),
+            repr: Representation::default(),
         }
     }
 
@@ -103,6 +108,12 @@ impl ScpmParams {
     /// Sets the traversal size cap, builder style.
     pub fn with_max_attrs(mut self, max_attrs: usize) -> Self {
         self.max_attrs = max_attrs.max(1);
+        self
+    }
+
+    /// Sets the engine hot-loop representation, builder style.
+    pub fn with_repr(mut self, repr: Representation) -> Self {
+        self.repr = repr;
         self
     }
 }

@@ -70,6 +70,15 @@ pub struct ScpmStats {
     pub qc_nodes_coverage: u64,
     /// Total quasi-clique search nodes across all top-k computations.
     pub qc_nodes_topk: u64,
+    /// Point adjacency/membership queries answered by the quasi-clique
+    /// engine's hot loops, summed over all searches of the run.
+    pub qc_edge_tests: u64,
+    /// Modeled engine hot-loop work: elements touched by slice scans or
+    /// `u64` words touched by bitset kernels (see
+    /// [`SearchStats::kernel_ops`](scpm_quasiclique::SearchStats)). The
+    /// hardware-independent figure `exp_perf` compares across
+    /// representations.
+    pub qc_kernel_ops: u64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
 }
@@ -85,6 +94,8 @@ impl ScpmStats {
         self.pruned_delta_bound += other.pruned_delta_bound;
         self.qc_nodes_coverage += other.qc_nodes_coverage;
         self.qc_nodes_topk += other.qc_nodes_topk;
+        self.qc_edge_tests += other.qc_edge_tests;
+        self.qc_kernel_ops += other.qc_kernel_ops;
         // `elapsed` is wall-clock and set by the driver, not summed.
     }
 }

@@ -71,6 +71,7 @@ impl<'g> Scorp<'g> {
             self.params.quasi_clique,
             self.params.search_order,
             self.params.qc_prune,
+            self.params.repr,
             self.params.prune.vertex_pruning,
         );
         let mut result = ScpmResult::default();
@@ -102,7 +103,9 @@ impl<'g> Scorp<'g> {
         let support = tids.support();
         let outcome = engine.epsilon(tids.as_slice(), parent_cover);
         result.stats.attribute_sets_examined += 1;
-        result.stats.qc_nodes_coverage += outcome.qc_nodes;
+        result.stats.qc_nodes_coverage += outcome.stats.nodes_visited;
+        result.stats.qc_edge_tests += outcome.stats.edge_tests;
+        result.stats.qc_kernel_ops += outcome.stats.kernel_ops;
         let epsilon = outcome.epsilon;
         let delta_lb = self.model.normalize(epsilon, support);
         let qualified = epsilon >= self.params.eps_min;
@@ -126,8 +129,10 @@ impl<'g> Scorp<'g> {
                 } else {
                     tids.as_slice().to_vec()
                 };
-                let (mut cliques, nodes) = engine.enumerate_all(&restricted);
-                result.stats.qc_nodes_topk += nodes;
+                let (mut cliques, stats) = engine.enumerate_all(&restricted);
+                result.stats.qc_nodes_topk += stats.nodes_visited;
+                result.stats.qc_edge_tests += stats.edge_tests;
+                result.stats.qc_kernel_ops += stats.kernel_ops;
                 cliques.sort_by(pattern_order);
                 for clique in cliques {
                     result.patterns.push(Pattern {

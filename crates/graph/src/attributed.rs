@@ -108,22 +108,45 @@ impl AttributedGraph {
     /// Computes `V(S)` for an attribute set `S` by intersecting tidsets,
     /// smallest first. Returns a sorted vertex list. For `S = {}` the result
     /// is all vertices.
+    ///
+    /// Convenience wrapper around [`Self::vertices_with_all_into`] that
+    /// allocates fresh buffers; hot callers should hold their own scratch.
     pub fn vertices_with_all(&self, attrs: &[AttrId]) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.vertices_with_all_into(attrs, &mut out, &mut scratch);
+        out
+    }
+
+    /// Computes `V(S)` into a caller-provided buffer, reusing `scratch` for
+    /// the intermediate intersections (neither allocates once warm).
+    ///
+    /// The accumulator starts from the rarest attribute's tidset and only
+    /// shrinks, while the remaining tidsets are visited in ascending
+    /// support order — exactly the skew the galloping
+    /// [`intersect_adaptive_into`](crate::csr::intersect_adaptive_into)
+    /// kernel exploits (`O(s·log(ℓ/s))` per round instead of a full merge).
+    pub fn vertices_with_all_into(
+        &self,
+        attrs: &[AttrId],
+        out: &mut Vec<VertexId>,
+        scratch: &mut Vec<VertexId>,
+    ) {
+        out.clear();
         if attrs.is_empty() {
-            return (0..self.num_vertices() as VertexId).collect();
+            out.extend(0..self.num_vertices() as VertexId);
+            return;
         }
         let mut order: Vec<AttrId> = attrs.to_vec();
         order.sort_unstable_by_key(|&a| self.support(a));
-        let mut acc: Vec<VertexId> = self.vertices_with(order[0]).to_vec();
-        let mut tmp = Vec::new();
+        out.extend_from_slice(self.vertices_with(order[0]));
         for &a in &order[1..] {
-            crate::csr::intersect_into(&acc, self.vertices_with(a), &mut tmp);
-            std::mem::swap(&mut acc, &mut tmp);
-            if acc.is_empty() {
+            crate::csr::intersect_adaptive_into(out, self.vertices_with(a), scratch);
+            std::mem::swap(out, scratch);
+            if out.is_empty() {
                 break;
             }
         }
-        acc
     }
 }
 
@@ -271,6 +294,22 @@ mod tests {
         assert_eq!(g.vertices_with_all(&[]), vec![0, 1, 2, 3]);
         let green = g.attr_id("green").unwrap();
         assert!(g.vertices_with_all(&[red, green]).is_empty());
+    }
+
+    #[test]
+    fn vertices_with_all_into_reuses_buffers() {
+        let g = sample();
+        let red = g.attr_id("red").unwrap();
+        let blue = g.attr_id("blue").unwrap();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        g.vertices_with_all_into(&[red, blue], &mut out, &mut scratch);
+        assert_eq!(out, vec![1]);
+        // A second query through the same buffers overwrites cleanly.
+        g.vertices_with_all_into(&[], &mut out, &mut scratch);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        g.vertices_with_all_into(&[blue], &mut out, &mut scratch);
+        assert_eq!(out, vec![1, 2]);
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Packed `u64`-word bitsets for the mining hot path.
+//!
+//! The quasi-clique search spends nearly all of its time answering two
+//! questions — *is `{u, v}` an edge?* and *how many candidates does `v`
+//! neighbor?* — over induced subgraphs that are small (post vertex
+//! reduction) and dense. Sorted-slice scans answer them in `O(deg)` /
+//! `O(log deg)`; this module answers them word-parallel:
+//!
+//! * [`VertexBitset`] — a packed vertex set with intersect / difference /
+//!   popcount kernels that touch `⌈n/64⌉` words instead of `n` elements.
+//! * [`BitAdjacency`] — a dense bit matrix over a (sub)graph: `O(1)` edge
+//!   tests and popcount-based degree / external-degree counting, built
+//!   once per induced subgraph and reused across the whole search.
+//!
+//! Both types are deliberately *local-id* structures: they are sized by the
+//! vertex count of one [`CsrGraph`] (usually an
+//! induced subgraph) and are rebuilt — reusing their allocations — when the
+//! graph changes. See `docs/PERFORMANCE.md` for how the engine layers use
+//! them and for the modeled-cost counters that compare the two
+//! representations.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Bits per storage word.
+pub const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed for an `n`-bit set.
+#[inline]
+pub const fn words_for(n: usize) -> usize {
+    n.div_ceil(WORD_BITS)
+}
+
+/// Counts `|a ∩ b|` for two packed word slices (zip-truncated to the
+/// shorter slice). This is the workhorse kernel behind every bitset
+/// external-degree computation.
+#[inline]
+pub fn intersect_word_count(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// A packed vertex set over a fixed universe `0..n`.
+///
+/// ```
+/// use scpm_graph::bitadj::VertexBitset;
+///
+/// let a = VertexBitset::from_sorted(130, &[0, 64, 128]);
+/// let b = VertexBitset::from_sorted(130, &[64, 129]);
+/// assert_eq!(a.count(), 3);
+/// assert!(a.contains(64));
+/// assert_eq!(a.intersect_count(&b), 1);
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 64, 128]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VertexBitset {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl VertexBitset {
+    /// The empty set over the universe `0..n`.
+    pub fn empty(n: usize) -> Self {
+        VertexBitset {
+            n,
+            words: vec![0; words_for(n)],
+        }
+    }
+
+    /// Builds a set over `0..n` from a sorted, duplicate-free slice.
+    pub fn from_sorted(n: usize, set: &[VertexId]) -> Self {
+        let mut bits = Self::empty(n);
+        for &v in set {
+            bits.insert(v);
+        }
+        bits
+    }
+
+    /// Clears the set and re-sizes it for the universe `0..n`, keeping the
+    /// word allocation.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.words.clear();
+        self.words.resize(words_for(n), 0);
+    }
+
+    /// Size of the universe (`n`, *not* the member count).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// The packed words backing the set.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of storage words (`⌈n/64⌉`).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Inserts `v` (must be `< n`).
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) {
+        self.words[v as usize / WORD_BITS] |= 1u64 << (v as usize % WORD_BITS);
+    }
+
+    /// Removes `v` (must be `< n`).
+    #[inline]
+    pub fn remove(&mut self, v: VertexId) {
+        self.words[v as usize / WORD_BITS] &= !(1u64 << (v as usize % WORD_BITS));
+    }
+
+    /// Membership test, `O(1)`.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.words[v as usize / WORD_BITS] & (1u64 << (v as usize % WORD_BITS)) != 0
+    }
+
+    /// Member count (popcount over all words).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    #[inline]
+    pub fn intersect_count(&self, other: &VertexBitset) -> usize {
+        intersect_word_count(&self.words, &other.words)
+    }
+
+    /// `|self ∩ words|` against a raw packed row (e.g. a
+    /// [`BitAdjacency`] row).
+    #[inline]
+    pub fn intersect_count_words(&self, words: &[u64]) -> usize {
+        intersect_word_count(&self.words, words)
+    }
+
+    /// In-place intersection `self &= other`.
+    pub fn intersect_with(&mut self, other: &VertexBitset) {
+        for (w, &o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w &= o;
+        }
+    }
+
+    /// In-place difference `self &= !other`.
+    pub fn difference_with(&mut self, other: &VertexBitset) {
+        for (w, &o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w &= !o;
+        }
+    }
+
+    /// Whether `self ⊆ other`, in `⌈n/64⌉` word operations.
+    pub fn is_subset_of(&self, other: &VertexBitset) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Iterates the members in ascending order.
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The members as a sorted `Vec`.
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        self.iter().collect()
+    }
+}
+
+/// Ascending iterator over the set bits of a [`VertexBitset`].
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some((self.word_idx * WORD_BITS + bit) as VertexId)
+    }
+}
+
+/// A dense packed adjacency matrix for a (small) graph.
+///
+/// One row of `⌈n/64⌉` words per vertex; symmetric since the graphs are
+/// undirected. Intended for *induced subgraphs* after vertex reduction —
+/// the engine caps the vertex count it will pack (see
+/// [`scpm_quasiclique`-level docs]) and falls back to slice scans beyond
+/// it, because the matrix is `n²` bits.
+///
+/// ```
+/// use scpm_graph::bitadj::BitAdjacency;
+/// use scpm_graph::builder::graph_from_edges;
+///
+/// let g = graph_from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// let adj = BitAdjacency::from_csr(&g);
+/// assert!(adj.has_edge(1, 2));
+/// assert!(!adj.has_edge(0, 3));
+/// assert_eq!(adj.degree(1), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BitAdjacency {
+    n: usize,
+    stride: usize,
+    bits: Vec<u64>,
+}
+
+impl BitAdjacency {
+    /// An empty 0-vertex matrix; populate with [`BitAdjacency::rebuild`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packs the adjacency of `g`.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let mut adj = Self::new();
+        adj.rebuild(g);
+        adj
+    }
+
+    /// Re-packs the matrix for `g`, reusing the word allocation.
+    pub fn rebuild(&mut self, g: &CsrGraph) {
+        let n = g.num_vertices();
+        self.n = n;
+        self.stride = words_for(n);
+        self.bits.clear();
+        self.bits.resize(n * self.stride, 0);
+        for u in 0..n as VertexId {
+            let base = u as usize * self.stride;
+            let row = &mut self.bits[base..base + self.stride];
+            for &v in g.neighbors(u) {
+                row[v as usize / WORD_BITS] |= 1u64 << (v as usize % WORD_BITS);
+            }
+        }
+    }
+
+    /// Drops the packed contents (keeps the allocation for later reuse).
+    pub fn clear(&mut self) {
+        self.n = 0;
+        self.stride = 0;
+        self.bits.clear();
+    }
+
+    /// Number of vertices the matrix covers.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Words per row (`⌈n/64⌉`).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The packed neighbor row of `v`.
+    #[inline]
+    pub fn row(&self, v: VertexId) -> &[u64] {
+        let base = v as usize * self.stride;
+        &self.bits[base..base + self.stride]
+    }
+
+    /// `O(1)` edge test.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.bits[u as usize * self.stride + v as usize / WORD_BITS]
+            & (1u64 << (v as usize % WORD_BITS))
+            != 0
+    }
+
+    /// Degree of `v` via row popcount.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.row(v).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `|N(v) ∩ set|` — the popcount kernel behind exdeg/indeg updates.
+    #[inline]
+    pub fn degree_within(&self, v: VertexId, set: &VertexBitset) -> usize {
+        set.intersect_count_words(self.row(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn bitset_basics_across_word_boundaries() {
+        let mut b = VertexBitset::empty(130);
+        for v in [0u32, 63, 64, 127, 128, 129] {
+            b.insert(v);
+        }
+        assert_eq!(b.count(), 6);
+        assert!(b.contains(63) && b.contains(64) && b.contains(129));
+        assert!(!b.contains(1));
+        b.remove(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.to_vec(), vec![0, 63, 127, 128, 129]);
+        assert_eq!(b.num_words(), 3);
+    }
+
+    #[test]
+    fn bitset_kernels() {
+        let a = VertexBitset::from_sorted(200, &[1, 5, 70, 130, 199]);
+        let b = VertexBitset::from_sorted(200, &[5, 70, 131]);
+        assert_eq!(a.intersect_count(&b), 2);
+        let mut c = a.clone();
+        c.intersect_with(&b);
+        assert_eq!(c.to_vec(), vec![5, 70]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1, 130, 199]);
+        assert!(c.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert!(VertexBitset::empty(200).is_subset_of(&b));
+        assert!(VertexBitset::empty(200).is_empty());
+    }
+
+    #[test]
+    fn bitset_reset_reuses_allocation() {
+        let mut b = VertexBitset::from_sorted(100, &[1, 2, 3]);
+        b.reset(65);
+        assert_eq!(b.universe(), 65);
+        assert_eq!(b.count(), 0);
+        b.insert(64);
+        assert_eq!(b.to_vec(), vec![64]);
+    }
+
+    #[test]
+    fn adjacency_matches_csr() {
+        let g = graph_from_edges(70, [(0, 1), (0, 69), (1, 69), (5, 64), (64, 69)]);
+        let adj = BitAdjacency::from_csr(&g);
+        assert_eq!(adj.num_vertices(), 70);
+        for u in 0..70u32 {
+            assert_eq!(adj.degree(u), g.degree(u), "degree of {u}");
+            for v in 0..70u32 {
+                assert_eq!(adj.has_edge(u, v), g.has_edge(u, v), "edge {u}-{v}");
+            }
+        }
+        let set = VertexBitset::from_sorted(70, &[1, 5, 69]);
+        assert_eq!(adj.degree_within(0, &set), 2);
+        assert_eq!(adj.degree_within(64, &set), 2);
+    }
+
+    #[test]
+    fn rebuild_resizes() {
+        let g1 = graph_from_edges(3, [(0, 1)]);
+        let g2 = graph_from_edges(80, [(0, 79)]);
+        let mut adj = BitAdjacency::from_csr(&g1);
+        adj.rebuild(&g2);
+        assert_eq!(adj.num_vertices(), 80);
+        assert_eq!(adj.stride(), 2);
+        assert!(adj.has_edge(79, 0));
+        assert!(!adj.has_edge(0, 1));
+        adj.clear();
+        assert_eq!(adj.num_vertices(), 0);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let b = VertexBitset::empty(0);
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.iter().count(), 0);
+        let adj = BitAdjacency::from_csr(&CsrGraph::empty(0));
+        assert_eq!(adj.num_vertices(), 0);
+    }
+}

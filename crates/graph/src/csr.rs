@@ -181,6 +181,53 @@ pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
     }
 }
 
+/// Writes `a ∩ b` into `out` (cleared first), galloping through whichever
+/// slice is larger.
+///
+/// For each element of the smaller slice the position in the larger one is
+/// found by *exponential search* from the previous match (probe offsets
+/// 1, 2, 4, … then binary-search the bracketed window), so the cost is
+/// `O(s · log(ℓ/s))` instead of the `O(s + ℓ)` linear merge — the regime of
+/// `vertices_with_all`, where a rare attribute's tidset is intersected
+/// against very frequent ones. Falls back to the linear merge when the
+/// sizes are comparable. Output is identical to [`intersect_into`].
+pub fn intersect_adaptive_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        out.clear();
+        return;
+    }
+    if large.len() / small.len() < 8 {
+        intersect_into(a, b, out);
+        return;
+    }
+    out.clear();
+    let mut lo = 0usize;
+    for &x in small {
+        // Exponential probe: find `hi` with `large[hi] >= x`.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            lo = hi + 1;
+            hi = lo + step;
+            step *= 2;
+        }
+        // The probe stopped at `hi` with `large[hi] >= x` (or past the
+        // end); include `hi` itself in the bracketed window.
+        let hi = (hi + 1).min(large.len());
+        match large[lo..hi].binary_search(&x) {
+            Ok(i) => {
+                out.push(x);
+                lo += i + 1;
+            }
+            Err(i) => lo += i,
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+}
+
 /// Writes `a ∩ b` into `out` (cleared first) for sorted slices.
 pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
     out.clear();
@@ -279,6 +326,28 @@ mod tests {
         assert_eq!(intersect_count(&small, &large), 3);
         let missing = vec![2000u32, 3000];
         assert_eq!(intersect_count(&missing, &large), 0);
+    }
+
+    #[test]
+    fn intersect_adaptive_matches_linear() {
+        let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![], vec![1, 2, 3]),
+            (vec![5, 100, 900], (0..1000).collect()),
+            (vec![2000, 3000], (0..1000).collect()),
+            ((0..50).collect(), (25..75).collect()),
+            (vec![0, 999], (0..1000).collect()),
+            (vec![7], vec![7]),
+        ];
+        for (a, b) in cases {
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            intersect_adaptive_into(&a, &b, &mut fast);
+            intersect_into(&a, &b, &mut slow);
+            assert_eq!(fast, slow, "a={a:?}");
+            // Symmetric argument order must agree too.
+            intersect_adaptive_into(&b, &a, &mut fast);
+            assert_eq!(fast, slow, "swapped a={a:?}");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! on the *relabeled* graph (local ids `0..|W|`) and map results back via
 //! [`InducedSubgraph::original`].
 
+use crate::bitadj::VertexBitset;
 use crate::csr::{CsrGraph, VertexId};
 
 /// A relabeled induced subgraph together with its vertex mapping.
@@ -49,6 +50,44 @@ impl InducedSubgraph {
         InducedSubgraph {
             graph: CsrGraph::from_parts(offsets, neighbors),
             original: set.to_vec(),
+        }
+    }
+
+    /// Carves a *child* induced subgraph out of this one: keeps exactly the
+    /// parent-local vertices in `keep` and relabels them `0..keep.count()`.
+    ///
+    /// This is the incremental-projection fast path of the lattice DFS:
+    /// when a child attribute set's vertex set is contained in its parent's
+    /// (always true — `V(S ∪ {a}) ⊆ V(S)`, and the Theorem-3 cover
+    /// restriction only shrinks it further), the child's subgraph can be
+    /// filtered out of the parent's compact CSR in
+    /// `O(Σ_{v ∈ keep} deg_parent(v))` instead of re-merged against the
+    /// global graph. The result is **identical** to
+    /// [`InducedSubgraph::extract`] on the corresponding global vertex set
+    /// (local order preserves global order in both constructions).
+    pub fn project(&self, keep: &VertexBitset) -> InducedSubgraph {
+        debug_assert_eq!(keep.universe(), self.num_vertices());
+        let n = self.num_vertices();
+        let mut rank: Vec<VertexId> = vec![VertexId::MAX; n];
+        let mut original = Vec::with_capacity(keep.count());
+        for v in keep.iter() {
+            rank[v as usize] = original.len() as VertexId;
+            original.push(self.original[v as usize]);
+        }
+        let mut offsets = Vec::with_capacity(original.len() + 1);
+        offsets.push(0usize);
+        let mut neighbors: Vec<VertexId> = Vec::new();
+        for v in keep.iter() {
+            for &w in self.graph.neighbors(v) {
+                if keep.contains(w) {
+                    neighbors.push(rank[w as usize]);
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        InducedSubgraph {
+            graph: CsrGraph::from_parts(offsets, neighbors),
+            original,
         }
     }
 
@@ -126,6 +165,39 @@ mod tests {
             assert_eq!(sub.to_local(global), Some(local));
         }
         assert_eq!(sub.to_local(1), None);
+    }
+
+    #[test]
+    fn project_equals_extract() {
+        let g = diamond();
+        let parent = InducedSubgraph::extract(&g, &[0, 1, 2, 3]);
+        // Keep parent-locals {1, 2, 3} = globals {1, 2, 3}.
+        let keep = VertexBitset::from_sorted(4, &[1, 2, 3]);
+        let child = parent.project(&keep);
+        let direct = InducedSubgraph::extract(&g, &[1, 2, 3]);
+        assert_eq!(child.graph, direct.graph);
+        assert_eq!(child.original, direct.original);
+    }
+
+    #[test]
+    fn project_chains_through_relabeled_parents() {
+        let g = diamond();
+        // Parent locals 0,1,2; keep parent-locals {0, 2} = globals {1, 3}.
+        let parent = InducedSubgraph::extract(&g, &[1, 2, 3]);
+        let keep = VertexBitset::from_sorted(3, &[0, 2]);
+        let child = parent.project(&keep);
+        let direct = InducedSubgraph::extract(&g, &[1, 3]);
+        assert_eq!(child.graph, direct.graph);
+        assert_eq!(child.original, direct.original);
+        assert_eq!(child.graph.num_edges(), 1); // edge 1-3
+    }
+
+    #[test]
+    fn project_empty_keep() {
+        let g = diamond();
+        let parent = InducedSubgraph::extract(&g, &[0, 1, 2]);
+        let child = parent.project(&VertexBitset::empty(3));
+        assert_eq!(child.num_vertices(), 0);
     }
 
     #[test]

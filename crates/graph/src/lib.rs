@@ -11,6 +11,9 @@
 //!
 //! * [`CsrGraph`] — an immutable compressed-sparse-row undirected graph with
 //!   sorted neighbor lists (binary-searchable adjacency).
+//! * [`bitadj`] — packed `u64`-word bitsets ([`VertexBitset`]) and a dense
+//!   bit-matrix adjacency ([`BitAdjacency`]) backing the mining hot path
+//!   (see `docs/PERFORMANCE.md`).
 //! * [`GraphBuilder`] — incremental edge-list construction with
 //!   deduplication and self-loop removal.
 //! * [`AttributedGraph`] — a [`CsrGraph`] plus a per-vertex attribute store
@@ -29,6 +32,7 @@
 #![deny(missing_docs)]
 
 pub mod attributed;
+pub mod bitadj;
 pub mod builder;
 pub mod cluster;
 pub mod components;
@@ -44,6 +48,7 @@ pub mod stats;
 pub mod traversal;
 
 pub use attributed::{AttrId, AttributedGraph, AttributedGraphBuilder};
+pub use bitadj::{BitAdjacency, VertexBitset};
 pub use builder::GraphBuilder;
 pub use cluster::{clustering, local_clustering, ClusteringStats};
 pub use components::Components;

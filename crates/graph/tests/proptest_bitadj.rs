@@ -1,0 +1,175 @@
+//! Property tests for the packed-bitset layer: `BitAdjacency` /
+//! `VertexBitset` must agree with the `CsrGraph`/sorted-slice reference on
+//! random graphs, `InducedSubgraph::project` must equal a fresh
+//! `extract`, and the galloping tidset intersection must match the naive
+//! k-way merge.
+
+use proptest::prelude::*;
+use scpm_graph::attributed::{AttributedGraph, AttributedGraphBuilder};
+use scpm_graph::bitadj::{BitAdjacency, VertexBitset};
+use scpm_graph::builder::GraphBuilder;
+use scpm_graph::csr::{intersect_adaptive_into, intersect_count, intersect_into, CsrGraph};
+use scpm_graph::induced::InducedSubgraph;
+
+fn random_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..=80).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..(3 * n)).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn subset_of(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(any::<bool>(), n).prop_map(|keep| {
+        keep.iter()
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(|(i, _)| i as u32)
+            .collect()
+    })
+}
+
+fn attributed_graph() -> impl Strategy<Value = AttributedGraph> {
+    (4usize..=40, 2usize..=6).prop_flat_map(|(n, num_attrs)| {
+        let edge = (0..n as u32, 0..n as u32);
+        let assign = (0..n as u32, 0..num_attrs as u32);
+        (
+            proptest::collection::vec(edge, 0..(2 * n)),
+            proptest::collection::vec(assign, 0..(3 * n)),
+        )
+            .prop_map(move |(edges, assigns)| {
+                let mut b = AttributedGraphBuilder::new(n);
+                for a in 0..num_attrs {
+                    b.intern_attr(&format!("a{a}"));
+                }
+                for (u, v) in edges {
+                    if u != v {
+                        b.add_edge(u, v);
+                    }
+                }
+                for (v, a) in assigns {
+                    b.add_attr(v, a);
+                }
+                b.build()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bit_adjacency_agrees_with_csr(g in random_graph()) {
+        let adj = BitAdjacency::from_csr(&g);
+        prop_assert_eq!(adj.num_vertices(), g.num_vertices());
+        for u in 0..g.num_vertices() as u32 {
+            prop_assert_eq!(adj.degree(u), g.degree(u), "degree of {}", u);
+            for v in 0..g.num_vertices() as u32 {
+                prop_assert_eq!(adj.has_edge(u, v), g.has_edge(u, v), "edge {}-{}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_kernels_agree_with_slices(g in random_graph(), raw in subset_of(80)) {
+        let n = g.num_vertices();
+        let set: Vec<u32> = raw.into_iter().filter(|&v| (v as usize) < n).collect();
+        let bits = VertexBitset::from_sorted(n, &set);
+        prop_assert_eq!(bits.count(), set.len());
+        prop_assert_eq!(bits.to_vec(), set.clone());
+        let adj = BitAdjacency::from_csr(&g);
+        for u in 0..n as u32 {
+            // Popcount row ∧ set must equal the sorted-slice merge count.
+            prop_assert_eq!(
+                adj.degree_within(u, &bits),
+                intersect_count(g.neighbors(u), &set),
+                "degree_within of {}", u
+            );
+            prop_assert_eq!(
+                bits.intersect_count_words(adj.row(u)),
+                g.degree_within(u, &set)
+            );
+        }
+    }
+
+    #[test]
+    fn bitset_set_algebra_matches_reference(a in subset_of(100), b in subset_of(100)) {
+        let ba = VertexBitset::from_sorted(100, &a);
+        let bb = VertexBitset::from_sorted(100, &b);
+        let mut expect_and = Vec::new();
+        intersect_into(&a, &b, &mut expect_and);
+        prop_assert_eq!(ba.intersect_count(&bb), expect_and.len());
+        let mut inter = ba.clone();
+        inter.intersect_with(&bb);
+        prop_assert_eq!(inter.to_vec(), expect_and.clone());
+        let mut diff = ba.clone();
+        diff.difference_with(&bb);
+        let expect_diff: Vec<u32> = a.iter().copied().filter(|v| !b.contains(v)).collect();
+        prop_assert_eq!(diff.to_vec(), expect_diff);
+        let is_subset = a.iter().all(|v| b.contains(v));
+        prop_assert_eq!(ba.is_subset_of(&bb), is_subset);
+        prop_assert!(inter.is_subset_of(&ba));
+    }
+
+    #[test]
+    fn project_equals_extract(g in random_graph(), raw_parent in subset_of(80), raw_child in subset_of(80)) {
+        let n = g.num_vertices();
+        let parent_set: Vec<u32> = raw_parent.into_iter().filter(|&v| (v as usize) < n).collect();
+        let parent = InducedSubgraph::extract(&g, &parent_set);
+        // A child set ⊆ parent set, expressed in parent-local ids.
+        let keep_locals: Vec<u32> = raw_child
+            .into_iter()
+            .filter(|&l| (l as usize) < parent_set.len())
+            .collect();
+        let keep = VertexBitset::from_sorted(parent.num_vertices(), &keep_locals);
+        let child = parent.project(&keep);
+        let child_globals: Vec<u32> = keep_locals.iter().map(|&l| parent.to_original(l)).collect();
+        let direct = InducedSubgraph::extract(&g, &child_globals);
+        prop_assert_eq!(child.graph, direct.graph);
+        prop_assert_eq!(child.original, direct.original);
+    }
+
+    #[test]
+    fn galloping_tidset_intersection_matches_naive(
+        g in attributed_graph(),
+        pick in proptest::collection::vec(0u32..6, 1..4),
+    ) {
+        let attrs: Vec<u32> = pick
+            .into_iter()
+            .filter(|&a| (a as usize) < g.num_attributes())
+            .collect();
+        if attrs.is_empty() {
+            return Ok(());
+        }
+        // Naive reference: unordered linear merges, no galloping.
+        let mut expect: Vec<u32> = g.vertices_with(attrs[0]).to_vec();
+        let mut tmp = Vec::new();
+        for &a in &attrs[1..] {
+            intersect_into(&expect, g.vertices_with(a), &mut tmp);
+            std::mem::swap(&mut expect, &mut tmp);
+        }
+        prop_assert_eq!(g.vertices_with_all(&attrs), expect.clone());
+        let mut out = Vec::new();
+        let mut scratch = vec![99u32; 7]; // dirty scratch must not leak through
+        g.vertices_with_all_into(&attrs, &mut out, &mut scratch);
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn adaptive_intersection_matches_linear(a in subset_of(400), b in subset_of(60)) {
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        intersect_adaptive_into(&a, &b, &mut fast);
+        intersect_into(&a, &b, &mut slow);
+        prop_assert_eq!(&fast, &slow);
+        intersect_adaptive_into(&b, &a, &mut fast);
+        prop_assert_eq!(&fast, &slow);
+    }
+}

@@ -3,6 +3,26 @@
 
 use scpm_graph::csr::{CsrGraph, VertexId};
 
+/// How the search engine represents adjacency and candidate sets in its
+/// hot loops (`PruneFlags`-style switch for A/B runs; results are
+/// identical either way, only the kernel costs differ).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Representation {
+    /// Sorted-slice scans, stamp-array marking and binary searches over
+    /// the CSR neighbor lists — the pre-bitset baseline, kept for
+    /// ablations and as the fallback for graphs too large to pack.
+    Slice,
+    /// Packed `u64`-word bitsets: a dense
+    /// [`BitAdjacency`](scpm_graph::bitadj::BitAdjacency) matrix per
+    /// reduced subgraph (`O(1)` edge tests) and
+    /// [`VertexBitset`](scpm_graph::bitadj::VertexBitset) popcount kernels
+    /// for external degrees. Falls back to [`Representation::Slice`] when
+    /// the reduced subgraph exceeds
+    /// [`BITADJ_MAX_VERTICES`](crate::engine::BITADJ_MAX_VERTICES).
+    #[default]
+    Bitset,
+}
+
 /// Parameters of the quasi-clique definition: a vertex set `Q` is a
 /// `γ`-quasi-clique iff `|Q| ≥ min_size` and every `v ∈ Q` has
 /// `deg_Q(v) ≥ ⌈γ·(|Q|−1)⌉`.

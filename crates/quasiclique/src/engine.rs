@@ -39,11 +39,18 @@
 use std::collections::VecDeque;
 
 use crate::bounds::{candidate_feasible_in, critical_member, extension_interval, SizeInterval};
-use crate::config::QcConfig;
+use crate::config::{QcConfig, Representation};
 use crate::node::{candidate_feasible, member_feasible, SearchNode};
 use crate::reduce::reduce_vertices;
+use scpm_graph::bitadj::{BitAdjacency, VertexBitset};
 use scpm_graph::csr::{CsrGraph, VertexId};
 use scpm_graph::induced::InducedSubgraph;
+
+/// Largest reduced-subgraph vertex count the engine will pack into a
+/// [`BitAdjacency`] matrix (the matrix is `n²` bits — 8 MiB at this cap).
+/// Beyond it, a [`Representation::Bitset`] run transparently falls back to
+/// the slice path for that subgraph; results are identical either way.
+pub const BITADJ_MAX_VERTICES: usize = 1 << 13;
 
 /// Traversal order of the candidate tree (§3.2.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,6 +132,30 @@ pub struct SearchStats {
     pub pruned_size_bound: u64,
     /// Sets emitted (before maximality post-filtering).
     pub emitted: u64,
+    /// Point adjacency/membership queries answered in the hot loops. The
+    /// search tree is identical across representations, so this is nearly
+    /// representation-independent (short-circuited scans may diverge by a
+    /// few tests); what mainly differs is how much each query *costs* —
+    /// see [`SearchStats::kernel_ops`].
+    pub edge_tests: u64,
+    /// Modeled hot-loop work: elements touched by slice scans/merges, or
+    /// `u64` words touched by bitset kernels. The hardware-independent
+    /// cost figure `exp_perf` tracks when comparing
+    /// [`Representation::Slice`] against [`Representation::Bitset`].
+    pub kernel_ops: u64,
+}
+
+impl SearchStats {
+    /// This run's counters with the representation-dependent work model
+    /// zeroed — everything that must be *identical* between the slice and
+    /// bitset paths (tree shape, prune events, emissions).
+    pub fn semantic(&self) -> SearchStats {
+        SearchStats {
+            edge_tests: 0,
+            kernel_ops: 0,
+            ..*self
+        }
+    }
 }
 
 /// A quasi-clique reported by the miner, in the ids of the *input* graph.
@@ -178,6 +209,9 @@ pub struct Miner<'g> {
     pub order: SearchOrder,
     /// Pruning switches.
     pub prune: PruneFlags,
+    /// Hot-loop representation (packed bitsets by default; the slice
+    /// baseline is kept for A/B runs — results are identical).
+    pub repr: Representation,
 }
 
 /// Reusable scratch memory for repeated searches.
@@ -196,6 +230,16 @@ pub struct EngineScratch {
     cover_mark: Stamp,
     covered: Vec<bool>,
     work: VecDeque<SearchNode>,
+    /// Packed adjacency of the current reduced subgraph (bitset path).
+    adj: BitAdjacency,
+    /// Candidate set of the node being processed, packed (bitset path;
+    /// plays the role `cand_mark` has on the slice path).
+    cand_bits: VertexBitset,
+    /// Auxiliary packed set (emitted set in `single_extendable`).
+    aux_bits: VertexBitset,
+    /// Per-vertex counters for `single_extendable`, zeroed via `touched`.
+    counts: Vec<u32>,
+    touched: Vec<VertexId>,
 }
 
 impl EngineScratch {
@@ -213,6 +257,11 @@ impl EngineScratch {
         self.covered.clear();
         self.covered.resize(n, false);
         self.work.clear();
+        self.cand_bits.reset(n);
+        self.aux_bits.reset(n);
+        self.counts.clear();
+        self.counts.resize(n, 0);
+        self.touched.clear();
     }
 }
 
@@ -236,6 +285,7 @@ impl<'g> Miner<'g> {
             cfg,
             order: SearchOrder::Dfs,
             prune: PruneFlags::default(),
+            repr: Representation::default(),
         }
     }
 
@@ -248,6 +298,12 @@ impl<'g> Miner<'g> {
     /// Sets the pruning switches, builder-style.
     pub fn with_prune(mut self, prune: PruneFlags) -> Self {
         self.prune = prune;
+        self
+    }
+
+    /// Sets the hot-loop representation, builder-style.
+    pub fn with_repr(mut self, repr: Representation) -> Self {
+        self.repr = repr;
         self
     }
 
@@ -295,8 +351,21 @@ impl<'g> Miner<'g> {
             };
         }
         let sub = InducedSubgraph::extract(self.input, &survivors);
-        scratch.reset(sub.graph.num_vertices());
-        let mut ctx = Ctx::new(&sub.graph, self.cfg, self.prune, self.order, mode, scratch);
+        let n = sub.graph.num_vertices();
+        scratch.reset(n);
+        // Pack the reduced subgraph's adjacency once for the whole search;
+        // oversized graphs fall back to the slice kernels (identical
+        // results, see `BITADJ_MAX_VERTICES`).
+        let bits_on = self.repr == Representation::Bitset && n <= BITADJ_MAX_VERTICES;
+        if bits_on {
+            scratch.adj.rebuild(&sub.graph);
+            stats.kernel_ops += (n * scratch.adj.stride()) as u64;
+        } else {
+            scratch.adj.clear();
+        }
+        let mut ctx = Ctx::new(
+            &sub.graph, self.cfg, self.prune, self.order, mode, bits_on, scratch,
+        );
         ctx.search(&mut stats);
         let Ctx { emitted, .. } = ctx;
 
@@ -316,7 +385,7 @@ impl<'g> Miner<'g> {
                 }
             }
             MiningMode::EnumerateMaximal => {
-                let maximal = containment_filter(emitted);
+                let maximal = containment_filter(emitted, n);
                 let cliques = self.score(&sub, maximal);
                 MiningOutcome {
                     cliques,
@@ -325,7 +394,7 @@ impl<'g> Miner<'g> {
                 }
             }
             MiningMode::TopK(k) => {
-                let maximal = containment_filter(emitted);
+                let maximal = containment_filter(emitted, n);
                 let mut cliques = self.score(&sub, maximal);
                 cliques.sort_by(pattern_order);
                 cliques.truncate(k);
@@ -358,17 +427,28 @@ impl<'g> Miner<'g> {
 }
 
 /// Removes sets contained in another set of the collection, leaving only
-/// maximal elements.
-fn containment_filter(mut sets: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
+/// maximal elements. `n` is the local-id universe of the sets.
+///
+/// Sets are visited largest-first, so a set can only ever be contained in
+/// an already-kept one; each containment test is a packed-word subset
+/// check (`⌈n/64⌉` ops) against the kept sets' bitsets instead of an
+/// `O(m)` sorted-slice merge. Output order (descending size, then
+/// lexicographic) is unchanged from the slice implementation.
+fn containment_filter(mut sets: Vec<Vec<VertexId>>, n: usize) -> Vec<Vec<VertexId>> {
     sets.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
     sets.dedup();
     let mut kept: Vec<Vec<VertexId>> = Vec::new();
-    'outer: for set in sets {
-        for bigger in &kept {
-            if is_subset(&set, bigger) {
-                continue 'outer;
-            }
+    let mut kept_bits: Vec<VertexBitset> = Vec::new();
+    let mut probe = VertexBitset::empty(n);
+    for set in sets {
+        probe.reset(n);
+        for &v in &set {
+            probe.insert(v);
         }
+        if kept_bits.iter().any(|bigger| probe.is_subset_of(bigger)) {
+            continue;
+        }
+        kept_bits.push(probe.clone());
         kept.push(set);
     }
     kept
@@ -391,7 +471,9 @@ struct Ctx<'a> {
     prune: PruneFlags,
     order: SearchOrder,
     mode: MiningMode,
-    /// Reusable buffers (stamps, coverage bitmap, work list).
+    /// Whether the packed kernels are active (`scratch.adj` is populated).
+    bits_on: bool,
+    /// Reusable buffers (stamps, coverage bitmap, work list, bitsets).
     s: &'a mut EngineScratch,
     /// Emitted local sets, each sorted (maximal / top-k modes).
     emitted: Vec<Vec<VertexId>>,
@@ -448,6 +530,7 @@ impl<'a> Ctx<'a> {
         prune: PruneFlags,
         order: SearchOrder,
         mode: MiningMode,
+        bits_on: bool,
         scratch: &'a mut EngineScratch,
     ) -> Self {
         let n = g.num_vertices();
@@ -457,6 +540,7 @@ impl<'a> Ctx<'a> {
             prune,
             order,
             mode,
+            bits_on,
             s: scratch,
             emitted: Vec::new(),
             remaining: n,
@@ -563,7 +647,7 @@ impl<'a> Ctx<'a> {
                     node.cands_indeg = keep.iter().map(|&j| node.cands_indeg[j]).collect();
                     *cands_exdeg = vec![0; node.cands.len()];
                     x_exdeg.iter_mut().for_each(|d| *d = 0);
-                    self.compute_exdegs(node, x_exdeg, cands_exdeg);
+                    self.compute_exdegs(node, x_exdeg, cands_exdeg, stats);
                 }
             }
 
@@ -573,11 +657,11 @@ impl<'a> Ctx<'a> {
                 if let Some(i) =
                     critical_member(&self.cfg, &node.x_indeg, x_exdeg, node.x.len(), interval)
                 {
-                    self.force_candidates(node, i);
+                    self.force_candidates(node, i, stats);
                     stats.forced_critical += 1;
                     *x_exdeg = vec![0; node.x.len()];
                     *cands_exdeg = vec![0; node.cands.len()];
-                    self.compute_exdegs(node, x_exdeg, cands_exdeg);
+                    self.compute_exdegs(node, x_exdeg, cands_exdeg, stats);
                     continue;
                 }
             }
@@ -588,17 +672,19 @@ impl<'a> Ctx<'a> {
     /// Moves every candidate neighbor of member `member_idx` into `X`,
     /// maintaining the indeg bookkeeping of members and remaining
     /// candidates.
-    fn force_candidates(&mut self, node: &mut SearchNode, member_idx: usize) {
+    fn force_candidates(
+        &mut self,
+        node: &mut SearchNode,
+        member_idx: usize,
+        stats: &mut SearchStats,
+    ) {
         let v = node.x[member_idx];
-        self.s.nbr_mark.begin();
-        for &u in self.g.neighbors(v) {
-            self.s.nbr_mark.set(u);
-        }
+        self.mark_neighbors(v, stats);
         let mut forced: Vec<VertexId> = Vec::new();
         let mut rest: Vec<VertexId> = Vec::with_capacity(node.cands.len());
         let mut rest_indeg: Vec<u32> = Vec::with_capacity(node.cands.len());
         for (j, &c) in node.cands.iter().enumerate() {
-            if self.s.nbr_mark.get(c) {
+            if self.marked_adjacent(v, c, stats) {
                 forced.push(c);
             } else {
                 rest.push(c);
@@ -609,13 +695,10 @@ impl<'a> Ctx<'a> {
         node.cands = rest;
         node.cands_indeg = rest_indeg;
         for w in forced {
-            self.s.nbr_mark.begin();
-            for &u in self.g.neighbors(w) {
-                self.s.nbr_mark.set(u);
-            }
+            self.mark_neighbors(w, stats);
             let mut w_indeg = 0u32;
             for (i, &u) in node.x.iter().enumerate() {
-                if self.s.nbr_mark.get(u) {
+                if self.marked_adjacent(w, u, stats) {
                     node.x_indeg[i] += 1;
                     w_indeg += 1;
                 }
@@ -623,10 +706,39 @@ impl<'a> Ctx<'a> {
             node.x.push(w);
             node.x_indeg.push(w_indeg);
             for (j, &c) in node.cands.iter().enumerate() {
-                if self.s.nbr_mark.get(c) {
+                if self.marked_adjacent(w, c, stats) {
                     node.cands_indeg[j] += 1;
                 }
             }
+        }
+    }
+
+    /// Prepares point-adjacency queries against `N(v)`: stamp-marks the
+    /// neighbor list on the slice path, a no-op on the bitset path (the
+    /// packed row is already available). Pair with
+    /// [`Ctx::marked_adjacent`].
+    #[inline]
+    fn mark_neighbors(&mut self, v: VertexId, stats: &mut SearchStats) {
+        if !self.bits_on {
+            self.s.nbr_mark.begin();
+            for &u in self.g.neighbors(v) {
+                self.s.nbr_mark.set(u);
+            }
+            stats.kernel_ops += self.g.degree(v) as u64;
+        }
+    }
+
+    /// Whether `w ∈ N(v)`, `v` being the vertex last passed to
+    /// [`Ctx::mark_neighbors`]. `O(1)` on both paths (stamp lookup vs
+    /// packed-row probe).
+    #[inline]
+    fn marked_adjacent(&self, v: VertexId, w: VertexId, stats: &mut SearchStats) -> bool {
+        stats.edge_tests += 1;
+        stats.kernel_ops += 1;
+        if self.bits_on {
+            self.s.adj.has_edge(v, w)
+        } else {
+            self.s.nbr_mark.get(w)
         }
     }
 
@@ -664,7 +776,7 @@ impl<'a> Ctx<'a> {
         // candidate set.
         let mut x_exdeg = vec![0u32; node.x.len()];
         let mut cands_exdeg = vec![0u32; node.cands.len()];
-        self.compute_exdegs(&node, &mut x_exdeg, &mut cands_exdeg);
+        self.compute_exdegs(&node, &mut x_exdeg, &mut cands_exdeg, stats);
 
         if let Reduction::Dead = self.reduce_node(&mut node, &mut x_exdeg, &mut cands_exdeg, stats)
         {
@@ -708,14 +820,26 @@ impl<'a> Ctx<'a> {
                 .filter(|&j| node.cands_indeg[j] as usize == x_len && cands_exdeg[j] > 0)
                 .max_by_key(|&j| (cands_exdeg[j], std::cmp::Reverse(node.cands[j])));
             if let Some(jbest) = best {
-                self.s.cover_mark.begin();
-                for &u in self.g.neighbors(node.cands[jbest]) {
-                    self.s.cover_mark.set(u);
+                let cv = node.cands[jbest];
+                if self.bits_on {
+                    stats.kernel_ops += order.len() as u64;
+                } else {
+                    self.s.cover_mark.begin();
+                    for &u in self.g.neighbors(cv) {
+                        self.s.cover_mark.set(u);
+                    }
+                    stats.kernel_ops += (self.g.degree(cv) + order.len()) as u64;
                 }
+                stats.edge_tests += order.len() as u64;
                 // Stable partition: uncovered pivots first, covered last.
-                let (uncovered, covered): (Vec<u32>, Vec<u32>) = order
-                    .iter()
-                    .partition(|&&j| !self.s.cover_mark.get(node.cands[j as usize]));
+                let (uncovered, covered): (Vec<u32>, Vec<u32>) = order.iter().partition(|&&j| {
+                    let c = node.cands[j as usize];
+                    if self.bits_on {
+                        !self.s.adj.has_edge(cv, c)
+                    } else {
+                        !self.s.cover_mark.get(c)
+                    }
+                });
                 skip_from = uncovered.len();
                 stats.pruned_cover += covered.len() as u64;
                 order = uncovered;
@@ -747,20 +871,16 @@ impl<'a> Ctx<'a> {
                 // has diameter ≤ 2, so the seed's candidates come from its
                 // two-hop neighborhood — no scan over the full candidate
                 // list (which is the entire graph at the root).
-                children.push(self.seed_child(v, pos as u32, rank));
+                children.push(self.seed_child(v, pos as u32, rank, stats));
                 continue;
             }
-            // Mark N(v).
-            self.s.nbr_mark.begin();
-            for &u in self.g.neighbors(v) {
-                self.s.nbr_mark.set(u);
-            }
+            self.mark_neighbors(v, stats);
 
             let mut child_x = node.x.clone();
             child_x.push(v);
             let mut child_x_indeg = node.x_indeg.clone();
             for (i, &u) in node.x.iter().enumerate() {
-                if self.s.nbr_mark.get(u) {
+                if self.marked_adjacent(v, u, stats) {
                     child_x_indeg[i] += 1;
                 }
             }
@@ -771,7 +891,7 @@ impl<'a> Ctx<'a> {
             for &jnext in order.iter().skip(pos + 1) {
                 let j = jnext as usize;
                 let w = node.cands[j];
-                let bump = self.s.nbr_mark.get(w) as u32;
+                let bump = self.marked_adjacent(v, w, stats) as u32;
                 child_pairs.push((w, node.cands_indeg[j] + bump));
             }
             // Keep candidate lists ascending: each node re-derives its own
@@ -802,12 +922,20 @@ impl<'a> Ctx<'a> {
 
     /// Builds the root child `({v}, two-hop(v) ∩ later-ranked candidates)`.
     ///
-    /// Relies on `cand_mark` still holding the current node's candidate
-    /// set from the last `compute_exdegs` call; `rank` maps vertex ids to
-    /// their position in the root's processing order (`u32::MAX` = not a
+    /// Relies on the candidate set still being packed/stamped from the
+    /// last `compute_exdegs` call (`cand_bits` on the bitset path,
+    /// `cand_mark` on the slice path); `rank` maps vertex ids to their
+    /// position in the root's processing order (`u32::MAX` = not a
     /// candidate).
-    fn seed_child(&mut self, v: VertexId, pos: u32, rank: &[u32]) -> SearchNode {
-        // Collect the two-hop reach of v (excluding v itself).
+    fn seed_child(
+        &mut self,
+        v: VertexId,
+        pos: u32,
+        rank: &[u32],
+        stats: &mut SearchStats,
+    ) -> SearchNode {
+        // Collect the two-hop reach of v (excluding v itself) — a
+        // neighbor-list traversal with a visited stamp on both paths.
         self.s.nbr_mark.begin();
         self.s.nbr_mark.set(v);
         let mut reach: Vec<VertexId> = Vec::new();
@@ -817,6 +945,7 @@ impl<'a> Ctx<'a> {
                 reach.push(u);
             }
         }
+        stats.kernel_ops += self.g.degree(v) as u64;
         let first_hop = reach.len();
         for i in 0..first_hop {
             let u = reach[i];
@@ -826,19 +955,41 @@ impl<'a> Ctx<'a> {
                     reach.push(w);
                 }
             }
+            stats.kernel_ops += self.g.degree(u) as u64;
         }
+        stats.kernel_ops += reach.len() as u64;
+        let bits_on = self.bits_on;
+        let cand_bits = &self.s.cand_bits;
+        let cand_mark = &self.s.cand_mark;
         let mut child_cands: Vec<VertexId> = reach
             .into_iter()
             .filter(|&w| {
-                self.s.cand_mark.get(w) && rank[w as usize] != u32::MAX && rank[w as usize] > pos
+                let is_cand = if bits_on {
+                    cand_bits.contains(w)
+                } else {
+                    cand_mark.get(w)
+                };
+                is_cand && rank[w as usize] != u32::MAX && rank[w as usize] > pos
             })
             .collect();
         child_cands.sort_unstable();
-        let nv = self.g.neighbors(v);
-        let child_indeg: Vec<u32> = child_cands
-            .iter()
-            .map(|w| nv.binary_search(w).is_ok() as u32)
-            .collect();
+        let child_indeg: Vec<u32> = if self.bits_on {
+            stats.edge_tests += child_cands.len() as u64;
+            stats.kernel_ops += child_cands.len() as u64;
+            child_cands
+                .iter()
+                .map(|&w| self.s.adj.has_edge(v, w) as u32)
+                .collect()
+        } else {
+            let nv = self.g.neighbors(v);
+            stats.edge_tests += child_cands.len() as u64;
+            stats.kernel_ops +=
+                child_cands.len() as u64 * (1 + usize::BITS - nv.len().leading_zeros()) as u64;
+            child_cands
+                .iter()
+                .map(|w| nv.binary_search(w).is_ok() as u32)
+                .collect()
+        };
         SearchNode {
             x: vec![v],
             x_indeg: vec![0],
@@ -847,24 +998,72 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    fn compute_exdegs(&mut self, node: &SearchNode, x_exdeg: &mut [u32], cands_exdeg: &mut [u32]) {
-        self.s.cand_mark.begin();
-        for &v in &node.cands {
-            self.s.cand_mark.set(v);
-        }
-        for (i, &u) in node.x.iter().enumerate() {
-            let mut d = 0;
-            for &w in self.g.neighbors(u) {
-                d += self.s.cand_mark.get(w) as u32;
+    /// Recomputes `exdeg = |N(·) ∩ cands|` for every member and candidate.
+    ///
+    /// Bitset path: pack the candidate set once, then one
+    /// `popcount(row ∧ cands)` of `⌈n/64⌉` words per vertex. Slice path:
+    /// stamp-mark the candidates, then scan each vertex's neighbor list.
+    /// Both leave the packed/stamped candidate set behind for
+    /// [`Ctx::seed_child`].
+    fn compute_exdegs(
+        &mut self,
+        node: &SearchNode,
+        x_exdeg: &mut [u32],
+        cands_exdeg: &mut [u32],
+        stats: &mut SearchStats,
+    ) {
+        if self.bits_on {
+            let words = self.s.adj.stride();
+            self.s.cand_bits.reset(self.g.num_vertices());
+            for &v in &node.cands {
+                self.s.cand_bits.insert(v);
             }
-            x_exdeg[i] = d;
-        }
-        for (j, &v) in node.cands.iter().enumerate() {
-            let mut d = 0;
-            for &w in self.g.neighbors(v) {
-                d += self.s.cand_mark.get(w) as u32;
+            for (i, &u) in node.x.iter().enumerate() {
+                x_exdeg[i] = self.s.cand_bits.intersect_count_words(self.s.adj.row(u)) as u32;
             }
-            cands_exdeg[j] = d;
+            for (j, &v) in node.cands.iter().enumerate() {
+                cands_exdeg[j] = self.s.cand_bits.intersect_count_words(self.s.adj.row(v)) as u32;
+            }
+            stats.kernel_ops +=
+                (node.cands.len() + words * (1 + node.x.len() + node.cands.len())) as u64;
+        } else {
+            self.s.cand_mark.begin();
+            let mut ops = node.cands.len();
+            for &v in &node.cands {
+                self.s.cand_mark.set(v);
+            }
+            for (i, &u) in node.x.iter().enumerate() {
+                let mut d = 0;
+                for &w in self.g.neighbors(u) {
+                    d += self.s.cand_mark.get(w) as u32;
+                }
+                x_exdeg[i] = d;
+                ops += self.g.degree(u);
+            }
+            for (j, &v) in node.cands.iter().enumerate() {
+                let mut d = 0;
+                for &w in self.g.neighbors(v) {
+                    d += self.s.cand_mark.get(w) as u32;
+                }
+                cands_exdeg[j] = d;
+                ops += self.g.degree(v);
+            }
+            stats.kernel_ops += ops as u64;
+        }
+    }
+
+    /// Whether `{u, w}` is an edge of the reduced graph: `O(1)` row probe
+    /// on the bitset path, binary search on the slice path.
+    #[inline]
+    fn edge(&self, u: VertexId, w: VertexId, stats: &mut SearchStats) -> bool {
+        stats.edge_tests += 1;
+        if self.bits_on {
+            stats.kernel_ops += 1;
+            self.s.adj.has_edge(u, w)
+        } else {
+            let d = self.g.degree(u).min(self.g.degree(w));
+            stats.kernel_ops += 1 + (usize::BITS - d.leading_zeros()) as u64;
+            self.g.has_edge(u, w)
         }
     }
 
@@ -885,12 +1084,12 @@ impl<'a> Ctx<'a> {
                 }
             }
             MiningMode::EnumerateMaximal => {
-                if !self.single_extendable(&set) {
+                if !self.single_extendable(&set, stats) {
                     self.emitted.push(set);
                 }
             }
             MiningMode::TopK(k) => {
-                if !self.single_extendable(&set) {
+                if !self.single_extendable(&set, stats) {
                     // Drop buffered subsets of the new set; skip the new set
                     // if a buffered superset exists.
                     if self.emitted.iter().any(|kept| is_subset(&set, kept)) {
@@ -910,41 +1109,92 @@ impl<'a> Ctx<'a> {
 
     /// Whether a single vertex outside `set` extends it to a larger
     /// quasi-clique (then `set` is certainly not maximal). `set` sorted.
-    fn single_extendable(&mut self, set: &[VertexId]) -> bool {
+    ///
+    /// Set-neighbor counts of the outside vertices accumulate in a scratch
+    /// counter array (zeroed through the `touched` list afterwards); on
+    /// the bitset path the outside neighbors come from `row(u) ∧ ¬set`
+    /// word scans, on the slice path from neighbor-list scans against a
+    /// stamp.
+    fn single_extendable(&mut self, set: &[VertexId], stats: &mut SearchStats) -> bool {
         let req = self.cfg.required_degree(set.len() + 1);
-        // Count set-neighbors of every outside vertex.
-        let mut counts: Vec<(VertexId, u32)> = Vec::new();
-        self.s.nbr_mark.begin();
-        for &u in set {
-            self.s.nbr_mark.set(u);
-        }
-        let mut touched: std::collections::HashMap<VertexId, u32> =
-            std::collections::HashMap::new();
-        for &u in set {
-            for &w in self.g.neighbors(u) {
-                if !self.s.nbr_mark.get(w) {
-                    *touched.entry(w).or_insert(0) += 1;
+        self.s.touched.clear();
+        if self.bits_on {
+            self.s.aux_bits.reset(self.g.num_vertices());
+            for &u in set {
+                self.s.aux_bits.insert(u);
+            }
+            stats.kernel_ops += (self.s.aux_bits.num_words() + set.len()) as u64;
+            for &u in set {
+                let row = self.s.adj.row(u);
+                let set_words = self.s.aux_bits.words();
+                stats.kernel_ops += row.len() as u64;
+                for (wi, (&r, &s)) in row.iter().zip(set_words.iter()).enumerate() {
+                    let mut m = r & !s;
+                    while m != 0 {
+                        let w = (wi * 64 + m.trailing_zeros() as usize) as VertexId;
+                        m &= m - 1;
+                        if self.s.counts[w as usize] == 0 {
+                            self.s.touched.push(w);
+                        }
+                        self.s.counts[w as usize] += 1;
+                    }
+                }
+            }
+        } else {
+            self.s.nbr_mark.begin();
+            for &u in set {
+                self.s.nbr_mark.set(u);
+            }
+            stats.kernel_ops += set.len() as u64;
+            for &u in set {
+                stats.kernel_ops += self.g.degree(u) as u64;
+                for &w in self.g.neighbors(u) {
+                    if !self.s.nbr_mark.get(w) {
+                        if self.s.counts[w as usize] == 0 {
+                            self.s.touched.push(w);
+                        }
+                        self.s.counts[w as usize] += 1;
+                    }
                 }
             }
         }
-        for (w, c) in touched {
-            if c as usize >= req {
-                counts.push((w, c));
-            }
+        // Outside vertices adjacent to enough members to survive at size
+        // |set| + 1.
+        let candidates: Vec<VertexId> = self
+            .s
+            .touched
+            .iter()
+            .copied()
+            .filter(|&w| self.s.counts[w as usize] as usize >= req)
+            .collect();
+        // Zero the counters through the touched list before any early
+        // return, keeping the scratch clean for the next emission.
+        for &w in &self.s.touched {
+            self.s.counts[w as usize] = 0;
         }
-        if counts.is_empty() {
+        if candidates.is_empty() {
             return false;
         }
         // Members whose degree would fall below the requirement unless the
         // new vertex is their neighbor.
-        let deficient: Vec<VertexId> = set
+        let deficient: Vec<VertexId> = if self.bits_on {
+            stats.kernel_ops += (set.len() * self.s.aux_bits.num_words()) as u64;
+            set.iter()
+                .copied()
+                .filter(|&u| self.s.adj.degree_within(u, &self.s.aux_bits) < req)
+                .collect()
+        } else {
+            set.iter()
+                .copied()
+                .filter(|&u| {
+                    stats.kernel_ops += (self.g.degree(u).min(set.len())) as u64;
+                    self.g.degree_within(u, set) < req
+                })
+                .collect()
+        };
+        candidates
             .iter()
-            .copied()
-            .filter(|&u| self.g.degree_within(u, set) < req)
-            .collect();
-        counts
-            .iter()
-            .any(|&(w, _)| deficient.iter().all(|&u| self.g.has_edge(u, w)))
+            .any(|&w| deficient.iter().all(|&u| self.edge(u, w, stats)))
     }
 }
 
@@ -1168,5 +1418,105 @@ mod tests {
         let out = Miner::new(g.graph(), QcConfig::new(0.6, 4)).enumerate_maximal();
         assert!(out.stats.nodes_visited > 0);
         assert!(out.stats.emitted >= 5);
+        assert!(out.stats.edge_tests > 0);
+        assert!(out.stats.kernel_ops > 0);
+    }
+
+    /// Pre-bitset reference implementation of the containment filter:
+    /// pairwise sorted-slice subset checks.
+    fn containment_filter_naive(mut sets: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
+        sets.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+        sets.dedup();
+        let mut kept: Vec<Vec<VertexId>> = Vec::new();
+        'outer: for set in sets {
+            for bigger in &kept {
+                if is_subset(&set, bigger) {
+                    continue 'outer;
+                }
+            }
+            kept.push(set);
+        }
+        kept
+    }
+
+    #[test]
+    fn containment_filter_keeps_same_sets_as_naive_on_figure1() {
+        // Feed the filter everything the unpruned figure-1 search emits
+        // (raw emissions, before maximality filtering) and check the
+        // bitset subset path keeps the identical list in identical order.
+        let g = figure1();
+        let miner = Miner::new(g.graph(), QcConfig::new(0.6, 4)).with_prune(PruneFlags::none());
+        let raw = miner.enumerate_maximal();
+        // Reconstruct an over-complete input: the five maximal sets plus
+        // every emitted-size prefix pair and duplicates.
+        let mut input: Vec<Vec<VertexId>> =
+            raw.cliques.iter().map(|q| q.vertices.clone()).collect();
+        let extra: Vec<Vec<VertexId>> = input
+            .iter()
+            .flat_map(|s| [s.clone(), s[..s.len() - 1].to_vec(), s[1..].to_vec()])
+            .collect();
+        input.extend(extra);
+        let n = g.num_vertices();
+        assert_eq!(
+            containment_filter(input.clone(), n),
+            containment_filter_naive(input)
+        );
+    }
+
+    #[test]
+    fn containment_filter_synthetic_cases() {
+        let cases: Vec<Vec<Vec<VertexId>>> = vec![
+            vec![],
+            vec![vec![0, 1, 2], vec![0, 1], vec![1, 2], vec![3]],
+            vec![vec![0, 1], vec![0, 1], vec![2, 3], vec![0, 2]],
+            vec![vec![64, 65, 66], vec![64, 66], vec![65]],
+        ];
+        for sets in cases {
+            let n = 70;
+            assert_eq!(
+                containment_filter(sets.clone(), n),
+                containment_filter_naive(sets.clone()),
+                "{sets:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_and_bitset_representations_agree_on_figure1() {
+        let g = figure1();
+        let cfg = QcConfig::new(0.6, 4);
+        for flags in [PruneFlags::default(), PruneFlags::none()] {
+            let slice = Miner::new(g.graph(), cfg)
+                .with_prune(flags)
+                .with_repr(Representation::Slice);
+            let bits = Miner::new(g.graph(), cfg)
+                .with_prune(flags)
+                .with_repr(Representation::Bitset);
+            let (s, b) = (slice.enumerate_maximal(), bits.enumerate_maximal());
+            assert_eq!(sets(&s), sets(&b));
+            // The search trees are identical: every semantic counter (tree
+            // shape, prune events, emissions) must match exactly; only the
+            // modeled kernel costs may differ.
+            assert_eq!(s.stats.semantic(), b.stats.semantic());
+            assert_eq!(slice.coverage().covered, bits.coverage().covered);
+            assert_eq!(sets(&slice.top_k(2)), sets(&bits.top_k(2)));
+        }
+    }
+
+    #[test]
+    fn bitset_falls_back_on_oversized_graphs() {
+        // A graph wider than the pack cap must still mine correctly (the
+        // engine silently uses the slice kernels).
+        let mut edges = Vec::new();
+        let base = (BITADJ_MAX_VERTICES + 3) as u32;
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((base - 4 + u, base - 4 + v));
+            }
+        }
+        let g = graph_from_edges(base as usize, edges);
+        let out = Miner::new(&g, QcConfig::new(1.0, 4)).enumerate_maximal();
+        assert_eq!(out.cliques.len(), 1);
+        assert_eq!(out.cliques[0].vertices.len(), 4);
     }
 }

@@ -30,9 +30,9 @@ pub mod node;
 pub mod reduce;
 
 pub use bounds::SizeInterval;
-pub use config::{ceil_gamma, QcConfig};
+pub use config::{ceil_gamma, QcConfig, Representation};
 pub use engine::{
     pattern_order, EngineScratch, Miner, MiningMode, MiningOutcome, PruneFlags, QuasiClique,
-    SearchOrder, SearchStats,
+    SearchOrder, SearchStats, BITADJ_MAX_VERTICES,
 };
 pub use reduce::reduce_vertices;

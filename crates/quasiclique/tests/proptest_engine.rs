@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use scpm_graph::builder::GraphBuilder;
 use scpm_graph::csr::CsrGraph;
 use scpm_quasiclique::bruteforce;
-use scpm_quasiclique::{pattern_order, Miner, PruneFlags, QcConfig, SearchOrder};
+use scpm_quasiclique::{pattern_order, Miner, PruneFlags, QcConfig, Representation, SearchOrder};
 
 fn small_graph() -> impl Strategy<Value = CsrGraph> {
     (4usize..=10).prop_flat_map(|n| {
@@ -108,6 +108,38 @@ proptest! {
         let cov_base = Miner::new(&g, cfg).coverage().covered;
         let cov = Miner::new(&g, cfg).with_prune(flags).coverage().covered;
         prop_assert_eq!(cov, cov_base);
+    }
+
+    /// End-to-end: the packed-bitset and sorted-slice engines must emit
+    /// identical `MiningOutcome`s — same cliques, same coverage, same
+    /// search tree (all semantic counters equal; only the modeled kernel
+    /// costs may differ) — in every mode, for every flag combination.
+    #[test]
+    fn bitset_and_slice_outcomes_are_identical(g in small_graph(), cfg in qc_params(),
+                                               bits in 0u32..128, k in 1usize..=4) {
+        let flags = PruneFlags {
+            feasibility: bits & 1 != 0,
+            bounds: bits & 2 != 0,
+            critical: bits & 4 != 0,
+            cover_vertex: bits & 8 != 0,
+            lookahead: bits & 16 != 0,
+            covered_candidate: bits & 32 != 0,
+            diameter2: bits & 64 != 0,
+        };
+        let slice = Miner::new(&g, cfg).with_prune(flags).with_repr(Representation::Slice);
+        let packed = Miner::new(&g, cfg).with_prune(flags).with_repr(Representation::Bitset);
+
+        let (s, p) = (slice.enumerate_maximal(), packed.enumerate_maximal());
+        prop_assert_eq!(&s.cliques, &p.cliques, "maximal, flags {:?}", flags);
+        prop_assert_eq!(s.stats.semantic(), p.stats.semantic(), "maximal stats, flags {:?}", flags);
+
+        let (s, p) = (slice.coverage(), packed.coverage());
+        prop_assert_eq!(&s.covered, &p.covered, "coverage, flags {:?}", flags);
+        prop_assert_eq!(s.stats.semantic(), p.stats.semantic(), "coverage stats, flags {:?}", flags);
+
+        let (s, p) = (slice.top_k(k), packed.top_k(k));
+        prop_assert_eq!(&s.cliques, &p.cliques, "top-{}, flags {:?}", k, flags);
+        prop_assert_eq!(s.stats.semantic(), p.stats.semantic(), "top-k stats, flags {:?}", flags);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!                [--sigma-min N] [--gamma F] [--min-size N]
 //!                [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
 //!                [--min-attrs N] [--max-attrs N] [--threads N] [--split-depth N]
-//!                [--algo scpm|levelwise|scorp|naive] [--limit N]
+//!                [--algo scpm|levelwise|scorp|naive] [--repr bitset|slice] [--limit N]
 //! scpm induce    --graph g.txt --attrs name,name [--dot out.dot]
 //!                [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
 //! scpm generate  --dataset dblp|lastfm|citeseer|smalldblp [--scale F]
@@ -45,7 +45,7 @@ use scpm_graph::io::{load_attributed, save_attributed, write_dot};
 use scpm_graph::snapshot::{load_snapshot, save_snapshot};
 use scpm_graph::stats::GraphSummary;
 use scpm_graph::AttributedGraph;
-use scpm_quasiclique::{QcConfig, SearchOrder};
+use scpm_quasiclique::{QcConfig, Representation, SearchOrder};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -89,7 +89,7 @@ const USAGE: &str = "usage:
                  [--sigma-min N] [--gamma F] [--min-size N]
                  [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
                  [--min-attrs N] [--max-attrs N] [--threads N] [--split-depth N]
-                 [--algo scpm|levelwise|scorp|naive] [--limit N]
+                 [--algo scpm|levelwise|scorp|naive] [--repr bitset|slice] [--limit N]
   scpm induce    --graph <file> --attrs name,name [--dot <file>]
                  [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
   scpm generate  --dataset dblp|lastfm|citeseer|smalldblp [--scale F] [--seed N]
@@ -258,6 +258,13 @@ fn params_from(flags: &Flags) -> Result<ScpmParams, String> {
         "bfs" => SearchOrder::Bfs,
         other => return Err(format!("invalid --order `{other}` (want dfs|bfs)")),
     };
+    // Hot-loop representation A/B switch (docs/PERFORMANCE.md): results
+    // are identical, only kernel costs differ.
+    let repr = match flags.str("repr").unwrap_or("bitset") {
+        "bitset" => Representation::Bitset,
+        "slice" => Representation::Slice,
+        other => return Err(format!("invalid --repr `{other}` (want bitset|slice)")),
+    };
     Ok(ScpmParams::new(
         flags.num("sigma-min", 10usize)?,
         flags.num("gamma", 0.5f64)?,
@@ -268,7 +275,8 @@ fn params_from(flags: &Flags) -> Result<ScpmParams, String> {
     .with_top_k(flags.num("top-k", 5usize)?)
     .with_min_attrs(flags.num("min-attrs", 1usize)?)
     .with_max_attrs(flags.num("max-attrs", 3usize)?)
-    .with_order(order))
+    .with_order(order)
+    .with_repr(repr))
 }
 
 fn mine(flags: &Flags) -> Result<(), String> {

@@ -32,5 +32,5 @@ pub mod prelude {
     pub use scpm_graph::{
         AttributedGraph, AttributedGraphBuilder, CsrGraph, GraphBuilder, RawSource,
     };
-    pub use scpm_quasiclique::{QcConfig, SearchOrder};
+    pub use scpm_quasiclique::{QcConfig, Representation, SearchOrder};
 }
