@@ -1,0 +1,192 @@
+//! Reader for the `BENCH_scpm.json` v2 baseline that `exp_perf` writes
+//! and its `--check` mode consumes.
+//!
+//! The file is machine-written by this same crate with a fixed shape, so
+//! a full JSON parser is unnecessary (and the container has no serde);
+//! this module does shape-aware scanning: it slices the `"workloads"`
+//! array into brace-balanced objects and pulls numeric fields out of each
+//! by key. Unknown keys are ignored, so the schema can grow without
+//! breaking older checkers.
+
+/// The per-workload numbers `--check` compares a fresh run against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadBaseline {
+    /// Scenario name (must match a scenario `exp_perf` knows how to run).
+    pub name: String,
+    /// Generator scale the baseline was recorded at.
+    pub scale: f64,
+    /// Generator seed (cross-checked against the compiled-in seed).
+    pub seed: u64,
+    /// Set-enumeration nodes visited (bitset path; identical across
+    /// representations by construction). Compared exactly.
+    pub qc_nodes: u64,
+    /// Modeled kernel work of the bitset path. Compared under
+    /// `kernel_ops_tolerance`.
+    pub kernel_ops: u64,
+    /// Attribute-set reports emitted. Compared exactly.
+    pub reports: u64,
+    /// Patterns emitted. Compared exactly.
+    pub patterns: u64,
+    /// Multiplicative slack for the kernel-ops regression check: a fresh
+    /// run fails when `fresh > kernel_ops * kernel_ops_tolerance`.
+    pub kernel_ops_tolerance: f64,
+    /// Floor for the fresh run's slice/bitset kernel-ops ratio.
+    pub min_kernel_ops_ratio: f64,
+}
+
+/// Extracts the numeric value following `"key":` in `obj`, if any.
+/// Numbers end at `,`, `}`, `]`, or whitespace.
+fn field_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the string value following `"key":` in `obj`, if any.
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = obj[start..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// The brace-balanced `{...}` chunk starting at the first `{` at or after
+/// `from`, together with the index one past its closing brace.
+fn object_at(text: &str, from: usize) -> Option<(usize, usize)> {
+    let open = from + text[from..].find('{')?;
+    let mut depth = 0usize;
+    for (i, b) in text[open..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, open + i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses a v2 baseline file into its workload entries.
+///
+/// Fails with a message on a missing/old `version`, a malformed
+/// `workloads` array, or a workload missing one of the compared fields.
+pub fn parse_baseline(text: &str) -> Result<Vec<WorkloadBaseline>, String> {
+    let version = field_num(text, "version").ok_or("baseline: missing \"version\"")? as u32;
+    if version != 2 {
+        return Err(format!(
+            "baseline: version {version} unsupported (need 2; regenerate with exp_perf)"
+        ));
+    }
+    let arr_start = text
+        .find("\"workloads\":")
+        .ok_or("baseline: missing \"workloads\"")?;
+    let arr_open = arr_start
+        + text[arr_start..]
+            .find('[')
+            .ok_or("baseline: malformed \"workloads\"")?;
+    // The matching close bracket (workload objects contain no brackets).
+    let arr_end = arr_open
+        + text[arr_open..]
+            .find(']')
+            .ok_or("baseline: unterminated \"workloads\"")?;
+    let mut out = Vec::new();
+    let mut cursor = arr_open;
+    while let Some((open, close)) = object_at(text, cursor) {
+        if open >= arr_end {
+            break;
+        }
+        let obj = &text[open..close];
+        cursor = close;
+        let name = field_str(obj, "name").ok_or("workload: missing \"name\"")?;
+        let bitset_start = obj
+            .find("\"bitset\":")
+            .ok_or_else(|| format!("workload {name}: missing \"bitset\""))?;
+        let (bs, be) = object_at(obj, bitset_start)
+            .ok_or_else(|| format!("workload {name}: malformed \"bitset\""))?;
+        let bitset = &obj[bs..be];
+        let need = |o: &str, key: &str| {
+            field_num(o, key).ok_or_else(|| format!("workload {name}: missing \"{key}\""))
+        };
+        out.push(WorkloadBaseline {
+            scale: need(obj, "scale")?,
+            seed: need(obj, "seed")? as u64,
+            qc_nodes: need(bitset, "qc_nodes")? as u64,
+            kernel_ops: need(bitset, "kernel_ops")? as u64,
+            reports: need(bitset, "reports")? as u64,
+            patterns: need(bitset, "patterns")? as u64,
+            kernel_ops_tolerance: need(obj, "kernel_ops_tolerance")?,
+            min_kernel_ops_ratio: need(obj, "min_kernel_ops_ratio")?,
+            name,
+        });
+    }
+    if out.is_empty() {
+        return Err("baseline: no workloads found".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "version": 2,
+  "harness": "exp_perf",
+  "workloads": [
+    {
+      "name": "dblp",
+      "scale": 0.02,
+      "seed": 42,
+      "slice": {"wall_secs": 0.1, "qc_nodes": 9, "kernel_ops": 100, "reports": 3, "patterns": 2},
+      "bitset": {"wall_secs": 0.1, "qc_nodes": 9, "kernel_ops": 40, "reports": 3, "patterns": 2},
+      "thresholds": {"kernel_ops_tolerance": 1.05, "min_kernel_ops_ratio": 2.0},
+      "outcomes_identical": true
+    },
+    {
+      "name": "lastfm",
+      "scale": 0.01,
+      "seed": 7,
+      "bitset": {"qc_nodes": 5, "kernel_ops": 20, "reports": 1, "patterns": 0},
+      "thresholds": {"kernel_ops_tolerance": 1.1, "min_kernel_ops_ratio": 1.5}
+    }
+  ],
+  "summary": {"min_kernel_ops_ratio": 2.5}
+}"#;
+
+    #[test]
+    fn parses_both_workloads() {
+        let ws = parse_baseline(SAMPLE).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].name, "dblp");
+        assert_eq!(ws[0].seed, 42);
+        // The bitset sub-object wins, not the slice one.
+        assert_eq!(ws[0].kernel_ops, 40);
+        assert_eq!(ws[0].qc_nodes, 9);
+        assert_eq!(ws[0].reports, 3);
+        assert_eq!(ws[0].patterns, 2);
+        assert!((ws[0].kernel_ops_tolerance - 1.05).abs() < 1e-12);
+        assert!((ws[1].min_kernel_ops_ratio - 1.5).abs() < 1e-12);
+        assert!((ws[1].scale - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let v1 = SAMPLE.replace("\"version\": 2", "\"version\": 1");
+        assert!(parse_baseline(&v1).unwrap_err().contains("version 1"));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let broken = SAMPLE.replace("\"kernel_ops\": 40, ", "");
+        assert!(parse_baseline(&broken).unwrap_err().contains("kernel_ops"));
+        assert!(parse_baseline("{\"version\": 2}").is_err());
+    }
+}

@@ -1,19 +1,35 @@
 //! E-PERF — tracked performance baseline: sorted-slice vs packed-bitset
-//! hot path on the synthetic DBLP/Last.fm stand-ins, under fixed seeds.
+//! hot path across a five-workload scenario matrix, under fixed seeds.
 //!
 //! ```text
 //! cargo run --release -p scpm-bench --bin exp_perf \
-//!     [dblp_scale] [lastfm_scale] [out.json] [--no-timing]
+//!     [dblp_scale] [lastfm_scale] [out.json] [--no-timing] \
+//!     [--scenario-scale F] [--check BASELINE.json]
 //! ```
 //!
-//! For each workload the full SCPM run executes twice — once with
-//! `Representation::Slice`, once with `Representation::Bitset` — and the
-//! binary **exits nonzero unless the two outcomes (reports + patterns) are
-//! byte-identical**. Wall-clock plus the hardware-independent counters
-//! (qc-search nodes, point edge tests, modeled kernel operations = slice
-//! elements touched vs bitset words touched) land in a JSON file, which is
-//! committed at the repo root as `BENCH_scpm.json` to track the
-//! baseline-vs-bitset trajectory across PRs (see `docs/PERFORMANCE.md`).
+//! The matrix covers the shapes that stress different kernels (the
+//! workload taxonomy follows the significance-testing benchmarks of Lee
+//! et al., arXiv:1609.08266): the DBLP/Last.fm stand-ins plus a
+//! dense-clique stress (wide candidate sets, full rows), a sparse-star
+//! graph (hub-and-spoke, empty-block skipping dominates), and a
+//! skewed-attribute distribution (head attributes induce wide subgraphs,
+//! tail attributes tiny ones). For each workload the full SCPM run
+//! executes twice — once with `Representation::Slice`, once with
+//! `Representation::Bitset` — and the binary **exits nonzero unless the
+//! two outcomes (reports + patterns) are byte-identical**. Wall-clock
+//! plus the hardware-independent counters (qc-search nodes, point edge
+//! tests, modeled kernel operations, fused-kernel calls, summary blocks
+//! skipped) land in a v2 JSON file whose per-workload `thresholds` carry
+//! the regression contract; the file is committed at the repo root as
+//! `BENCH_scpm.json` (see `docs/PERFORMANCE.md`).
+//!
+//! `--check BASELINE.json` turns the binary into the CI perf-regression
+//! gate: each workload recorded in the baseline is re-run at its recorded
+//! scale and compared — **exactly** on outcomes (`qc_nodes`, `reports`,
+//! `patterns`, slice/bitset identity) and within the baseline's
+//! per-workload tolerance ratio on bitset `kernel_ops`; the fresh
+//! slice/bitset ratio must also clear the baseline's floor. Any violation
+//! exits nonzero.
 //!
 //! Determinism: every seed is a compile-time constant and the scales are
 //! plain CLI flags — there is no `SystemTime`-derived input anywhere, so
@@ -23,14 +39,97 @@
 
 use std::process::ExitCode;
 
-use scpm_bench::{arg_f64, arg_str, timed};
+use scpm_bench::baseline::{parse_baseline, WorkloadBaseline};
+use scpm_bench::timed;
 use scpm_core::{Scpm, ScpmParams, ScpmResult};
-use scpm_datasets::{dblp_like, lastfm_like, SyntheticDataset};
+use scpm_datasets::{
+    dblp_like, dense_clique_like, lastfm_like, skewed_attr_like, sparse_star_like, SyntheticDataset,
+};
 use scpm_quasiclique::Representation;
 
-/// Fixed workload seeds (never derived from the clock).
-const DBLP_SEED: u64 = 42;
-const LASTFM_SEED: u64 = 7;
+/// One row of the scenario matrix: a seeded generator plus the
+/// paper-shaped mining parameters and the regression thresholds the
+/// baseline carries for it.
+struct Scenario {
+    name: &'static str,
+    /// Fixed workload seed (never derived from the clock).
+    seed: u64,
+    /// Generator scale when none is imposed by a `--check` baseline.
+    default_scale: f64,
+    generate: fn(f64, u64) -> SyntheticDataset,
+    params: ScpmParams,
+    /// Multiplicative slack on bitset `kernel_ops` for `--check`.
+    kernel_ops_tolerance: f64,
+    /// Floor on the slice/bitset kernel-ops ratio for `--check`.
+    min_kernel_ops_ratio: f64,
+}
+
+/// The five-workload matrix. Order is the report order; names are the
+/// join keys `--check` uses against the baseline file.
+fn scenarios(dblp_scale: f64, lastfm_scale: f64, scenario_scale: f64) -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "dblp",
+            seed: 42,
+            default_scale: dblp_scale,
+            generate: dblp_like,
+            params: ScpmParams::new(8, 0.5, 8)
+                .with_eps_min(0.1)
+                .with_top_k(3)
+                .with_max_attrs(3),
+            kernel_ops_tolerance: 1.05,
+            min_kernel_ops_ratio: 2.5,
+        },
+        Scenario {
+            name: "lastfm",
+            seed: 7,
+            default_scale: lastfm_scale,
+            generate: lastfm_like,
+            params: ScpmParams::new(8, 0.5, 5)
+                .with_eps_min(0.1)
+                .with_top_k(4)
+                .with_max_attrs(2),
+            kernel_ops_tolerance: 1.05,
+            min_kernel_ops_ratio: 2.5,
+        },
+        Scenario {
+            name: "dense-clique",
+            seed: 11,
+            default_scale: 0.02 * scenario_scale,
+            generate: dense_clique_like,
+            params: ScpmParams::new(10, 0.6, 8)
+                .with_eps_min(0.1)
+                .with_top_k(3)
+                .with_max_attrs(2),
+            kernel_ops_tolerance: 1.05,
+            min_kernel_ops_ratio: 2.0,
+        },
+        Scenario {
+            name: "sparse-star",
+            seed: 13,
+            default_scale: 0.03 * scenario_scale,
+            generate: sparse_star_like,
+            params: ScpmParams::new(8, 0.5, 4)
+                .with_eps_min(0.1)
+                .with_top_k(3)
+                .with_max_attrs(2),
+            kernel_ops_tolerance: 1.05,
+            min_kernel_ops_ratio: 1.2,
+        },
+        Scenario {
+            name: "skewed-attr",
+            seed: 17,
+            default_scale: 0.02 * scenario_scale,
+            generate: skewed_attr_like,
+            params: ScpmParams::new(10, 0.5, 6)
+                .with_eps_min(0.1)
+                .with_top_k(3)
+                .with_max_attrs(2),
+            kernel_ops_tolerance: 1.05,
+            min_kernel_ops_ratio: 1.5,
+        },
+    ]
+}
 
 struct PathResult {
     wall_secs: f64,
@@ -47,6 +146,8 @@ struct WorkloadReport {
     slice: PathResult,
     bitset: PathResult,
     identical: bool,
+    kernel_ops_tolerance: f64,
+    min_kernel_ops_ratio: f64,
 }
 
 /// Everything a run reports except wall-clock, as one comparable string.
@@ -54,20 +155,14 @@ fn fingerprint(r: &ScpmResult) -> String {
     format!("{:?}|{:?}", r.reports, r.patterns)
 }
 
-fn run_workload(
-    name: &'static str,
-    dataset: &SyntheticDataset,
-    scale: f64,
-    seed: u64,
-    params: &ScpmParams,
-    timing: bool,
-) -> WorkloadReport {
+fn run_workload(scenario: &Scenario, scale: f64, timing: bool) -> WorkloadReport {
+    let dataset = (scenario.generate)(scale, scenario.seed);
     let g = &dataset.graph;
     let run = |repr: Representation| {
         // One warm-up pass (page-in, allocator steady state), then the
         // timed pass — single-shot cold timings on a shared container are
         // too noisy to track.
-        let p = params.clone().with_repr(repr);
+        let p = scenario.params.clone().with_repr(repr);
         if timing {
             let _ = Scpm::new(g, p.clone()).run();
         }
@@ -81,15 +176,17 @@ fn run_workload(
     let bitset = run(Representation::Bitset);
     let identical = fingerprint(&slice.result) == fingerprint(&bitset.result);
     WorkloadReport {
-        name,
+        name: scenario.name,
         scale,
-        seed,
+        seed: scenario.seed,
         vertices: g.num_vertices(),
         edges: g.num_edges(),
         attributes: g.num_attributes(),
         slice,
         bitset,
         identical,
+        kernel_ops_tolerance: scenario.kernel_ops_tolerance,
+        min_kernel_ops_ratio: scenario.min_kernel_ops_ratio,
     }
 }
 
@@ -98,12 +195,15 @@ fn json_path(p: &PathResult) -> String {
     format!(
         concat!(
             "{{\"wall_secs\": {:.6}, \"qc_nodes\": {}, \"edge_tests\": {}, ",
-            "\"kernel_ops\": {}, \"reports\": {}, \"patterns\": {}}}"
+            "\"kernel_ops\": {}, \"fused_ops\": {}, \"blocks_skipped\": {}, ",
+            "\"reports\": {}, \"patterns\": {}}}"
         ),
         p.wall_secs,
         s.qc_nodes_coverage + s.qc_nodes_topk,
         s.qc_edge_tests,
         s.qc_kernel_ops,
+        s.qc_fused_ops,
+        s.qc_blocks_skipped,
         p.result.reports.len(),
         p.result.patterns.len()
     )
@@ -111,6 +211,13 @@ fn json_path(p: &PathResult) -> String {
 
 fn ratio(slice: u64, bitset: u64) -> f64 {
     slice as f64 / bitset.max(1) as f64
+}
+
+fn report_ratio(w: &WorkloadReport) -> f64 {
+    ratio(
+        w.slice.result.stats.qc_kernel_ops,
+        w.bitset.result.stats.qc_kernel_ops,
+    )
 }
 
 fn json_workload(w: &WorkloadReport) -> String {
@@ -126,6 +233,7 @@ fn json_workload(w: &WorkloadReport) -> String {
             "      \"slice\": {},\n",
             "      \"bitset\": {},\n",
             "      \"kernel_ops_ratio\": {:.4},\n",
+            "      \"thresholds\": {{\"kernel_ops_tolerance\": {}, \"min_kernel_ops_ratio\": {}}},\n",
             "      \"outcomes_identical\": {}\n",
             "    }}"
         ),
@@ -137,90 +245,25 @@ fn json_workload(w: &WorkloadReport) -> String {
         w.attributes,
         json_path(&w.slice),
         json_path(&w.bitset),
-        ratio(
-            w.slice.result.stats.qc_kernel_ops,
-            w.bitset.result.stats.qc_kernel_ops
-        ),
+        report_ratio(w),
+        w.kernel_ops_tolerance,
+        w.min_kernel_ops_ratio,
         w.identical
     )
 }
 
-fn main() -> ExitCode {
-    let dblp_scale = arg_f64(1, 0.02);
-    let lastfm_scale = arg_f64(2, 0.01);
-    // `--no-timing` is recognized at any position; a flag mistakenly
-    // landing in the out-path slot must not become a file name.
-    let timing = !std::env::args().any(|a| a == "--no-timing");
-    let out_path = match arg_str(3, "BENCH_scpm.json") {
-        p if p.starts_with("--") => "BENCH_scpm.json".to_string(),
-        p => p,
-    };
-
-    // The paper-shaped parameters the repo's other experiments use for
-    // these stand-ins (exp_speedup / the tier-1 determinism sweep).
-    let dblp_params = ScpmParams::new(8, 0.5, 8)
-        .with_eps_min(0.1)
-        .with_top_k(3)
-        .with_max_attrs(3);
-    let lastfm_params = ScpmParams::new(8, 0.5, 5)
-        .with_eps_min(0.1)
-        .with_top_k(4)
-        .with_max_attrs(2);
-
-    let dblp = dblp_like(dblp_scale, DBLP_SEED);
-    let lastfm = lastfm_like(lastfm_scale, LASTFM_SEED);
-    let reports = vec![
-        run_workload("dblp", &dblp, dblp_scale, DBLP_SEED, &dblp_params, timing),
-        run_workload(
-            "lastfm",
-            &lastfm,
-            lastfm_scale,
-            LASTFM_SEED,
-            &lastfm_params,
-            timing,
-        ),
-    ];
-
-    let mut ok = true;
-    for w in &reports {
-        let r = ratio(
-            w.slice.result.stats.qc_kernel_ops,
-            w.bitset.result.stats.qc_kernel_ops,
-        );
-        eprintln!(
-            "# {}: V={} E={} | slice kernel_ops={} bitset kernel_ops={} ratio={:.2}x | identical={}",
-            w.name,
-            w.vertices,
-            w.edges,
-            w.slice.result.stats.qc_kernel_ops,
-            w.bitset.result.stats.qc_kernel_ops,
-            r,
-            w.identical
-        );
-        if !w.identical {
-            eprintln!("# ERROR: {} slice/bitset outcomes diverge", w.name);
-            ok = false;
-        }
-    }
-
-    let min_ratio = reports
-        .iter()
-        .map(|w| {
-            ratio(
-                w.slice.result.stats.qc_kernel_ops,
-                w.bitset.result.stats.qc_kernel_ops,
-            )
-        })
-        .fold(f64::INFINITY, f64::min);
-    let body = format!(
+fn render(reports: &[WorkloadReport], min_ratio: f64, ok: bool) -> String {
+    format!(
         concat!(
             "{{\n",
-            "  \"version\": 1,\n",
+            "  \"version\": 2,\n",
             "  \"harness\": \"exp_perf\",\n",
             "  \"counters\": {{\n",
             "    \"qc_nodes\": \"set-enumeration nodes visited (coverage + top-k)\",\n",
             "    \"edge_tests\": \"point adjacency/membership queries in the hot loops\",\n",
-            "    \"kernel_ops\": \"modeled work: slice elements touched vs bitset u64 words touched\"\n",
+            "    \"kernel_ops\": \"modeled work: slice elements touched vs bitset u64 words touched\",\n",
+            "    \"fused_ops\": \"fused single-pass kernel invocations (bitset path only)\",\n",
+            "    \"blocks_skipped\": \"8-word blocks skipped via the VertexBitset summary hierarchy\"\n",
             "  }},\n",
             "  \"workloads\": [\n{}\n  ],\n",
             "  \"summary\": {{\"min_kernel_ops_ratio\": {:.4}, \"all_outcomes_identical\": {}}}\n",
@@ -233,12 +276,207 @@ fn main() -> ExitCode {
             .join(",\n"),
         min_ratio,
         ok
-    );
+    )
+}
+
+/// Compares one fresh workload run against its committed baseline entry.
+/// Returns the violation messages (empty = pass).
+fn check_workload(w: &WorkloadReport, base: &WorkloadBaseline) -> Vec<String> {
+    let mut errs = Vec::new();
+    let fresh = &w.bitset.result;
+    let s = &fresh.stats;
+    let qc_nodes = s.qc_nodes_coverage + s.qc_nodes_topk;
+    if !w.identical {
+        errs.push(format!("{}: slice/bitset outcomes diverge", w.name));
+    }
+    if w.seed != base.seed {
+        errs.push(format!(
+            "{}: compiled-in seed {} != baseline seed {}",
+            w.name, w.seed, base.seed
+        ));
+    }
+    for (what, got, want) in [
+        ("qc_nodes", qc_nodes, base.qc_nodes),
+        ("reports", fresh.reports.len() as u64, base.reports),
+        ("patterns", fresh.patterns.len() as u64, base.patterns),
+    ] {
+        if got != want {
+            errs.push(format!(
+                "{}: {what} changed: fresh {got} != baseline {want} (outcome drift)",
+                w.name
+            ));
+        }
+    }
+    let limit = (base.kernel_ops as f64 * base.kernel_ops_tolerance).ceil() as u64;
+    if s.qc_kernel_ops > limit {
+        errs.push(format!(
+            "{}: kernel_ops regressed: fresh {} > baseline {} x tolerance {} = {}",
+            w.name, s.qc_kernel_ops, base.kernel_ops, base.kernel_ops_tolerance, limit
+        ));
+    }
+    let r = report_ratio(w);
+    if r < base.min_kernel_ops_ratio {
+        errs.push(format!(
+            "{}: slice/bitset kernel_ops ratio {:.3} below floor {:.3}",
+            w.name, r, base.min_kernel_ops_ratio
+        ));
+    }
+    errs
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let timing = !args.iter().any(|a| a == "--no-timing");
+    // Split flags (and their values) from positionals so a flag can
+    // appear at any position without eating a positional slot. Strict on
+    // purpose: a flag missing its value or a mistyped flag must fail
+    // loudly, never degrade into a baseline-overwriting normal run.
+    let mut check_path: Option<String> = None;
+    let mut scenario_scale = 1.0f64;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-timing" => {}
+            "--check" => match it.next() {
+                Some(p) => check_path = Some(p.clone()),
+                None => {
+                    eprintln!("# ERROR: --check requires a baseline path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scenario-scale" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(f) => scenario_scale = f,
+                None => {
+                    eprintln!("# ERROR: --scenario-scale requires a numeric value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("# ERROR: unknown flag {flag}");
+                return ExitCode::FAILURE;
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    if positional.len() > 3 {
+        eprintln!(
+            "# ERROR: expected at most 3 positionals (dblp_scale lastfm_scale out.json), got {positional:?}"
+        );
+        return ExitCode::FAILURE;
+    }
+    let pos_f64 = |i: usize, default: f64| -> Result<f64, String> {
+        match positional.get(i) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("# ERROR: positional {} is not a number: {s}", i + 1)),
+        }
+    };
+    let (dblp_scale, lastfm_scale) = match (pos_f64(0, 0.02), pos_f64(1, 0.01)) {
+        (Ok(d), Ok(l)) => (d, l),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // In check mode the fresh JSON defaults to a scratch name — never
+    // silently overwrite the committed baseline being checked against.
+    let out_path = positional.get(2).cloned().unwrap_or_else(|| {
+        if check_path.is_some() {
+            "BENCH_check.json".to_string()
+        } else {
+            "BENCH_scpm.json".to_string()
+        }
+    });
+
+    let matrix = scenarios(dblp_scale, lastfm_scale, scenario_scale);
+    let baseline = match &check_path {
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_baseline(&text) {
+                Ok(ws) => Some(ws),
+                Err(e) => {
+                    eprintln!("# ERROR: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("# ERROR: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    // In check mode, run exactly the baseline's workloads at the
+    // baseline's scales; otherwise the full matrix at CLI scales.
+    let mut reports: Vec<WorkloadReport> = Vec::new();
+    let mut check_errs: Vec<String> = Vec::new();
+    match &baseline {
+        Some(entries) => {
+            for base in entries {
+                let Some(scenario) = matrix.iter().find(|s| s.name == base.name) else {
+                    check_errs.push(format!("unknown baseline workload \"{}\"", base.name));
+                    continue;
+                };
+                let w = run_workload(scenario, base.scale, timing);
+                check_errs.extend(check_workload(&w, base));
+                reports.push(w);
+            }
+        }
+        None => {
+            for scenario in &matrix {
+                reports.push(run_workload(scenario, scenario.default_scale, timing));
+            }
+        }
+    }
+
+    let mut ok = true;
+    for w in &reports {
+        let b = &w.bitset.result.stats;
+        eprintln!(
+            "# {}: V={} E={} | slice kernel_ops={} bitset kernel_ops={} ratio={:.2}x | fused_ops={} blocks_skipped={} | identical={}",
+            w.name,
+            w.vertices,
+            w.edges,
+            w.slice.result.stats.qc_kernel_ops,
+            b.qc_kernel_ops,
+            report_ratio(w),
+            b.qc_fused_ops,
+            b.qc_blocks_skipped,
+            w.identical
+        );
+        if !w.identical {
+            eprintln!("# ERROR: {} slice/bitset outcomes diverge", w.name);
+            ok = false;
+        }
+    }
+
+    let min_ratio = reports
+        .iter()
+        .map(report_ratio)
+        .fold(f64::INFINITY, f64::min);
+    let body = render(&reports, min_ratio, ok);
     if let Err(e) = std::fs::write(&out_path, &body) {
         eprintln!("# ERROR: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
     eprintln!("# wrote {out_path} (min kernel_ops ratio {min_ratio:.2}x)");
+
+    if baseline.is_some() {
+        if check_errs.is_empty() {
+            eprintln!(
+                "# check PASSED against {} ({} workloads)",
+                check_path.as_deref().unwrap_or(""),
+                reports.len()
+            );
+        } else {
+            for e in &check_errs {
+                eprintln!("# CHECK FAILED: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
     if ok {
         ExitCode::SUCCESS
     } else {

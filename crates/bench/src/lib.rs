@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use std::time::Instant;
 
 /// Parses the `i`-th CLI argument as `f64`, with a default.

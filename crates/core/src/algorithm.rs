@@ -190,6 +190,8 @@ impl<'g> Scpm<'g> {
         result.stats.qc_nodes_coverage += outcome.stats.nodes_visited;
         result.stats.qc_edge_tests += outcome.stats.edge_tests;
         result.stats.qc_kernel_ops += outcome.stats.kernel_ops;
+        result.stats.qc_fused_ops += outcome.stats.fused_ops;
+        result.stats.qc_blocks_skipped += outcome.stats.blocks_skipped;
         let epsilon = outcome.epsilon;
         let delta_lb = self.model.normalize(epsilon, support);
         let qualified = epsilon >= self.params.eps_min && delta_lb >= self.params.delta_min;
@@ -212,6 +214,8 @@ impl<'g> Scpm<'g> {
                     result.stats.qc_nodes_topk += tk_stats.nodes_visited;
                     result.stats.qc_edge_tests += tk_stats.edge_tests;
                     result.stats.qc_kernel_ops += tk_stats.kernel_ops;
+                    result.stats.qc_fused_ops += tk_stats.fused_ops;
+                    result.stats.qc_blocks_skipped += tk_stats.blocks_skipped;
                     for clique in cliques {
                         result.patterns.push(Pattern {
                             attrs: attrs.clone(),
@@ -328,11 +332,15 @@ impl<'g> Scpm<'g> {
     ) -> Option<EnumEntry> {
         let base = &class[i];
         let sibling = &class[j];
-        let tids = base.tids.intersect(&sibling.tids);
-        if tids.support() < self.params.sigma_min {
+        // Fused intersect-and-threshold: the σmin gate abandons the merge
+        // as soon as the remaining tids cannot reach it.
+        let Some(tids) = base
+            .tids
+            .intersect_min_support(&sibling.tids, self.params.sigma_min)
+        else {
             result.stats.pruned_support += 1;
             return None;
-        }
+        };
         let mut attrs = base.attrs.clone();
         attrs.push(*sibling.attrs.last().expect("non-empty attribute set"));
         // Theorem 3: the child's cover is contained in both parents'.

@@ -71,11 +71,13 @@ impl<'g> Scpm<'g> {
                         result.stats.pruned_apriori += 1;
                         continue;
                     }
-                    let tids = a.tids.intersect(&b.tids);
-                    if tids.support() < self.params().sigma_min {
+                    let Some(tids) = a
+                        .tids
+                        .intersect_min_support(&b.tids, self.params().sigma_min)
+                    else {
                         result.stats.pruned_support += 1;
                         continue;
-                    }
+                    };
                     let parent_cover = if self.params().prune.vertex_pruning {
                         intersect_into(&a.cover, &b.cover, &mut cover_buf);
                         Some(cover_buf.as_slice())

@@ -45,6 +45,8 @@ pub fn run_naive(graph: &AttributedGraph, params: &ScpmParams) -> ScpmResult {
         result.stats.qc_nodes_coverage += stats.nodes_visited;
         result.stats.qc_edge_tests += stats.edge_tests;
         result.stats.qc_kernel_ops += stats.kernel_ops;
+        result.stats.qc_fused_ops += stats.fused_ops;
+        result.stats.qc_blocks_skipped += stats.blocks_skipped;
         let mut covered: Vec<u32> = cliques
             .iter()
             .flat_map(|q| q.vertices.iter().copied())

@@ -79,6 +79,14 @@ pub struct ScpmStats {
     /// hardware-independent figure `exp_perf` compares across
     /// representations.
     pub qc_kernel_ops: u64,
+    /// Fused single-pass kernel invocations, summed over all searches
+    /// (bitset hot path plus the shared packed containment filter); see
+    /// [`SearchStats::fused_ops`](scpm_quasiclique::SearchStats).
+    pub qc_fused_ops: u64,
+    /// 8-word blocks skipped via the `VertexBitset` summary hierarchy,
+    /// summed over all searches; see
+    /// [`SearchStats::blocks_skipped`](scpm_quasiclique::SearchStats).
+    pub qc_blocks_skipped: u64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
 }
@@ -96,6 +104,8 @@ impl ScpmStats {
         self.qc_nodes_topk += other.qc_nodes_topk;
         self.qc_edge_tests += other.qc_edge_tests;
         self.qc_kernel_ops += other.qc_kernel_ops;
+        self.qc_fused_ops += other.qc_fused_ops;
+        self.qc_blocks_skipped += other.qc_blocks_skipped;
         // `elapsed` is wall-clock and set by the driver, not summed.
     }
 }

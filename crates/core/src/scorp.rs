@@ -106,6 +106,8 @@ impl<'g> Scorp<'g> {
         result.stats.qc_nodes_coverage += outcome.stats.nodes_visited;
         result.stats.qc_edge_tests += outcome.stats.edge_tests;
         result.stats.qc_kernel_ops += outcome.stats.kernel_ops;
+        result.stats.qc_fused_ops += outcome.stats.fused_ops;
+        result.stats.qc_blocks_skipped += outcome.stats.blocks_skipped;
         let epsilon = outcome.epsilon;
         let delta_lb = self.model.normalize(epsilon, support);
         let qualified = epsilon >= self.params.eps_min;
@@ -133,6 +135,8 @@ impl<'g> Scorp<'g> {
                 result.stats.qc_nodes_topk += stats.nodes_visited;
                 result.stats.qc_edge_tests += stats.edge_tests;
                 result.stats.qc_kernel_ops += stats.kernel_ops;
+                result.stats.qc_fused_ops += stats.fused_ops;
+                result.stats.qc_blocks_skipped += stats.blocks_skipped;
                 cliques.sort_by(pattern_order);
                 for clique in cliques {
                     result.patterns.push(Pattern {

@@ -30,6 +30,7 @@ pub use ingest::{
     IngestOptions, IngestReport, Ingested, SelfLoopPolicy, SourceFormat, UnknownVertexPolicy,
 };
 pub use synthetic::{
-    citeseer_like, dblp_like, generate, lastfm_like, small_dblp_like, DatasetSpec, SyntheticDataset,
+    citeseer_like, dblp_like, dense_clique_like, generate, lastfm_like, skewed_attr_like,
+    small_dblp_like, sparse_star_like, DatasetSpec, SyntheticDataset,
 };
 pub use vocab::Vocab;

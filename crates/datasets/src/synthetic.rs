@@ -137,6 +137,82 @@ impl DatasetSpec {
         }
     }
 
+    /// Dense-clique stress scenario: large overlapping near-cliques
+    /// (`p_in = 0.9`) on a thin uniform background — the dense extreme of
+    /// the `exp_perf` scenario matrix, where candidate sets stay wide and
+    /// packed rows are nearly full (block skipping buys nothing; the
+    /// fused popcount kernels must carry the win).
+    pub fn dense_clique() -> Self {
+        DatasetSpec {
+            name: "dense-clique",
+            vertices: 60_000,
+            background: BackgroundModel::Uniform { mean_degree: 2.0 },
+            communities_per_vertex: 1.0 / 60.0,
+            community_size: (12, 20),
+            p_in: 0.9,
+            vocab_size: 4_000,
+            zipf_exponent: 1.1,
+            mean_attrs: 4.0,
+            topic_attrs: 2,
+            p_topic: 0.9,
+            p_topic_noise: 0.01,
+            term_vocab: vocab::DBLP_TERMS,
+            topic_vocab: vocab::DBLP_TOPICS,
+            overlay: None,
+        }
+    }
+
+    /// Sparse-star scenario: preferential attachment with `m = 1` grows a
+    /// hub-and-spoke forest (star-like neighborhoods, tree-ish overall)
+    /// with a few small planted pockets — the sparse extreme of the
+    /// scenario matrix, where vertex reduction guts the graph and sparse
+    /// rows / empty-block skipping dominate.
+    pub fn sparse_star() -> Self {
+        DatasetSpec {
+            name: "sparse-star",
+            vertices: 120_000,
+            background: BackgroundModel::PreferentialAttachment { m: 1 },
+            communities_per_vertex: 1.0 / 400.0,
+            community_size: (5, 9),
+            p_in: 0.75,
+            vocab_size: 20_000,
+            zipf_exponent: 1.05,
+            mean_attrs: 5.0,
+            topic_attrs: 2,
+            p_topic: 0.85,
+            p_topic_noise: 0.02,
+            term_vocab: vocab::LASTFM_ARTISTS,
+            topic_vocab: vocab::LASTFM_ARTISTS,
+            overlay: None,
+        }
+    }
+
+    /// Skewed-attribute scenario: a steep Zipf exponent (1.6) makes a few
+    /// head attributes near-universal and the tail vanishingly rare — the
+    /// attribute-distribution shape the significance-testing workloads of
+    /// Lee et al. (arXiv:1609.08266) emphasize. Head attributes induce
+    /// wide mining subgraphs, tail attributes tiny ones, stressing both
+    /// ends of the kernel size spectrum in one run.
+    pub fn skewed_attr() -> Self {
+        DatasetSpec {
+            name: "skewed-attr",
+            vertices: 80_000,
+            background: BackgroundModel::PreferentialAttachment { m: 2 },
+            communities_per_vertex: 1.0 / 150.0,
+            community_size: (8, 14),
+            p_in: 0.7,
+            vocab_size: 30_000,
+            zipf_exponent: 1.6,
+            mean_attrs: 10.0,
+            topic_attrs: 2,
+            p_topic: 0.85,
+            p_topic_noise: 0.01,
+            term_vocab: vocab::CITESEER_TERMS,
+            topic_vocab: vocab::CITESEER_TOPICS,
+            overlay: None,
+        }
+    }
+
     /// DBLP with a per-paper clique overlay.
     ///
     /// Co-authorship graphs are unions of one clique per paper, including
@@ -248,6 +324,24 @@ pub fn small_dblp_like(scale: f64, seed: u64) -> SyntheticDataset {
     generate(&DatasetSpec::small_dblp(), scale, seed)
 }
 
+/// Dense-clique stress workload at the given scale (see
+/// [`DatasetSpec::dense_clique`]).
+pub fn dense_clique_like(scale: f64, seed: u64) -> SyntheticDataset {
+    generate(&DatasetSpec::dense_clique(), scale, seed)
+}
+
+/// Sparse hub-and-spoke workload at the given scale (see
+/// [`DatasetSpec::sparse_star`]).
+pub fn sparse_star_like(scale: f64, seed: u64) -> SyntheticDataset {
+    generate(&DatasetSpec::sparse_star(), scale, seed)
+}
+
+/// Skewed attribute-popularity workload at the given scale (see
+/// [`DatasetSpec::skewed_attr`]).
+pub fn skewed_attr_like(scale: f64, seed: u64) -> SyntheticDataset {
+    generate(&DatasetSpec::skewed_attr(), scale, seed)
+}
+
 impl SyntheticDataset {
     /// The topic attribute ids of community `c` (ground truth for
     /// correlation checks).
@@ -340,6 +434,9 @@ mod tests {
             DatasetSpec::lastfm(),
             DatasetSpec::citeseer(),
             DatasetSpec::small_dblp(),
+            DatasetSpec::dense_clique(),
+            DatasetSpec::sparse_star(),
+            DatasetSpec::skewed_attr(),
         ] {
             let d = generate(&spec, 0.005, 1);
             assert!(d.graph.num_vertices() >= 300);
@@ -352,6 +449,37 @@ mod tests {
     #[should_panic(expected = "scale must be in (0, 1]")]
     fn rejects_zero_scale() {
         dblp_like(0.0, 0);
+    }
+
+    #[test]
+    fn scenario_specs_have_their_shapes() {
+        // Dense-clique: planted pockets are near-cliques.
+        let dense = dense_clique_like(0.02, 3);
+        let mut dense_frac = 0.0;
+        for members in &dense.communities {
+            let pairs = members.len() * (members.len() - 1) / 2;
+            dense_frac += dense.graph.graph().edges_within(members) as f64 / pairs as f64;
+        }
+        dense_frac /= dense.communities.len() as f64;
+        assert!(dense_frac > 0.8, "mean community density {dense_frac}");
+
+        // Sparse-star: tree-ish background, mean degree ≈ 2.
+        let sparse = sparse_star_like(0.01, 3);
+        let mean = 2.0 * sparse.graph.num_edges() as f64 / sparse.graph.num_vertices() as f64;
+        assert!(mean < 3.5, "sparse-star mean degree {mean}");
+
+        // Skewed-attr: the head attribute dwarfs a mid-rank one by far
+        // more than under the milder dblp exponent.
+        let skewed = skewed_attr_like(0.02, 3);
+        let g = &skewed.graph;
+        let head = g.attr_id("system").expect("head term present");
+        let mid = g.attr_id("wireless").expect("mid term present");
+        assert!(
+            g.support(head) > 8 * g.support(mid).max(1),
+            "head {} vs mid {}",
+            g.support(head),
+            g.support(mid)
+        );
     }
 
     #[test]

@@ -7,10 +7,21 @@
 //! `O(log deg)`; this module answers them word-parallel:
 //!
 //! * [`VertexBitset`] — a packed vertex set with intersect / difference /
-//!   popcount kernels that touch `⌈n/64⌉` words instead of `n` elements.
+//!   popcount kernels that touch `⌈n/64⌉` words instead of `n` elements,
+//!   plus a one-summary-word-per-[`SUMMARY_GROUP_WORDS`]-words hierarchy
+//!   that lets kernels skip empty 8-word blocks in `O(1)`.
 //! * [`BitAdjacency`] — a dense bit matrix over a (sub)graph: `O(1)` edge
 //!   tests and popcount-based degree / external-degree counting, built
 //!   once per induced subgraph and reused across the whole search.
+//!
+//! The free kernels at the bottom ([`intersect_popcount`],
+//! [`and_not_count`], [`difference_is_empty`],
+//! [`gather_intersect_popcount`]) are *blocked*: they process words in
+//! [`LANE_WORDS`]-wide chunks with per-lane accumulators so stable Rust
+//! auto-vectorizes them (no `portable_simd`), and they fuse the combining
+//! operation with the reduction — a single pass computes
+//! "intersect **and** count" instead of materializing the intersection
+//! first.
 //!
 //! Both types are deliberately *local-id* structures: they are sized by the
 //! vertex count of one [`CsrGraph`] (usually an
@@ -24,24 +35,166 @@ use crate::csr::{CsrGraph, VertexId};
 /// Bits per storage word.
 pub const WORD_BITS: usize = 64;
 
+/// Words per auto-vectorization block: the blocked kernels process
+/// `LANE_WORDS` words per iteration with independent accumulators, which
+/// is the shape LLVM turns into SIMD on stable Rust.
+pub const LANE_WORDS: usize = 4;
+
+/// Data words summarized per summary word: bit `j` of summary word `i` is
+/// set iff data word `8·i + j` is nonzero, so an all-zero summary word
+/// certifies an empty 8-word block in one load.
+pub const SUMMARY_GROUP_WORDS: usize = 8;
+
 /// Number of `u64` words needed for an `n`-bit set.
 #[inline]
 pub const fn words_for(n: usize) -> usize {
     n.div_ceil(WORD_BITS)
 }
 
+/// Number of summary words covering `words` data words.
+#[inline]
+pub const fn summary_words_for(words: usize) -> usize {
+    words.div_ceil(SUMMARY_GROUP_WORDS)
+}
+
+/// The valid-bit mask of the **last** storage word of an `n`-bit set: bits
+/// at positions `≥ n` must be zero in a canonical [`VertexBitset`] (see
+/// [`VertexBitset::canonical`]). All-ones when `n` is a multiple of 64
+/// (and for `n = 0`, where there is no last word).
+#[inline]
+pub const fn tail_mask(n: usize) -> u64 {
+    let r = n % WORD_BITS;
+    if r == 0 {
+        u64::MAX
+    } else {
+        (1u64 << r) - 1
+    }
+}
+
+/// Fused `|a ∩ b|`: AND + popcount in one blocked pass (no intermediate
+/// set is materialized). Slices are zip-truncated to the shorter length;
+/// same-universe callers pass equal lengths.
+///
+/// Equivalent to `intersect_with` followed by `count`, verified by
+/// property test against that composition.
+#[inline]
+pub fn intersect_popcount(a: &[u64], b: &[u64]) -> usize {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut lanes = [0u64; LANE_WORDS];
+    let mut ca = a.chunks_exact(LANE_WORDS);
+    let mut cb = b.chunks_exact(LANE_WORDS);
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANE_WORDS {
+            lanes[l] += (xs[l] & ys[l]).count_ones() as u64;
+        }
+    }
+    let mut total: u64 = lanes.iter().sum();
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        total += (x & y).count_ones() as u64;
+    }
+    total as usize
+}
+
+/// Fused `|a \ b|`: AND-NOT + popcount in one blocked pass. Words of `a`
+/// beyond `b`'s length belong to the difference and are counted.
+///
+/// Equivalent to `difference_with` followed by `count`.
+#[inline]
+pub fn and_not_count(a: &[u64], b: &[u64]) -> usize {
+    let n = a.len().min(b.len());
+    let mut lanes = [0u64; LANE_WORDS];
+    let mut ca = a[..n].chunks_exact(LANE_WORDS);
+    let mut cb = b[..n].chunks_exact(LANE_WORDS);
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANE_WORDS {
+            lanes[l] += (xs[l] & !ys[l]).count_ones() as u64;
+        }
+    }
+    let mut total: u64 = lanes.iter().sum();
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        total += (x & !y).count_ones() as u64;
+    }
+    for &x in &a[n..] {
+        total += x.count_ones() as u64;
+    }
+    total as usize
+}
+
+/// Fused subset test: whether `a \ b = ∅` (i.e. `a ⊆ b`), processed in
+/// [`LANE_WORDS`]-word blocks with an early exit per block. Words of `a`
+/// beyond `b`'s length must be zero for the difference to be empty.
+///
+/// Equivalent to `and_not_count(a, b) == 0` without always touching every
+/// word.
+#[inline]
+pub fn difference_is_empty(a: &[u64], b: &[u64]) -> bool {
+    let n = a.len().min(b.len());
+    let mut ca = a[..n].chunks_exact(LANE_WORDS);
+    let mut cb = b[..n].chunks_exact(LANE_WORDS);
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
+        let mut block = 0u64;
+        for l in 0..LANE_WORDS {
+            block |= xs[l] & !ys[l];
+        }
+        if block != 0 {
+            return false;
+        }
+    }
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        if x & !y != 0 {
+            return false;
+        }
+    }
+    a[n..].iter().all(|&x| x == 0)
+}
+
+/// Fused sparse `|a ∩ b|` restricted to the word indices in `idx`
+/// (typically the [`VertexBitset::active_words_into`] list of `b`): one
+/// AND + popcount per listed word, skipping everything else.
+///
+/// Correct whenever every nonzero word of `a ∩ b` is listed in `idx` —
+/// guaranteed when `idx` covers all nonzero words of either operand.
+#[inline]
+pub fn gather_intersect_popcount(a: &[u64], b: &[u64], idx: &[u32]) -> usize {
+    let mut total = 0u64;
+    for &wi in idx {
+        let wi = wi as usize;
+        total += (a[wi] & b[wi]).count_ones() as u64;
+    }
+    total as usize
+}
+
 /// Counts `|a ∩ b|` for two packed word slices (zip-truncated to the
-/// shorter slice). This is the workhorse kernel behind every bitset
-/// external-degree computation.
+/// shorter slice). Thin alias of [`intersect_popcount`], kept under the
+/// historical name.
 #[inline]
 pub fn intersect_word_count(a: &[u64], b: &[u64]) -> usize {
-    a.iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| (x & y).count_ones() as usize)
-        .sum()
+    intersect_popcount(a, b)
+}
+
+/// What one [`VertexBitset::active_words_into`] scan touched — the numbers
+/// the engine folds into its modeled-cost counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActiveScan {
+    /// Data words examined (all words of every non-empty 8-word block).
+    pub words_examined: usize,
+    /// 8-word blocks skipped because their summary word was zero.
+    pub blocks_skipped: usize,
 }
 
 /// A packed vertex set over a fixed universe `0..n`.
+///
+/// Alongside the data words the set maintains a **summary hierarchy**: one
+/// summary word per [`SUMMARY_GROUP_WORDS`] data words, where bit `j` of
+/// summary word `i` mirrors "data word `8·i + j` is nonzero". Kernels use
+/// it to skip empty blocks in `O(1)`, which is what makes sparse candidate
+/// sets cheap even over a wide universe.
+///
+/// Every public mutator keeps the set *canonical* — no bits at positions
+/// `≥ n`, summary consistent with the data words — and the kernels
+/// `debug_assert` [`VertexBitset::canonical`] instead of re-deriving
+/// trailing-word masks at each call site.
 ///
 /// ```
 /// use scpm_graph::bitadj::VertexBitset;
@@ -57,6 +210,7 @@ pub fn intersect_word_count(a: &[u64], b: &[u64]) -> usize {
 pub struct VertexBitset {
     n: usize,
     words: Vec<u64>,
+    summary: Vec<u64>,
 }
 
 impl VertexBitset {
@@ -65,6 +219,7 @@ impl VertexBitset {
         VertexBitset {
             n,
             words: vec![0; words_for(n)],
+            summary: vec![0; summary_words_for(words_for(n))],
         }
     }
 
@@ -74,6 +229,7 @@ impl VertexBitset {
         for &v in set {
             bits.insert(v);
         }
+        debug_assert!(bits.canonical());
         bits
     }
 
@@ -83,6 +239,8 @@ impl VertexBitset {
         self.n = n;
         self.words.clear();
         self.words.resize(words_for(n), 0);
+        self.summary.clear();
+        self.summary.resize(summary_words_for(words_for(n)), 0);
     }
 
     /// Size of the universe (`n`, *not* the member count).
@@ -97,22 +255,102 @@ impl VertexBitset {
         &self.words
     }
 
+    /// The summary words: bit `j` of `summary()[i]` mirrors
+    /// "`words()[8·i + j]` is nonzero".
+    #[inline]
+    pub fn summary(&self) -> &[u64] {
+        &self.summary
+    }
+
     /// Number of storage words (`⌈n/64⌉`).
     #[inline]
     pub fn num_words(&self) -> usize {
         self.words.len()
     }
 
+    /// Number of 8-word summary blocks (`⌈num_words/8⌉`).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.summary.len()
+    }
+
+    /// Whether the set is canonical: the word count matches the universe,
+    /// no bit is set at a position `≥ n` (the trailing-word invariant the
+    /// fused kernels rely on), and every summary bit mirrors its data
+    /// word. All public mutators preserve this; kernels `debug_assert` it.
+    pub fn canonical(&self) -> bool {
+        if self.words.len() != words_for(self.n) {
+            return false;
+        }
+        if self.summary.len() != summary_words_for(self.words.len()) {
+            return false;
+        }
+        if let Some(&last) = self.words.last() {
+            if last & !tail_mask(self.n) != 0 {
+                return false;
+            }
+        }
+        self.summary.iter().enumerate().all(|(bi, &s)| {
+            let start = bi * SUMMARY_GROUP_WORDS;
+            let end = (start + SUMMARY_GROUP_WORDS).min(self.words.len());
+            let expect = self.words[start..end]
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (j, &w)| acc | (((w != 0) as u64) << j));
+            s == expect
+        })
+    }
+
     /// Inserts `v` (must be `< n`).
     #[inline]
     pub fn insert(&mut self, v: VertexId) {
-        self.words[v as usize / WORD_BITS] |= 1u64 << (v as usize % WORD_BITS);
+        debug_assert!((v as usize) < self.n, "vertex {v} outside universe");
+        let wi = v as usize / WORD_BITS;
+        self.words[wi] |= 1u64 << (v as usize % WORD_BITS);
+        self.summary[wi / SUMMARY_GROUP_WORDS] |= 1u64 << (wi % SUMMARY_GROUP_WORDS);
+    }
+
+    /// Inserts `v` (must be `< n`), appending `v`'s word index to
+    /// `active` when the word transitions from zero to nonzero — packing
+    /// a set this way yields its nonzero-word list (in first-touch order)
+    /// as a free by-product, with no scan pass afterwards. The engine
+    /// pairs it with [`VertexBitset::clear_active`] for `O(|set|)` pack /
+    /// unpack cycles independent of the universe width.
+    #[inline]
+    pub fn insert_tracked(&mut self, v: VertexId, active: &mut Vec<u32>) {
+        debug_assert!((v as usize) < self.n, "vertex {v} outside universe");
+        let wi = v as usize / WORD_BITS;
+        if self.words[wi] == 0 {
+            active.push(wi as u32);
+        }
+        self.words[wi] |= 1u64 << (v as usize % WORD_BITS);
+        self.summary[wi / SUMMARY_GROUP_WORDS] |= 1u64 << (wi % SUMMARY_GROUP_WORDS);
+    }
+
+    /// Zeroes every word listed in `active` (and its summary bit), then
+    /// drains the list. With `active` covering all nonzero words — as
+    /// produced by [`VertexBitset::insert_tracked`] or
+    /// [`VertexBitset::active_words_into`] — this empties the set in
+    /// `O(|active|)` instead of `O(⌈n/64⌉)`.
+    pub fn clear_active(&mut self, active: &mut Vec<u32>) {
+        for &wi in active.iter() {
+            let wi = wi as usize;
+            self.words[wi] = 0;
+            self.summary[wi / SUMMARY_GROUP_WORDS] &= !(1u64 << (wi % SUMMARY_GROUP_WORDS));
+        }
+        active.clear();
+        debug_assert!(self.is_empty());
     }
 
     /// Removes `v` (must be `< n`).
     #[inline]
     pub fn remove(&mut self, v: VertexId) {
-        self.words[v as usize / WORD_BITS] &= !(1u64 << (v as usize % WORD_BITS));
+        debug_assert!((v as usize) < self.n, "vertex {v} outside universe");
+        let wi = v as usize / WORD_BITS;
+        self.words[wi] &= !(1u64 << (v as usize % WORD_BITS));
+        if self.words[wi] == 0 {
+            self.summary[wi / SUMMARY_GROUP_WORDS] &= !(1u64 << (wi % SUMMARY_GROUP_WORDS));
+        }
     }
 
     /// Membership test, `O(1)`.
@@ -126,22 +364,63 @@ impl VertexBitset {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Whether the set is empty.
+    /// Whether the set is empty (`O(num_blocks)` via the summary).
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.summary.iter().all(|&s| s == 0)
     }
 
-    /// `|self ∩ other|` without materializing the intersection.
+    /// Appends the indices of all nonzero data words to `out` (cleared
+    /// first), skipping empty 8-word blocks via the summary. Returns what
+    /// the scan touched so callers can model its cost.
+    ///
+    /// The resulting list is what [`gather_intersect_popcount`] consumes:
+    /// a kernel restricted to these indices sees every member word of the
+    /// set while touching none of the empty ones.
+    pub fn active_words_into(&self, out: &mut Vec<u32>) -> ActiveScan {
+        debug_assert!(self.canonical());
+        out.clear();
+        let mut scan = ActiveScan::default();
+        for (bi, &s) in self.summary.iter().enumerate() {
+            if s == 0 {
+                scan.blocks_skipped += 1;
+                continue;
+            }
+            let start = bi * SUMMARY_GROUP_WORDS;
+            let end = (start + SUMMARY_GROUP_WORDS).min(self.words.len());
+            scan.words_examined += end - start;
+            for wi in start..end {
+                if self.words[wi] != 0 {
+                    out.push(wi as u32);
+                }
+            }
+        }
+        scan
+    }
+
+    /// `|self ∩ other|` without materializing the intersection (fused
+    /// blocked kernel).
     #[inline]
     pub fn intersect_count(&self, other: &VertexBitset) -> usize {
-        intersect_word_count(&self.words, &other.words)
+        debug_assert!(self.canonical() && other.canonical());
+        intersect_popcount(&self.words, &other.words)
     }
 
     /// `|self ∩ words|` against a raw packed row (e.g. a
-    /// [`BitAdjacency`] row).
+    /// [`BitAdjacency`] row), skipping the set's empty 8-word blocks via
+    /// the summary.
     #[inline]
     pub fn intersect_count_words(&self, words: &[u64]) -> usize {
-        intersect_word_count(&self.words, words)
+        debug_assert!(self.canonical());
+        let mut total = 0usize;
+        for (bi, &s) in self.summary.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let start = bi * SUMMARY_GROUP_WORDS;
+            let end = (start + SUMMARY_GROUP_WORDS).min(self.words.len());
+            total += intersect_popcount(&self.words[start..end], &words[start..end]);
+        }
+        total
     }
 
     /// In-place intersection `self &= other`.
@@ -149,6 +428,7 @@ impl VertexBitset {
         for (w, &o) in self.words.iter_mut().zip(other.words.iter()) {
             *w &= o;
         }
+        self.rebuild_summary();
     }
 
     /// In-place difference `self &= !other`.
@@ -156,22 +436,42 @@ impl VertexBitset {
         for (w, &o) in self.words.iter_mut().zip(other.words.iter()) {
             *w &= !o;
         }
+        self.rebuild_summary();
     }
 
-    /// Whether `self ⊆ other`, in `⌈n/64⌉` word operations.
+    /// Whether `self ⊆ other` (fused blocked [`difference_is_empty`] with
+    /// per-block early exit).
     pub fn is_subset_of(&self, other: &VertexBitset) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(&a, &b)| a & !b == 0)
+        debug_assert!(self.canonical() && other.canonical());
+        difference_is_empty(&self.words, &other.words)
     }
 
-    /// Iterates the members in ascending order.
+    /// Recomputes the summary hierarchy from the data words (used after
+    /// bulk word mutations).
+    fn rebuild_summary(&mut self) {
+        for (bi, s) in self.summary.iter_mut().enumerate() {
+            let start = bi * SUMMARY_GROUP_WORDS;
+            let end = (start + SUMMARY_GROUP_WORDS).min(self.words.len());
+            *s = self.words[start..end]
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (j, &w)| acc | (((w != 0) as u64) << j));
+        }
+    }
+
+    /// Iterates the members in ascending order, using the summary
+    /// hierarchy to jump straight from nonzero word to nonzero word —
+    /// `O(members + blocks)` instead of `O(⌈n/64⌉)`, which is what keeps
+    /// sparse keep-sets cheap to walk in the subgraph projection path.
     pub fn iter(&self) -> SetBits<'_> {
+        debug_assert!(self.canonical());
         SetBits {
             words: &self.words,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            summary: &self.summary,
+            block: 0,
+            block_bits: self.summary.first().copied().unwrap_or(0),
+            word_base: 0,
+            current: 0,
         }
     }
 
@@ -181,10 +481,20 @@ impl VertexBitset {
     }
 }
 
-/// Ascending iterator over the set bits of a [`VertexBitset`].
+/// Ascending iterator over the set bits of a [`VertexBitset`], walking
+/// summary words first so empty 8-word blocks and empty words inside a
+/// block are never touched.
 pub struct SetBits<'a> {
     words: &'a [u64],
-    word_idx: usize,
+    summary: &'a [u64],
+    /// Index of the summary word `block_bits` came from.
+    block: usize,
+    /// Unconsumed bits of the current summary word (each names a nonzero
+    /// data word of the block).
+    block_bits: u64,
+    /// Word index of the data word `current` came from.
+    word_base: usize,
+    /// Unconsumed bits of the current data word.
     current: u64,
 }
 
@@ -193,15 +503,21 @@ impl Iterator for SetBits<'_> {
 
     fn next(&mut self) -> Option<VertexId> {
         while self.current == 0 {
-            self.word_idx += 1;
-            if self.word_idx >= self.words.len() {
-                return None;
+            while self.block_bits == 0 {
+                self.block += 1;
+                if self.block >= self.summary.len() {
+                    return None;
+                }
+                self.block_bits = self.summary[self.block];
             }
-            self.current = self.words[self.word_idx];
+            let j = self.block_bits.trailing_zeros() as usize;
+            self.block_bits &= self.block_bits - 1;
+            self.word_base = self.block * SUMMARY_GROUP_WORDS + j;
+            self.current = self.words[self.word_base];
         }
         let bit = self.current.trailing_zeros() as usize;
         self.current &= self.current - 1;
-        Some((self.word_idx * WORD_BITS + bit) as VertexId)
+        Some((self.word_base * WORD_BITS + bit) as VertexId)
     }
 }
 
@@ -228,6 +544,14 @@ pub struct BitAdjacency {
     n: usize,
     stride: usize,
     bits: Vec<u64>,
+    /// CSR offsets into `row_active`: row `v`'s nonzero word indices live
+    /// at `row_active[row_active_offsets[v]..row_active_offsets[v + 1]]`.
+    row_active_offsets: Vec<u32>,
+    /// Concatenated nonzero-word index lists, one per row. A row of a
+    /// sparse graph touches `≤ min(deg, stride)` words, so kernels
+    /// gathering over the shorter of this list and a set's active list
+    /// pay the sparse side, never the full stride.
+    row_active: Vec<u32>,
 }
 
 impl BitAdjacency {
@@ -243,19 +567,31 @@ impl BitAdjacency {
         adj
     }
 
-    /// Re-packs the matrix for `g`, reusing the word allocation.
+    /// Re-packs the matrix for `g`, reusing the word allocation. Also
+    /// rebuilds the per-row active-word lists (rows are immutable for the
+    /// lifetime of one packing, so the lists are computed exactly once
+    /// per search).
     pub fn rebuild(&mut self, g: &CsrGraph) {
         let n = g.num_vertices();
         self.n = n;
         self.stride = words_for(n);
         self.bits.clear();
         self.bits.resize(n * self.stride, 0);
+        self.row_active_offsets.clear();
+        self.row_active_offsets.push(0);
+        self.row_active.clear();
         for u in 0..n as VertexId {
             let base = u as usize * self.stride;
             let row = &mut self.bits[base..base + self.stride];
             for &v in g.neighbors(u) {
                 row[v as usize / WORD_BITS] |= 1u64 << (v as usize % WORD_BITS);
             }
+            for (wi, &w) in row.iter().enumerate() {
+                if w != 0 {
+                    self.row_active.push(wi as u32);
+                }
+            }
+            self.row_active_offsets.push(self.row_active.len() as u32);
         }
     }
 
@@ -264,6 +600,8 @@ impl BitAdjacency {
         self.n = 0;
         self.stride = 0;
         self.bits.clear();
+        self.row_active_offsets.clear();
+        self.row_active.clear();
     }
 
     /// Number of vertices the matrix covers.
@@ -285,6 +623,18 @@ impl BitAdjacency {
         &self.bits[base..base + self.stride]
     }
 
+    /// The indices of the nonzero words of row `v` (ascending, at most
+    /// `min(deg(v), stride)` entries) — the sparse-side gather list for
+    /// [`gather_intersect_popcount`].
+    #[inline]
+    pub fn row_active(&self, v: VertexId) -> &[u32] {
+        let (s, e) = (
+            self.row_active_offsets[v as usize] as usize,
+            self.row_active_offsets[v as usize + 1] as usize,
+        );
+        &self.row_active[s..e]
+    }
+
     /// `O(1)` edge test.
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
@@ -298,7 +648,8 @@ impl BitAdjacency {
         self.row(v).iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// `|N(v) ∩ set|` — the popcount kernel behind exdeg/indeg updates.
+    /// `|N(v) ∩ set|` — the popcount kernel behind exdeg/indeg updates
+    /// (block-skipping via `set`'s summary).
     #[inline]
     pub fn degree_within(&self, v: VertexId, set: &VertexBitset) -> usize {
         set.intersect_count_words(self.row(v))
@@ -323,6 +674,7 @@ mod tests {
         assert!(!b.contains(64));
         assert_eq!(b.to_vec(), vec![0, 63, 127, 128, 129]);
         assert_eq!(b.num_words(), 3);
+        assert!(b.canonical());
     }
 
     #[test]
@@ -340,6 +692,7 @@ mod tests {
         assert!(!a.is_subset_of(&b));
         assert!(VertexBitset::empty(200).is_subset_of(&b));
         assert!(VertexBitset::empty(200).is_empty());
+        assert!(c.canonical() && d.canonical());
     }
 
     #[test]
@@ -350,6 +703,74 @@ mod tests {
         assert_eq!(b.count(), 0);
         b.insert(64);
         assert_eq!(b.to_vec(), vec![64]);
+        assert!(b.canonical());
+    }
+
+    #[test]
+    fn fused_kernels_match_composed_primitives() {
+        let a = VertexBitset::from_sorted(600, &[0, 5, 64, 300, 511, 599]);
+        let b = VertexBitset::from_sorted(600, &[5, 64, 65, 511]);
+        // intersect_popcount == intersect then count.
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(intersect_popcount(a.words(), b.words()), inter.count());
+        // and_not_count == difference then count.
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        assert_eq!(and_not_count(a.words(), b.words()), diff.count());
+        // difference_is_empty == (and_not_count == 0).
+        assert!(!difference_is_empty(a.words(), b.words()));
+        assert!(difference_is_empty(inter.words(), a.words()));
+        // Gather over b's active words equals the dense intersect count.
+        let mut active = Vec::new();
+        b.active_words_into(&mut active);
+        assert_eq!(
+            gather_intersect_popcount(a.words(), b.words(), &active),
+            inter.count()
+        );
+    }
+
+    #[test]
+    fn fused_kernels_handle_unequal_lengths() {
+        // a longer than b: the tail belongs to the difference.
+        let a = [0b1011u64, 0, u64::MAX];
+        let b = [0b0011u64];
+        assert_eq!(intersect_popcount(&a, &b), 2);
+        assert_eq!(and_not_count(&a, &b), 1 + 64);
+        assert!(!difference_is_empty(&a, &b));
+        let zero_tail = [0b0011u64, 0, 0];
+        assert!(difference_is_empty(&zero_tail, &b));
+        assert!(difference_is_empty(&[], &b));
+    }
+
+    #[test]
+    fn summary_tracks_mutations() {
+        let mut b = VertexBitset::empty(1024); // 16 words, 2 summary blocks
+        assert_eq!(b.num_blocks(), 2);
+        assert!(b.is_empty());
+        b.insert(700); // word 10 → block 1
+        assert_eq!(b.summary()[0], 0);
+        assert_ne!(b.summary()[1], 0);
+        let mut active = Vec::new();
+        let scan = b.active_words_into(&mut active);
+        assert_eq!(active, vec![10]);
+        assert_eq!(scan.blocks_skipped, 1);
+        assert_eq!(scan.words_examined, 8);
+        b.remove(700);
+        assert!(b.is_empty());
+        assert!(b.canonical());
+        let scan = b.active_words_into(&mut active);
+        assert!(active.is_empty());
+        assert_eq!(scan.blocks_skipped, 2);
+    }
+
+    #[test]
+    fn tail_mask_values() {
+        assert_eq!(tail_mask(64), u64::MAX);
+        assert_eq!(tail_mask(0), u64::MAX);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(65), 1);
+        assert_eq!(tail_mask(130), 0b11);
     }
 
     #[test]
@@ -387,6 +808,7 @@ mod tests {
         let b = VertexBitset::empty(0);
         assert_eq!(b.count(), 0);
         assert_eq!(b.iter().count(), 0);
+        assert!(b.canonical());
         let adj = BitAdjacency::from_csr(&CsrGraph::empty(0));
         assert_eq!(adj.num_vertices(), 0);
     }

@@ -6,7 +6,10 @@
 
 use proptest::prelude::*;
 use scpm_graph::attributed::{AttributedGraph, AttributedGraphBuilder};
-use scpm_graph::bitadj::{BitAdjacency, VertexBitset};
+use scpm_graph::bitadj::{
+    and_not_count, difference_is_empty, gather_intersect_popcount, intersect_popcount,
+    BitAdjacency, VertexBitset, SUMMARY_GROUP_WORDS,
+};
 use scpm_graph::builder::GraphBuilder;
 use scpm_graph::csr::{intersect_adaptive_into, intersect_count, intersect_into, CsrGraph};
 use scpm_graph::induced::InducedSubgraph;
@@ -116,6 +119,133 @@ proptest! {
         let is_subset = a.iter().all(|v| b.contains(v));
         prop_assert_eq!(ba.is_subset_of(&bb), is_subset);
         prop_assert!(inter.is_subset_of(&ba));
+    }
+
+    /// Every fused kernel must equal its compose-of-primitives reference
+    /// across random densities: `intersect_popcount` == intersect then
+    /// count, `and_not_count` == difference then count,
+    /// `difference_is_empty` == (difference count == 0), and the gathered
+    /// variant restricted to either operand's active words == the dense
+    /// result.
+    #[test]
+    fn fused_kernels_equal_composed_primitives(
+        a in subset_of(700),
+        b in subset_of(700),
+    ) {
+        let n = 700; // 11 words → several summary groups, ragged tail
+        let ba = VertexBitset::from_sorted(n, &a);
+        let bb = VertexBitset::from_sorted(n, &b);
+
+        let mut inter = ba.clone();
+        inter.intersect_with(&bb);
+        prop_assert_eq!(intersect_popcount(ba.words(), bb.words()), inter.count());
+        prop_assert_eq!(ba.intersect_count(&bb), inter.count());
+
+        let mut diff = ba.clone();
+        diff.difference_with(&bb);
+        prop_assert_eq!(and_not_count(ba.words(), bb.words()), diff.count());
+        prop_assert_eq!(
+            difference_is_empty(ba.words(), bb.words()),
+            and_not_count(ba.words(), bb.words()) == 0
+        );
+        prop_assert_eq!(ba.is_subset_of(&bb), diff.count() == 0);
+
+        // Gather over either operand's active words sees the whole
+        // intersection.
+        let mut active = Vec::new();
+        bb.active_words_into(&mut active);
+        prop_assert_eq!(
+            gather_intersect_popcount(ba.words(), bb.words(), &active),
+            inter.count()
+        );
+        ba.active_words_into(&mut active);
+        prop_assert_eq!(
+            gather_intersect_popcount(ba.words(), bb.words(), &active),
+            inter.count()
+        );
+    }
+
+    /// The summary hierarchy stays consistent with the data words under
+    /// arbitrary interleavings of insert / tracked insert / remove /
+    /// intersect / difference / clear_active, and the active-word list
+    /// built by tracked insertion covers exactly the nonzero words.
+    #[test]
+    fn summary_consistent_under_mutation(
+        inserts in subset_of(700),
+        removes in subset_of(700),
+        other in subset_of(700),
+        pick_op in 0u8..3,
+    ) {
+        let n = 700;
+        let mut bits = VertexBitset::empty(n);
+        let mut tracked = Vec::new();
+        for &v in &inserts {
+            bits.insert_tracked(v, &mut tracked);
+        }
+        prop_assert!(bits.canonical());
+        // Tracked words = exactly the nonzero words.
+        let mut scanned = Vec::new();
+        let scan = bits.active_words_into(&mut scanned);
+        let mut sorted_tracked = tracked.clone();
+        sorted_tracked.sort_unstable();
+        prop_assert_eq!(&sorted_tracked, &scanned);
+        prop_assert_eq!(
+            scan.blocks_skipped,
+            bits.summary().iter().filter(|&&s| s == 0).count()
+        );
+
+        for &v in &removes {
+            bits.remove(v);
+        }
+        prop_assert!(bits.canonical());
+        let ob = VertexBitset::from_sorted(n, &other);
+        match pick_op {
+            0 => bits.intersect_with(&ob),
+            1 => bits.difference_with(&ob),
+            _ => {}
+        }
+        prop_assert!(bits.canonical());
+        // Reference membership survives the op pipeline.
+        let expect: Vec<u32> = (0..n as u32)
+            .filter(|v| {
+                let mut m = inserts.contains(v) && !removes.contains(v);
+                match pick_op {
+                    0 => m = m && other.contains(v),
+                    1 => m = m && !other.contains(v),
+                    _ => {}
+                }
+                m
+            })
+            .collect();
+        prop_assert_eq!(bits.to_vec(), expect);
+        // clear_active over a full scan empties the set.
+        let mut active = Vec::new();
+        bits.active_words_into(&mut active);
+        bits.clear_active(&mut active);
+        prop_assert!(bits.is_empty() && bits.canonical());
+        prop_assert_eq!(bits.count(), 0);
+    }
+
+    /// `BitAdjacency::row_active` lists exactly the nonzero words of each
+    /// row, and a gather restricted to it reproduces the dense
+    /// intersection count (8-word groups: [`SUMMARY_GROUP_WORDS`]).
+    #[test]
+    fn row_active_lists_match_rows(g in random_graph(), raw in subset_of(80)) {
+        let n = g.num_vertices();
+        let set: Vec<u32> = raw.into_iter().filter(|&v| (v as usize) < n).collect();
+        let bits = VertexBitset::from_sorted(n, &set);
+        let adj = BitAdjacency::from_csr(&g);
+        prop_assert!(bits.num_blocks() == bits.num_words().div_ceil(SUMMARY_GROUP_WORDS));
+        for u in 0..n as u32 {
+            let row = adj.row(u);
+            let expect: Vec<u32> = (0..row.len() as u32).filter(|&wi| row[wi as usize] != 0).collect();
+            prop_assert_eq!(adj.row_active(u), &expect[..], "row {}", u);
+            prop_assert_eq!(
+                gather_intersect_popcount(row, bits.words(), adj.row_active(u)),
+                intersect_popcount(row, bits.words()),
+                "gather over row {}", u
+            );
+        }
     }
 
     #[test]

@@ -77,8 +77,9 @@ fn explore(class: Vec<(Vec<AttrId>, Tidset)>, config: &EclatConfig, out: &mut Ve
         let mut next: Vec<(Vec<AttrId>, Tidset)> = Vec::new();
         let mut j = i + 1;
         while j < class.len() {
-            let merged = tids.intersect(&class[j].1);
-            if merged.support() >= config.min_support {
+            // Fused intersect-and-threshold (single pass, early abandon).
+            let merged = tids.intersect_min_support(&class[j].1, config.min_support);
+            if let Some(merged) = merged {
                 let j_tids = &class[j].1;
                 if merged.support() == tids.support() && merged.support() == j_tids.support() {
                     // t(X) = t(Y): absorb Y's last item into X everywhere

@@ -98,8 +98,9 @@ fn extend<F>(
         if current.items.len() < config.max_size {
             let mut next_class: Vec<(AttrId, Tidset)> = Vec::new();
             for (other, other_tids) in class.iter().skip(i + 1) {
-                let merged = tids.intersect(other_tids);
-                if merged.support() >= config.min_support {
+                // Fused intersect-and-threshold: abandons an extension as
+                // soon as the remaining tids cannot reach min_support.
+                if let Some(merged) = tids.intersect_min_support(other_tids, config.min_support) {
                     next_class.push((*other, merged));
                 }
             }

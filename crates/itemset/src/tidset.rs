@@ -54,12 +54,33 @@ impl Tidset {
         self.0.binary_search(&id).is_ok()
     }
 
-    /// Intersection with another tidset.
+    /// Intersection with another tidset, galloping through the larger
+    /// operand when the sizes are skewed (the dominant shape in vertical
+    /// mining, where a rare item's tidset meets very frequent ones); see
+    /// [`intersect_adaptive_into`](scpm_graph::csr::intersect_adaptive_into).
     pub fn intersect(&self, other: &Tidset) -> Tidset {
         let mut out = Vec::with_capacity(self.0.len().min(other.0.len()));
+        scpm_graph::csr::intersect_adaptive_into(&self.0, &other.0, &mut out);
+        Tidset(out)
+    }
+
+    /// Fused intersect-and-threshold: `self ∩ other` if its support
+    /// reaches `min_support`, `None` otherwise — a single pass that
+    /// *abandons early* once the remaining elements cannot reach the
+    /// threshold, replacing the intersect-then-count-then-discard pattern
+    /// of the Eclat/CHARM extension loops.
+    pub fn intersect_min_support(&self, other: &Tidset, min_support: usize) -> Option<Tidset> {
         let (a, b) = (&self.0, &other.0);
+        if a.len().min(b.len()) < min_support {
+            return None;
+        }
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
         let (mut i, mut j) = (0usize, 0usize);
         while i < a.len() && j < b.len() {
+            // Even matching everything left cannot reach the threshold.
+            if out.len() + (a.len() - i).min(b.len() - j) < min_support {
+                return None;
+            }
             match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
@@ -70,7 +91,11 @@ impl Tidset {
                 }
             }
         }
-        Tidset(out)
+        if out.len() >= min_support {
+            Some(Tidset(out))
+        } else {
+            None
+        }
     }
 
     /// Size of the intersection without materializing it.
@@ -124,6 +149,36 @@ mod tests {
         let b = Tidset::from_sorted(vec![2, 3, 4, 9]);
         assert_eq!(a.intersect(&b).as_slice(), &[2, 4]);
         assert_eq!(a.intersect_count(&b), 2);
+    }
+
+    #[test]
+    fn intersect_min_support_matches_composition() {
+        let a = Tidset::from_sorted(vec![1, 2, 4, 8, 16, 32]);
+        let b = Tidset::from_sorted(vec![2, 3, 4, 9, 16, 33]);
+        let merged = a.intersect(&b);
+        for min in 0..=merged.support() {
+            assert_eq!(
+                a.intersect_min_support(&b, min),
+                Some(merged.clone()),
+                "min {min}"
+            );
+        }
+        for min in merged.support() + 1..=8 {
+            assert_eq!(a.intersect_min_support(&b, min), None, "min {min}");
+        }
+        assert_eq!(Tidset::new().intersect_min_support(&a, 1), None);
+        assert_eq!(
+            Tidset::new().intersect_min_support(&a, 0),
+            Some(Tidset::new())
+        );
+    }
+
+    #[test]
+    fn intersect_skewed_gallops_identically() {
+        let small = Tidset::from_sorted(vec![5, 100, 900]);
+        let large = Tidset::from_sorted((0..1000).collect());
+        assert_eq!(small.intersect(&large).as_slice(), &[5, 100, 900]);
+        assert_eq!(large.intersect(&small).as_slice(), &[5, 100, 900]);
     }
 
     #[test]

@@ -42,7 +42,9 @@ use crate::bounds::{candidate_feasible_in, critical_member, extension_interval, 
 use crate::config::{QcConfig, Representation};
 use crate::node::{candidate_feasible, member_feasible, SearchNode};
 use crate::reduce::reduce_vertices;
-use scpm_graph::bitadj::{BitAdjacency, VertexBitset};
+use scpm_graph::bitadj::{
+    difference_is_empty, gather_intersect_popcount, BitAdjacency, VertexBitset,
+};
 use scpm_graph::csr::{CsrGraph, VertexId};
 use scpm_graph::induced::InducedSubgraph;
 
@@ -143,6 +145,15 @@ pub struct SearchStats {
     /// cost figure `exp_perf` tracks when comparing
     /// [`Representation::Slice`] against [`Representation::Bitset`].
     pub kernel_ops: u64,
+    /// Fused single-pass kernel invocations: gathered exdeg popcounts,
+    /// and-not scans, and incremental exdeg updates on the bitset path,
+    /// plus the packed containment filter's subset checks (which run —
+    /// and count — identically under both representations).
+    pub fused_ops: u64,
+    /// 8-word blocks skipped thanks to the `VertexBitset` summary
+    /// hierarchy (currently the containment filter's summary fast-reject)
+    /// — data words the unsummarized kernels of PR 4 would have touched.
+    pub blocks_skipped: u64,
 }
 
 impl SearchStats {
@@ -153,6 +164,8 @@ impl SearchStats {
         SearchStats {
             edge_tests: 0,
             kernel_ops: 0,
+            fused_ops: 0,
+            blocks_skipped: 0,
             ..*self
         }
     }
@@ -235,8 +248,18 @@ pub struct EngineScratch {
     /// Candidate set of the node being processed, packed (bitset path;
     /// plays the role `cand_mark` has on the slice path).
     cand_bits: VertexBitset,
+    /// Nonzero word indices of `cand_bits`, rebuilt by `pack_cands`
+    /// (feeds the gathered popcount kernels).
+    cand_active: Vec<u32>,
     /// Auxiliary packed set (emitted set in `single_extendable`).
     aux_bits: VertexBitset,
+    /// Nonzero word indices of `aux_bits`.
+    aux_active: Vec<u32>,
+    /// Candidates dropped by one reduction round, packed (incremental
+    /// exdeg updates subtract their contribution instead of recomputing).
+    removed_bits: VertexBitset,
+    /// Nonzero word indices of `removed_bits`.
+    removed_active: Vec<u32>,
     /// Per-vertex counters for `single_extendable`, zeroed via `touched`.
     counts: Vec<u32>,
     touched: Vec<VertexId>,
@@ -258,7 +281,11 @@ impl EngineScratch {
         self.covered.resize(n, false);
         self.work.clear();
         self.cand_bits.reset(n);
+        self.cand_active.clear();
         self.aux_bits.reset(n);
+        self.aux_active.clear();
+        self.removed_bits.reset(n);
+        self.removed_active.clear();
         self.counts.clear();
         self.counts.resize(n, 0);
         self.touched.clear();
@@ -359,7 +386,9 @@ impl<'g> Miner<'g> {
         let bits_on = self.repr == Representation::Bitset && n <= BITADJ_MAX_VERTICES;
         if bits_on {
             scratch.adj.rebuild(&sub.graph);
-            stats.kernel_ops += (n * scratch.adj.stride()) as u64;
+            // One pass packs the rows, a second lists each row's nonzero
+            // words (reused by every gathered kernel of the search).
+            stats.kernel_ops += (2 * n * scratch.adj.stride()) as u64;
         } else {
             scratch.adj.clear();
         }
@@ -385,7 +414,7 @@ impl<'g> Miner<'g> {
                 }
             }
             MiningMode::EnumerateMaximal => {
-                let maximal = containment_filter(emitted, n);
+                let maximal = containment_filter(emitted, n, &mut stats);
                 let cliques = self.score(&sub, maximal);
                 MiningOutcome {
                     cliques,
@@ -394,7 +423,7 @@ impl<'g> Miner<'g> {
                 }
             }
             MiningMode::TopK(k) => {
-                let maximal = containment_filter(emitted, n);
+                let maximal = containment_filter(emitted, n, &mut stats);
                 let mut cliques = self.score(&sub, maximal);
                 cliques.sort_by(pattern_order);
                 cliques.truncate(k);
@@ -430,11 +459,19 @@ impl<'g> Miner<'g> {
 /// maximal elements. `n` is the local-id universe of the sets.
 ///
 /// Sets are visited largest-first, so a set can only ever be contained in
-/// an already-kept one; each containment test is a packed-word subset
-/// check (`⌈n/64⌉` ops) against the kept sets' bitsets instead of an
-/// `O(m)` sorted-slice merge. Output order (descending size, then
-/// lexicographic) is unchanged from the slice implementation.
-fn containment_filter(mut sets: Vec<Vec<VertexId>>, n: usize) -> Vec<Vec<VertexId>> {
+/// an already-kept one; each containment test is a fused packed-word
+/// subset check ([`difference_is_empty`], blocked with per-block early
+/// exit) against the kept sets' bitsets instead of an `O(m)` sorted-slice
+/// merge — preceded by the same check over the one-word-per-8-words
+/// *summaries*, which disproves containment in `⌈n/512⌉` ops whenever the
+/// probe occupies a word the kept set leaves empty. Output order
+/// (descending size, then lexicographic) is unchanged from the slice
+/// implementation.
+fn containment_filter(
+    mut sets: Vec<Vec<VertexId>>,
+    n: usize,
+    stats: &mut SearchStats,
+) -> Vec<Vec<VertexId>> {
     sets.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
     sets.dedup();
     let mut kept: Vec<Vec<VertexId>> = Vec::new();
@@ -445,7 +482,18 @@ fn containment_filter(mut sets: Vec<Vec<VertexId>>, n: usize) -> Vec<Vec<VertexI
         for &v in &set {
             probe.insert(v);
         }
-        if kept_bits.iter().any(|bigger| probe.is_subset_of(bigger)) {
+        let contained = kept_bits.iter().any(|bigger| {
+            stats.fused_ops += 1;
+            // Summary fast-reject: a nonzero probe word over an empty
+            // kept word disproves containment without touching the data
+            // words (counted as every 8-word block skipped).
+            if !difference_is_empty(probe.summary(), bigger.summary()) {
+                stats.blocks_skipped += probe.num_blocks() as u64;
+                return false;
+            }
+            probe.is_subset_of(bigger)
+        });
+        if contained {
             continue;
         }
         kept_bits.push(probe.clone());
@@ -575,6 +623,7 @@ impl<'a> Ctx<'a> {
         node: &mut SearchNode,
         x_exdeg: &mut Vec<u32>,
         cands_exdeg: &mut Vec<u32>,
+        cands_ready: &mut bool,
         stats: &mut SearchStats,
     ) -> Reduction {
         loop {
@@ -615,6 +664,10 @@ impl<'a> Ctx<'a> {
                             }
                         }
                     }
+                    if !*cands_ready {
+                        self.compute_cands_exdegs(node, cands_exdeg, stats);
+                        *cands_ready = true;
+                    }
                     let mut keep = Vec::with_capacity(c_len);
                     for (j, (&indeg, &exdeg)) in
                         node.cands_indeg.iter().zip(cands_exdeg.iter()).enumerate()
@@ -643,11 +696,23 @@ impl<'a> Ctx<'a> {
                     if keep.len() == c_len {
                         break;
                     }
-                    node.cands = keep.iter().map(|&j| node.cands[j]).collect();
-                    node.cands_indeg = keep.iter().map(|&j| node.cands_indeg[j]).collect();
-                    *cands_exdeg = vec![0; node.cands.len()];
-                    x_exdeg.iter_mut().for_each(|d| *d = 0);
-                    self.compute_exdegs(node, x_exdeg, cands_exdeg, stats);
+                    if self.bits_on {
+                        self.filter_candidates_incremental(
+                            node,
+                            &keep,
+                            x_exdeg,
+                            cands_exdeg,
+                            stats,
+                        );
+                    } else {
+                        node.cands = keep.iter().map(|&j| node.cands[j]).collect();
+                        node.cands_indeg = keep.iter().map(|&j| node.cands_indeg[j]).collect();
+                        *cands_exdeg = vec![0; node.cands.len()];
+                        x_exdeg.iter_mut().for_each(|d| *d = 0);
+                        self.pack_cands(node, stats);
+                        self.compute_x_exdegs(node, x_exdeg, stats);
+                        self.compute_cands_exdegs(node, cands_exdeg, stats);
+                    }
                 }
             }
 
@@ -661,12 +726,68 @@ impl<'a> Ctx<'a> {
                     stats.forced_critical += 1;
                     *x_exdeg = vec![0; node.x.len()];
                     *cands_exdeg = vec![0; node.cands.len()];
-                    self.compute_exdegs(node, x_exdeg, cands_exdeg, stats);
+                    self.pack_cands(node, stats);
+                    self.compute_x_exdegs(node, x_exdeg, stats);
+                    self.compute_cands_exdegs(node, cands_exdeg, stats);
+                    *cands_ready = true;
                     continue;
                 }
             }
             return Reduction::Alive;
         }
+    }
+
+    /// Applies one candidate-filter round on the bitset path without a
+    /// full exdeg recomputation: packs the dropped candidates, lists their
+    /// nonzero words via the summary hierarchy, and subtracts
+    /// `|N(·) ∩ removed|` from every surviving exdeg with a gathered fused
+    /// kernel. The resulting values are identical to a recomputation
+    /// against the filtered candidate set (exdegs are sums over disjoint
+    /// candidate subsets), so the search tree is unchanged — only the
+    /// modeled kernel cost drops from `O(stride · (|X| + |C|))` to
+    /// `O(active(removed) · (|X| + |C|))`.
+    fn filter_candidates_incremental(
+        &mut self,
+        node: &mut SearchNode,
+        keep: &[usize],
+        x_exdeg: &mut [u32],
+        cands_exdeg: &mut Vec<u32>,
+        stats: &mut SearchStats,
+    ) {
+        // Pack the dropped candidates (tracked insertion; the previous
+        // round's words are unpacked in O(previous active) first) and keep
+        // `cand_bits` in sync for `seed_child` and later rounds.
+        let cleared = self.s.removed_active.len();
+        self.s.removed_bits.clear_active(&mut self.s.removed_active);
+        let mut ki = 0usize;
+        let mut removed = 0usize;
+        for (j, &c) in node.cands.iter().enumerate() {
+            if ki < keep.len() && keep[ki] == j {
+                ki += 1;
+            } else {
+                self.s
+                    .removed_bits
+                    .insert_tracked(c, &mut self.s.removed_active);
+                self.s.cand_bits.remove(c);
+                removed += 1;
+            }
+        }
+        let active: &[u32] = &self.s.removed_active;
+        let removed_words = self.s.removed_bits.words();
+        let mut gathered = 0usize;
+        for (i, &u) in node.x.iter().enumerate() {
+            x_exdeg[i] -= self.gathered_degree(u, removed_words, active, &mut gathered);
+        }
+        node.cands = keep.iter().map(|&j| node.cands[j]).collect();
+        node.cands_indeg = keep.iter().map(|&j| node.cands_indeg[j]).collect();
+        let surviving: Vec<u32> = keep.iter().map(|&j| cands_exdeg[j]).collect();
+        *cands_exdeg = surviving;
+        for (j, &v) in node.cands.iter().enumerate() {
+            cands_exdeg[j] -= self.gathered_degree(v, removed_words, active, &mut gathered);
+        }
+        let vertices = node.x.len() + node.cands.len();
+        stats.kernel_ops += (cleared + 2 * removed + gathered) as u64;
+        stats.fused_ops += vertices as u64;
     }
 
     /// Moves every candidate neighbor of member `member_idx` into `X`,
@@ -773,14 +894,25 @@ impl<'a> Ctx<'a> {
         }
 
         // Degree bookkeeping: exdeg of members and candidates w.r.t. the
-        // candidate set.
+        // candidate set. The candidate side is computed lazily — a node
+        // the member-side bounds kill never pays for it.
         let mut x_exdeg = vec![0u32; node.x.len()];
         let mut cands_exdeg = vec![0u32; node.cands.len()];
-        self.compute_exdegs(&node, &mut x_exdeg, &mut cands_exdeg, stats);
+        self.pack_cands(&node, stats);
+        self.compute_x_exdegs(&node, &mut x_exdeg, stats);
+        let mut cands_ready = false;
 
-        if let Reduction::Dead = self.reduce_node(&mut node, &mut x_exdeg, &mut cands_exdeg, stats)
-        {
+        if let Reduction::Dead = self.reduce_node(
+            &mut node,
+            &mut x_exdeg,
+            &mut cands_exdeg,
+            &mut cands_ready,
+            stats,
+        ) {
             return;
+        }
+        if !cands_ready {
+            self.compute_cands_exdegs(&node, &mut cands_exdeg, stats);
         }
 
         // Lookahead: emit X ∪ cands when it is a quasi-clique.
@@ -923,7 +1055,7 @@ impl<'a> Ctx<'a> {
     /// Builds the root child `({v}, two-hop(v) ∩ later-ranked candidates)`.
     ///
     /// Relies on the candidate set still being packed/stamped from the
-    /// last `compute_exdegs` call (`cand_bits` on the bitset path,
+    /// last `pack_cands` call (`cand_bits` on the bitset path,
     /// `cand_mark` on the slice path); `rank` maps vertex ids to their
     /// position in the root's processing order (`u32::MAX` = not a
     /// candidate).
@@ -998,40 +1130,75 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    /// Recomputes `exdeg = |N(·) ∩ cands|` for every member and candidate.
+    /// Gathered fused popcount `|row(v) ∩ set_words|` over the sparser of
+    /// the row's precomputed active-word list and `active` (the packed
+    /// set's) — the word-level galloping idiom every bitset exdeg kernel
+    /// shares. Adds the touched word count to `gathered`.
+    #[inline]
+    fn gathered_degree(
+        &self,
+        v: VertexId,
+        set_words: &[u64],
+        active: &[u32],
+        gathered: &mut usize,
+    ) -> u32 {
+        let ra = self.s.adj.row_active(v);
+        let list = if ra.len() <= active.len() { ra } else { active };
+        *gathered += list.len();
+        gather_intersect_popcount(self.s.adj.row(v), set_words, list) as u32
+    }
+
+    /// Packs/stamps the candidate set of `node` for the per-vertex exdeg
+    /// kernels ([`Ctx::compute_x_exdegs`] / [`Ctx::compute_cands_exdegs`])
+    /// and leaves it behind for [`Ctx::seed_child`].
     ///
-    /// Bitset path: pack the candidate set once, then one
-    /// `popcount(row ∧ cands)` of `⌈n/64⌉` words per vertex. Slice path:
-    /// stamp-mark the candidates, then scan each vertex's neighbor list.
-    /// Both leave the packed/stamped candidate set behind for
-    /// [`Ctx::seed_child`].
-    fn compute_exdegs(
-        &mut self,
-        node: &SearchNode,
-        x_exdeg: &mut [u32],
-        cands_exdeg: &mut [u32],
-        stats: &mut SearchStats,
-    ) {
+    /// Bitset path: tracked insertion into `cand_bits` — each word is
+    /// recorded in `cand_active` the first time it becomes nonzero, so the
+    /// active-word list is a free by-product and the previous node's words
+    /// are unpacked in `O(previous active)`, not `O(stride)`. Slice path:
+    /// generation-stamp the candidates.
+    fn pack_cands(&mut self, node: &SearchNode, stats: &mut SearchStats) {
         if self.bits_on {
-            let words = self.s.adj.stride();
-            self.s.cand_bits.reset(self.g.num_vertices());
+            let cleared = self.s.cand_active.len();
+            self.s.cand_bits.clear_active(&mut self.s.cand_active);
             for &v in &node.cands {
-                self.s.cand_bits.insert(v);
+                self.s.cand_bits.insert_tracked(v, &mut self.s.cand_active);
             }
-            for (i, &u) in node.x.iter().enumerate() {
-                x_exdeg[i] = self.s.cand_bits.intersect_count_words(self.s.adj.row(u)) as u32;
-            }
-            for (j, &v) in node.cands.iter().enumerate() {
-                cands_exdeg[j] = self.s.cand_bits.intersect_count_words(self.s.adj.row(v)) as u32;
-            }
-            stats.kernel_ops +=
-                (node.cands.len() + words * (1 + node.x.len() + node.cands.len())) as u64;
+            stats.kernel_ops += (cleared + node.cands.len()) as u64;
         } else {
             self.s.cand_mark.begin();
-            let mut ops = node.cands.len();
             for &v in &node.cands {
                 self.s.cand_mark.set(v);
             }
+            stats.kernel_ops += node.cands.len() as u64;
+        }
+    }
+
+    /// `exdeg = |N(·) ∩ cands|` for every member of `X`, against the
+    /// candidate set packed by [`Ctx::pack_cands`].
+    ///
+    /// Bitset path: one gathered fused AND+popcount per member over the
+    /// sparser of the member's row-active list and the candidate set's
+    /// active list — sparse sides cost their nonzero words, never the
+    /// full `⌈n/64⌉` stride. Slice path: neighbor-list scans against the
+    /// candidate stamps.
+    fn compute_x_exdegs(
+        &mut self,
+        node: &SearchNode,
+        x_exdeg: &mut [u32],
+        stats: &mut SearchStats,
+    ) {
+        if self.bits_on {
+            let active: &[u32] = &self.s.cand_active;
+            let cand_words = self.s.cand_bits.words();
+            let mut gathered = 0usize;
+            for (i, &u) in node.x.iter().enumerate() {
+                x_exdeg[i] = self.gathered_degree(u, cand_words, active, &mut gathered);
+            }
+            stats.kernel_ops += gathered as u64;
+            stats.fused_ops += node.x.len() as u64;
+        } else {
+            let mut ops = 0usize;
             for (i, &u) in node.x.iter().enumerate() {
                 let mut d = 0;
                 for &w in self.g.neighbors(u) {
@@ -1040,6 +1207,31 @@ impl<'a> Ctx<'a> {
                 x_exdeg[i] = d;
                 ops += self.g.degree(u);
             }
+            stats.kernel_ops += ops as u64;
+        }
+    }
+
+    /// `exdeg = |N(·) ∩ cands|` for every candidate, against the
+    /// candidate set packed by [`Ctx::pack_cands`]. Computed *lazily*: a
+    /// node killed by the member-side feasibility/interval check (which
+    /// needs only `x_exdeg` and the candidate count) never pays for it.
+    fn compute_cands_exdegs(
+        &mut self,
+        node: &SearchNode,
+        cands_exdeg: &mut [u32],
+        stats: &mut SearchStats,
+    ) {
+        if self.bits_on {
+            let active: &[u32] = &self.s.cand_active;
+            let cand_words = self.s.cand_bits.words();
+            let mut gathered = 0usize;
+            for (j, &v) in node.cands.iter().enumerate() {
+                cands_exdeg[j] = self.gathered_degree(v, cand_words, active, &mut gathered);
+            }
+            stats.kernel_ops += gathered as u64;
+            stats.fused_ops += node.cands.len() as u64;
+        } else {
+            let mut ops = 0usize;
             for (j, &v) in node.cands.iter().enumerate() {
                 let mut d = 0;
                 for &w in self.g.neighbors(v) {
@@ -1119,17 +1311,25 @@ impl<'a> Ctx<'a> {
         let req = self.cfg.required_degree(set.len() + 1);
         self.s.touched.clear();
         if self.bits_on {
-            self.s.aux_bits.reset(self.g.num_vertices());
+            let cleared = self.s.aux_active.len();
+            self.s.aux_bits.clear_active(&mut self.s.aux_active);
             for &u in set {
-                self.s.aux_bits.insert(u);
+                self.s.aux_bits.insert_tracked(u, &mut self.s.aux_active);
             }
-            stats.kernel_ops += (self.s.aux_bits.num_words() + set.len()) as u64;
+            stats.kernel_ops += (cleared + set.len()) as u64;
+            stats.fused_ops += set.len() as u64;
             for &u in set {
                 let row = self.s.adj.row(u);
                 let set_words = self.s.aux_bits.words();
-                stats.kernel_ops += row.len() as u64;
-                for (wi, (&r, &s)) in row.iter().zip(set_words.iter()).enumerate() {
-                    let mut m = r & !s;
+                // Fused and-not scan over the row's *active* words only
+                // (zero row words contribute nothing to `row ∧ ¬set`):
+                // counts outside neighbors without materializing the
+                // difference, paying `min(deg, stride)` not `stride`.
+                let row_active = self.s.adj.row_active(u);
+                stats.kernel_ops += row_active.len() as u64;
+                for &wi in row_active {
+                    let wi = wi as usize;
+                    let mut m = row[wi] & !set_words[wi];
                     while m != 0 {
                         let w = (wi * 64 + m.trailing_zeros() as usize) as VertexId;
                         m &= m - 1;
@@ -1178,11 +1378,19 @@ impl<'a> Ctx<'a> {
         // Members whose degree would fall below the requirement unless the
         // new vertex is their neighbor.
         let deficient: Vec<VertexId> = if self.bits_on {
-            stats.kernel_ops += (set.len() * self.s.aux_bits.num_words()) as u64;
-            set.iter()
+            let active: &[u32] = &self.s.aux_active;
+            let set_words = self.s.aux_bits.words();
+            let mut gathered = 0usize;
+            let deficient: Vec<VertexId> = set
+                .iter()
                 .copied()
-                .filter(|&u| self.s.adj.degree_within(u, &self.s.aux_bits) < req)
-                .collect()
+                .filter(|&u| {
+                    (self.gathered_degree(u, set_words, active, &mut gathered) as usize) < req
+                })
+                .collect();
+            stats.kernel_ops += gathered as u64;
+            stats.fused_ops += set.len() as u64;
+            deficient
         } else {
             set.iter()
                 .copied()
@@ -1457,8 +1665,9 @@ mod tests {
             .collect();
         input.extend(extra);
         let n = g.num_vertices();
+        let mut stats = SearchStats::default();
         assert_eq!(
-            containment_filter(input.clone(), n),
+            containment_filter(input.clone(), n, &mut stats),
             containment_filter_naive(input)
         );
     }
@@ -1473,8 +1682,9 @@ mod tests {
         ];
         for sets in cases {
             let n = 70;
+            let mut stats = SearchStats::default();
             assert_eq!(
-                containment_filter(sets.clone(), n),
+                containment_filter(sets.clone(), n, &mut stats),
                 containment_filter_naive(sets.clone()),
                 "{sets:?}"
             );

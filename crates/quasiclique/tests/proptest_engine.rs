@@ -132,14 +132,34 @@ proptest! {
         let (s, p) = (slice.enumerate_maximal(), packed.enumerate_maximal());
         prop_assert_eq!(&s.cliques, &p.cliques, "maximal, flags {:?}", flags);
         prop_assert_eq!(s.stats.semantic(), p.stats.semantic(), "maximal stats, flags {:?}", flags);
+        // Fused-kernel counters: the engine's hot loops report them only
+        // on the bitset path; the (representation-independent) packed
+        // containment filter contributes equally to both. Hence the
+        // bitset run always reports at least the slice run's counts, and
+        // the fused kernels (incremental exdeg updates included) must not
+        // disturb any semantic counter.
+        prop_assert!(
+            s.stats.fused_ops <= p.stats.fused_ops,
+            "maximal fused_ops slice {} > bitset {}, flags {:?}",
+            s.stats.fused_ops, p.stats.fused_ops, flags
+        );
 
         let (s, p) = (slice.coverage(), packed.coverage());
         prop_assert_eq!(&s.covered, &p.covered, "coverage, flags {:?}", flags);
         prop_assert_eq!(s.stats.semantic(), p.stats.semantic(), "coverage stats, flags {:?}", flags);
+        // Coverage mode never runs the containment filter, so the slice
+        // path must report no fused-kernel work at all there.
+        prop_assert_eq!(s.stats.fused_ops, 0, "slice coverage fused_ops, flags {:?}", flags);
+        prop_assert_eq!(s.stats.blocks_skipped, 0, "slice coverage blocks_skipped, flags {:?}", flags);
 
         let (s, p) = (slice.top_k(k), packed.top_k(k));
         prop_assert_eq!(&s.cliques, &p.cliques, "top-{}, flags {:?}", k, flags);
         prop_assert_eq!(s.stats.semantic(), p.stats.semantic(), "top-k stats, flags {:?}", flags);
+        prop_assert!(
+            s.stats.fused_ops <= p.stats.fused_ops,
+            "top-k fused_ops slice {} > bitset {}, flags {:?}",
+            s.stats.fused_ops, p.stats.fused_ops, flags
+        );
     }
 
     #[test]
