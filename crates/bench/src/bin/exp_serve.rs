@@ -1,0 +1,139 @@
+//! E-SERVE — catalog-service latency smoke: start an in-process
+//! `scpm serve` server on a DBLP-style graph, drive every read endpoint
+//! over the loopback socket, measure per-endpoint request latency, time a
+//! full `POST /mine` generation swap, and verify the served catalog is
+//! byte-identical to a fresh batch run.
+//!
+//! ```text
+//! cargo run --release -p scpm-bench --bin exp_serve [scale] [seed] [requests] [threads]
+//! ```
+//!
+//! Emits one TSV row per endpoint (`endpoint  requests  p50_us  p99_us
+//! mean_us`) plus `remine` and `identity` rows, and exits nonzero if the
+//! byte-identity check fails — CI runs this as the serve end-to-end smoke.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use scpm_bench::{arg_f64, arg_usize, row, timed};
+use scpm_core::{NullModelCache, ParallelConfig, Scpm, ScpmParams};
+use scpm_datasets::dblp_like;
+use scpm_serve::{Client, PatternCatalog, ServeConfig, Server};
+
+fn params() -> ScpmParams {
+    ScpmParams::new(8, 0.5, 6)
+        .with_eps_min(0.1)
+        .with_top_k(3)
+        .with_max_attrs(2)
+}
+
+/// Runs `n` requests against one target and emits its latency row.
+fn measure(client: &Client, target: &str, n: usize) -> Result<(), String> {
+    let mut micros = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        let response = client.get(target).map_err(|e| format!("{target}: {e}"))?;
+        if response.status != 200 {
+            return Err(format!("{target}: status {}", response.status));
+        }
+        micros.push(start.elapsed().as_micros() as u64);
+    }
+    micros.sort_unstable();
+    let mean = micros.iter().sum::<u64>() / n.max(1) as u64;
+    row!(target, n, micros[n / 2], micros[(n * 99) / 100], mean);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let scale = arg_f64(1, 0.01);
+    let seed = arg_usize(2, 42) as u64;
+    let requests = arg_usize(3, 200);
+    let threads = arg_usize(4, 4);
+
+    println!("# exp_serve scale={scale} seed={seed} requests={requests} threads={threads}");
+    println!("endpoint\trequests\tp50_us\tp99_us\tmean_us");
+
+    let graph = dblp_like(scale, seed).graph;
+    let reference_graph = graph.clone();
+
+    let (server, secs) =
+        timed(|| Server::start(graph, ServeConfig::new(params(), threads)).expect("server start"));
+    row!("startup_mine", 1, "-", "-", format!("{:.0}", secs * 1e6));
+    let client = Client::new(server.addr());
+
+    // A mid-catalog attribute pair for the point-query endpoints.
+    let catalog = server.catalog();
+    let attrs_query = catalog
+        .full_json()
+        .get("reports")
+        .and_then(|r| r.as_array().map(|a| a.to_vec()))
+        .and_then(|reports| {
+            reports.iter().rev().find_map(|r| {
+                r.get("attrs")?.as_array().map(|names| {
+                    names
+                        .iter()
+                        .filter_map(|n| n.as_str().map(str::to_string))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+            })
+        })
+        .unwrap_or_else(|| "?".into());
+
+    let endpoints = [
+        "/health".to_string(),
+        "/stats".to_string(),
+        "/top?by=delta&k=10".to_string(),
+        format!("/patterns?attrs={attrs_query}"),
+        "/patterns/covering?v=0".to_string(),
+        "/reports?delta_min=1.0".to_string(),
+        "/catalog".to_string(),
+    ];
+    for target in &endpoints {
+        if let Err(e) = measure(&client, target, requests) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // One full generation swap, timed end to end over the socket.
+    let start = Instant::now();
+    let response = client.post("/mine", "{}").expect("re-mine");
+    let remine_us = start.elapsed().as_micros() as u64;
+    if response.status != 200 {
+        eprintln!("error: POST /mine returned {}", response.status);
+        return ExitCode::FAILURE;
+    }
+    row!("remine_swap", 1, "-", "-", remine_us);
+
+    // Byte-identity: the served catalog equals a fresh batch run.
+    let served = client
+        .get("/catalog")
+        .expect("catalog")
+        .result()
+        .expect("result payload")
+        .render();
+    let p = params();
+    let result = Scpm::with_cache(&reference_graph, p.clone(), Arc::new(NullModelCache::new()))
+        .run_scheduled(&ParallelConfig::new(1));
+    let batch = PatternCatalog::build(&reference_graph, &p, result, 0)
+        .full_json()
+        .render();
+    let identical = served == batch;
+    row!(
+        "identity",
+        1,
+        "-",
+        "-",
+        if identical { "ok" } else { "MISMATCH" }
+    );
+
+    server.stop();
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: served catalog differs from batch mine");
+        ExitCode::FAILURE
+    }
+}

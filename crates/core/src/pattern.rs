@@ -170,6 +170,25 @@ impl ScpmResult {
     pub fn patterns_for(&self, attrs: &[AttrId]) -> Vec<&Pattern> {
         self.patterns.iter().filter(|p| p.attrs == attrs).collect()
     }
+
+    /// Patterns whose quasi-clique contains vertex `v` — the serving
+    /// layer's "which patterns cover user v?" query. Clique vertex lists
+    /// are sorted, so each pattern is a binary search.
+    pub fn patterns_covering(&self, v: VertexId) -> Vec<&Pattern> {
+        self.patterns
+            .iter()
+            .filter(|p| p.clique.vertices.binary_search(&v).is_ok())
+            .collect()
+    }
+
+    /// Reports whose normalized structural correlation reaches
+    /// `delta_min`, in enumeration order.
+    pub fn reports_with_min_delta(&self, delta_min: f64) -> Vec<&AttributeSetReport> {
+        self.reports
+            .iter()
+            .filter(|r| r.delta_lb >= delta_min)
+            .collect()
+    }
 }
 
 /// Convenience for tests and examples: patterns as
@@ -242,6 +261,43 @@ mod tests {
         assert_eq!(a.attribute_sets_examined, 7);
         assert_eq!(a.pruned_support, 1);
         assert_eq!(a.pruned_eps_bound, 2);
+    }
+
+    #[test]
+    fn covering_and_delta_queries() {
+        let clique = |vertices: Vec<VertexId>| QuasiClique {
+            vertices,
+            min_degree_ratio: 1.0,
+            edge_density: 1.0,
+        };
+        let result = ScpmResult {
+            reports: vec![
+                report(vec![0], 10, 0.5, 2.0),
+                report(vec![1], 8, 0.4, 0.5),
+                report(vec![2], 6, 0.9, 3.5),
+            ],
+            patterns: vec![
+                Pattern {
+                    attrs: vec![0],
+                    clique: clique(vec![1, 3, 5]),
+                },
+                Pattern {
+                    attrs: vec![2],
+                    clique: clique(vec![2, 3, 4]),
+                },
+            ],
+            stats: ScpmStats::default(),
+        };
+        assert_eq!(result.patterns_covering(3).len(), 2);
+        assert_eq!(result.patterns_covering(5).len(), 1);
+        assert!(result.patterns_covering(9).is_empty());
+        let deltas: Vec<f64> = result
+            .reports_with_min_delta(2.0)
+            .iter()
+            .map(|r| r.delta_lb)
+            .collect();
+        assert_eq!(deltas, vec![2.0, 3.5]); // enumeration order, inclusive
+        assert_eq!(result.reports_with_min_delta(0.0).len(), 3);
     }
 
     #[test]

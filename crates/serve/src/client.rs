@@ -1,0 +1,153 @@
+//! A minimal blocking HTTP client for the catalog protocol.
+//!
+//! One connection per request, `Connection: close`, read-to-EOF — exactly
+//! enough for the conformance/concurrency suites, `exp_serve`, and ad-hoc
+//! scripting against a running `scpm serve`. Not a general HTTP client.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A parsed response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always JSON from this server).
+    pub body: String,
+}
+
+impl Response {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        Json::parse(&self.body)
+    }
+
+    /// The `result` field of the response envelope.
+    pub fn result(&self) -> Result<Json, String> {
+        self.json()?
+            .get("result")
+            .cloned()
+            .ok_or_else(|| "envelope has no `result` field".into())
+    }
+
+    /// The `generation` field of the response envelope.
+    pub fn generation(&self) -> Result<u64, String> {
+        self.json()?
+            .get("generation")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "envelope has no `generation` field".into())
+    }
+}
+
+/// Client bound to one server address.
+#[derive(Clone, Copy, Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` with a 30 s I/O timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-request socket timeout, builder style.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// `GET` on `target` (path plus optional query string).
+    pub fn get(&self, target: &str) -> Result<Response, String> {
+        let request = format!("GET {target} HTTP/1.1\r\nHost: scpm\r\nConnection: close\r\n\r\n");
+        self.roundtrip(request.as_bytes()).and_then(parse_response)
+    }
+
+    /// `POST` on `target` with a JSON body.
+    pub fn post(&self, target: &str, body: &str) -> Result<Response, String> {
+        let request = format!(
+            "POST {target} HTTP/1.1\r\nHost: scpm\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.roundtrip(request.as_bytes()).and_then(parse_response)
+    }
+
+    /// Writes arbitrary bytes, half-closes the write side, and reads
+    /// whatever comes back until EOF — the fuzzing primitive: the payload
+    /// need not be (and usually is not) a valid request.
+    pub fn raw(&self, payload: &[u8]) -> Result<Vec<u8>, String> {
+        self.roundtrip(payload)
+    }
+
+    fn roundtrip(&self, payload: &[u8]) -> Result<Vec<u8>, String> {
+        let stream =
+            TcpStream::connect_timeout(&self.addr, self.timeout).map_err(|e| e.to_string())?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| e.to_string())?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(|e| e.to_string())?;
+        let mut stream = stream;
+        stream.write_all(payload).map_err(|e| e.to_string())?;
+        // Half-close: the server sees EOF after the payload, so truncated
+        // fuzz inputs terminate instead of waiting out the read timeout.
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut response = Vec::new();
+        stream
+            .read_to_end(&mut response)
+            .map_err(|e| e.to_string())?;
+        Ok(response)
+    }
+}
+
+/// Splits a raw HTTP/1.1 response into status + body.
+fn parse_response(raw: Vec<u8>) -> Result<Response, String> {
+    let text = String::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header/body separator in response: {text:?}"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    // Content-Length is authoritative when present (trailing bytes after
+    // a keep-alive response never occur with Connection: close).
+    let body = match head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n <= body.len() => &body[..n],
+        _ => body,
+    };
+    Ok(Response {
+        status,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response_bytes() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}"
+                .to_vec();
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{}");
+        assert!(parse_response(b"garbage".to_vec()).is_err());
+    }
+}

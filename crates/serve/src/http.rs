@@ -1,0 +1,486 @@
+//! Hand-rolled HTTP/1.1 line protocol over `std::io` streams.
+//!
+//! The vendored-shim model applies to the wire protocol too: no crates.io,
+//! so this module implements the small, strict HTTP/1.1 subset the catalog
+//! service needs — request-line + headers + `Content-Length` bodies in,
+//! fixed-length JSON responses out. Everything hostile is bounded:
+//!
+//! * request lines longer than [`MAX_REQUEST_LINE`] bytes → `431`,
+//! * more than [`MAX_HEADERS`] headers or an over-long header → `431`,
+//! * bodies above [`MAX_BODY`] bytes → `413` (the body is never read),
+//! * non-UTF-8 request lines or headers → `400`,
+//! * `Transfer-Encoding` (chunked uploads) → `501`,
+//! * anything else malformed → `400` with a structured JSON error.
+//!
+//! Parse errors are values ([`HttpError`]), never panics, so a worker
+//! thread survives any byte sequence a client sends (the robustness suite
+//! fuzzes exactly this path).
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line (method + target + version) in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Upper bound on one header line in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum number of headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum request-body size in bytes (1 MiB; `/mine` bodies are tiny).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, percent-decoded (`/top`).
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw body bytes (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub close: bool,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A protocol-level failure, carrying the HTTP status to answer with and a
+/// short machine-readable code for the JSON error envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HttpError {
+    /// HTTP status code (400, 404, 413, …).
+    pub status: u16,
+    /// Stable machine-readable error code (`bad_request`, `not_found`, …).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Builds an error.
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// `400 bad_request` with a detail message.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, "bad_request", message)
+    }
+
+    /// `422 invalid_parameter` with a detail message.
+    pub fn invalid_parameter(message: impl Into<String>) -> Self {
+        Self::new(422, "invalid_parameter", message)
+    }
+}
+
+/// What one `read_request` call produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed (or half-closed) the connection before sending any
+    /// bytes — the clean end of a keep-alive session.
+    Closed,
+    /// The read timed out or the connection broke mid-request; the
+    /// connection should be dropped without a response.
+    Disconnected,
+}
+
+/// Reads one line (terminated by `\n`) with a byte cap. Returns `Ok(None)`
+/// on immediate EOF; an over-long line yields `Err` *after* draining up to
+/// the cap so the error maps to `431` rather than looping forever.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    cap: usize,
+    what: &str,
+) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::bad_request(format!("unexpected EOF in {what}")));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(line));
+                }
+                line.push(byte[0]);
+                if line.len() > cap {
+                    return Err(HttpError::new(
+                        431,
+                        "line_too_long",
+                        format!("{what} exceeds {cap} bytes"),
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::new(408, "timeout", "request read timed out"))
+            }
+            Err(e) => return Err(HttpError::bad_request(format!("read failed: {e}"))),
+        }
+    }
+}
+
+/// Reads and parses one request from `reader`.
+pub fn read_request(reader: &mut impl BufRead) -> Result<ReadOutcome, HttpError> {
+    let Some(line) = read_line_capped(reader, MAX_REQUEST_LINE, "request line")? else {
+        return Ok(ReadOutcome::Closed);
+    };
+    if line.is_empty() {
+        return Err(HttpError::bad_request("empty request line"));
+    }
+    let line = std::str::from_utf8(&line)
+        .map_err(|_| HttpError::bad_request("request line is not valid UTF-8"))?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::bad_request(
+                "request line must be `METHOD TARGET HTTP/1.x`",
+            ))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(HttpError::bad_request("invalid method token"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => {
+            return Err(HttpError::new(
+                505,
+                "http_version_not_supported",
+                format!("unsupported protocol version `{version}`"),
+            ))
+        }
+    };
+
+    // Headers.
+    let mut content_length: usize = 0;
+    let mut connection_close = !http11;
+    let mut header_count = 0;
+    loop {
+        let Some(raw) = read_line_capped(reader, MAX_HEADER_LINE, "header line")? else {
+            return Err(HttpError::bad_request("unexpected EOF in headers"));
+        };
+        if raw.is_empty() {
+            break;
+        }
+        header_count += 1;
+        if header_count > MAX_HEADERS {
+            return Err(HttpError::new(
+                431,
+                "too_many_headers",
+                format!("more than {MAX_HEADERS} headers"),
+            ));
+        }
+        let text = std::str::from_utf8(&raw)
+            .map_err(|_| HttpError::bad_request("header is not valid UTF-8"))?;
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(HttpError::bad_request(format!(
+                "malformed header `{}`",
+                text.chars().take(40).collect::<String>()
+            )));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| HttpError::bad_request(format!("bad Content-Length `{value}`")))?;
+                if n > MAX_BODY {
+                    return Err(HttpError::new(
+                        413,
+                        "payload_too_large",
+                        format!("body of {n} bytes exceeds the {MAX_BODY}-byte limit"),
+                    ));
+                }
+                content_length = n;
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::new(
+                    501,
+                    "not_implemented",
+                    "Transfer-Encoding is not supported; send Content-Length",
+                ));
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    connection_close = true;
+                } else if v.contains("keep-alive") {
+                    connection_close = false;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Body.
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+                HttpError::new(408, "timeout", "request body read timed out")
+            } else {
+                HttpError::bad_request(format!("short body: {e}"))
+            }
+        })?;
+    }
+
+    // Target → path + query.
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)?;
+    let mut query = Vec::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+        close: connection_close,
+    }))
+}
+
+/// Percent-decodes one URL component (`%XX` escapes, `+` as space); the
+/// decoded bytes must be valid UTF-8.
+pub fn percent_decode(s: &str) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| HttpError::bad_request("truncated percent escape"))?;
+                let hex = std::str::from_utf8(hex)
+                    .map_err(|_| HttpError::bad_request("invalid percent escape"))?;
+                let byte = u8::from_str_radix(hex, 16).map_err(|_| {
+                    HttpError::bad_request(format!("invalid percent escape %{hex}"))
+                })?;
+                out.push(byte);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::bad_request("escape decodes to invalid UTF-8"))
+}
+
+/// Reason phrase of the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one fixed-length JSON response.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<ReadOutcome, HttpError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    fn request(raw: &[u8]) -> Request {
+        match parse(raw).unwrap() {
+            ReadOutcome::Request(r) => r,
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = request(b"GET /top?by=delta&k=5&x=a%2Cb+c HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/top");
+        assert_eq!(r.query_param("by"), Some("delta"));
+        assert_eq!(r.query_param("k"), Some("5"));
+        assert_eq!(r.query_param("x"), Some("a,b c"));
+        assert!(!r.close);
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = request(b"POST /mine HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"g\"");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"g\"");
+    }
+
+    #[test]
+    fn bare_lf_lines_accepted() {
+        let r = request(b"GET /health HTTP/1.1\nHost: x\n\n");
+        assert_eq!(r.path, "/health");
+    }
+
+    #[test]
+    fn connection_close_and_http10() {
+        let r = request(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(r.close);
+        let r = request(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(r.close);
+        let r = request(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(!r.close);
+    }
+
+    #[test]
+    fn immediate_eof_is_clean_close() {
+        assert!(matches!(parse(b"").unwrap(), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let mut raw = vec![b'G'; MAX_REQUEST_LINE + 10];
+        raw.extend_from_slice(b" / HTTP/1.1\r\n\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn bad_utf8_is_400() {
+        assert_eq!(
+            parse(b"GET /\xff\xfe HTTP/1.1\r\n\r\n").unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nX-A: \xff\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_400() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"G@T / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+            b"GET / HTTP/1.1",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"GET /%zz HTTP/1.1\r\n\r\n",
+            b"GET /%ff HTTP/1.1\r\n\r\n",
+        ] {
+            assert_eq!(
+                parse(raw).unwrap_err().status,
+                400,
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_413_and_chunked_is_501() {
+        let raw = format!(
+            "POST /mine HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(parse(raw.as_bytes()).unwrap_err().status, 413);
+        let raw = b"POST /mine HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert_eq!(parse(raw).unwrap_err().status, 501);
+    }
+
+    #[test]
+    fn unsupported_version_is_505() {
+        assert_eq!(parse(b"GET / HTTP/2.0\r\n\r\n").unwrap_err().status, 505);
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn response_layout() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "x", true).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: close"));
+    }
+}

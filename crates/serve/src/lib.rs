@@ -1,0 +1,54 @@
+//! **scpm-serve** — the traffic-facing layer of the SCPM suite: a
+//! long-running pattern-catalog service over `std::net`.
+//!
+//! The paper frames SCPM as a tool an analyst *queries* — "which attribute
+//! sets correlate with dense structure around user v?" — but mining is
+//! batch-shaped. This crate closes the gap: [`Server::start`] loads an
+//! attributed graph, mines once with the work-stealing scheduler, and
+//! publishes the result as an immutable [`PatternCatalog`] behind a small
+//! thread pool speaking a hand-rolled HTTP/1.1 JSON protocol (the
+//! vendored-shim model extends to the wire: no crates.io, just
+//! `std::net::TcpListener`).
+//!
+//! * [`catalog`] — the immutable, queryable snapshot of one mining run;
+//! * [`server`] — accept loop, worker pool, routing, atomic catalog swap;
+//! * [`http`] — the bounded HTTP/1.1 subset (strict parsing, structured
+//!   errors, never panics on hostile bytes);
+//! * [`json`] — byte-stable JSON rendering plus a strict parser;
+//! * [`client`] — a minimal blocking client for tests and scripting.
+//!
+//! See `docs/SERVING.md` for the protocol grammar, the endpoint table,
+//! and the catalog-swap semantics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scpm_core::ScpmParams;
+//! use scpm_graph::figure1::figure1;
+//! use scpm_serve::{Client, ServeConfig, Server};
+//!
+//! // Serve the paper's Figure 1 graph with its Table 1 parameters.
+//! let params = ScpmParams::new(3, 0.6, 4).with_eps_min(0.5).with_top_k(5);
+//! let server = Server::start(figure1(), ServeConfig::new(params, 2)).unwrap();
+//!
+//! let client = Client::new(server.addr());
+//! let response = client.get("/top?by=delta&k=3").unwrap();
+//! assert_eq!(response.status, 200);
+//! assert_eq!(response.generation().unwrap(), 0);
+//!
+//! server.stop();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod catalog;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use catalog::{PatternCatalog, TopBy};
+pub use client::{Client, Response};
+pub use http::{HttpError, Request};
+pub use json::Json;
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,592 @@
+//! The long-running catalog server: accept loop, worker pool, routing,
+//! and the atomic catalog swap.
+//!
+//! # Lifecycle
+//!
+//! [`Server::start`] binds a [`TcpListener`], mines the startup catalog
+//! (generation 0) with the work-stealing scheduler, and spawns
+//! [`ServeConfig::threads`] worker threads that all `accept` on the shared
+//! listener. Each worker handles one connection at a time, looping over
+//! keep-alive requests until the peer closes, errors, or asks to close.
+//!
+//! # Catalog swap semantics
+//!
+//! The current catalog lives in a `RwLock<Arc<PatternCatalog>>`. A handler
+//! takes the read lock only long enough to clone the `Arc`, then answers
+//! entirely from that snapshot — readers never block on a re-mine and can
+//! never observe a half-built catalog. `POST /mine` serializes re-mines
+//! through a mutex, mines a complete new catalog (sharing the global
+//! [`NullModelCache`], so `exp(σ)` values survive across generations),
+//! and replaces the `Arc` in one write-lock store. Every response carries
+//! the generation it was answered from.
+//!
+//! # Shutdown
+//!
+//! `POST /shutdown` (the ctrl channel) flips an atomic flag and pokes one
+//! dummy connection per worker so blocked `accept` calls return. Workers
+//! re-check the flag after every accept and every request. SIGTERM keeps
+//! its default process-kill behavior — the catalog is immutable state
+//! rebuilt from the snapshot on restart, so there is nothing to flush.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use scpm_core::{NullModelCache, ParallelConfig, Scpm, ScpmParams, DEFAULT_SPLIT_DEPTH};
+use scpm_graph::attributed::AttributedGraph;
+
+use crate::catalog::{PatternCatalog, TopBy};
+use crate::http::{read_request, write_response, HttpError, ReadOutcome, Request};
+use crate::json::Json;
+
+/// Configuration of one serving process.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 selects an ephemeral port (tests).
+    pub addr: String,
+    /// HTTP worker threads (minimum 1).
+    pub threads: usize,
+    /// Scheduler threads for the startup mine and re-mines (defaults to
+    /// `threads`; output is bit-identical at any value).
+    pub mine_threads: usize,
+    /// Work-stealing split depth of re-mines (`docs/PARALLELISM.md`).
+    pub split_depth: usize,
+    /// Mining parameters of the startup catalog.
+    pub params: ScpmParams,
+    /// Per-connection socket read timeout; bounds how long an idle or
+    /// trickling keep-alive connection can pin a worker.
+    pub read_timeout: Duration,
+}
+
+impl ServeConfig {
+    /// Loopback ephemeral-port configuration with `threads` workers.
+    pub fn new(params: ScpmParams, threads: usize) -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: threads.max(1),
+            mine_threads: threads.max(1),
+            split_depth: DEFAULT_SPLIT_DEPTH,
+            params,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the bind address, builder style.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the socket read timeout, builder style.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the re-mine scheduler thread count, builder style.
+    pub fn with_mine_threads(mut self, mine_threads: usize) -> Self {
+        self.mine_threads = mine_threads.max(1);
+        self
+    }
+}
+
+/// Shared server state.
+struct ServerState {
+    graph: AttributedGraph,
+    /// The listener's bound address (used for the shutdown self-poke).
+    addr: SocketAddr,
+    /// The swap slot: handlers clone the `Arc` under the read lock and
+    /// answer from the snapshot.
+    catalog: RwLock<Arc<PatternCatalog>>,
+    /// `exp(σ)` memo shared by every generation's mine.
+    cache: Arc<NullModelCache>,
+    /// Serializes re-mines (concurrent `POST /mine` requests queue here).
+    mine_lock: Mutex<()>,
+    /// Next generation number to assign.
+    next_generation: AtomicU64,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    remines: AtomicU64,
+    mine_threads: usize,
+    split_depth: usize,
+    http_threads: usize,
+}
+
+impl ServerState {
+    fn mine(&self, params: &ScpmParams, generation: u64) -> PatternCatalog {
+        let config = ParallelConfig::new(self.mine_threads).with_split_depth(self.split_depth);
+        let result = Scpm::with_cache(&self.graph, params.clone(), Arc::clone(&self.cache))
+            .run_scheduled(&config);
+        PatternCatalog::build(&self.graph, params, result, generation)
+    }
+
+    fn current(&self) -> Arc<PatternCatalog> {
+        Arc::clone(&self.catalog.read())
+    }
+}
+
+/// A running server: its bound address plus the worker pool.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, mines the generation-0 catalog, and spawns the worker pool.
+    ///
+    /// Fails (as an `Err`, never a panic) on bind errors or invalid
+    /// parameters.
+    pub fn start(graph: AttributedGraph, config: ServeConfig) -> Result<Server, String> {
+        validate_params(&config.params).map_err(|e| e.message)?;
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("resolving bound address: {e}"))?;
+
+        let cache = Arc::new(NullModelCache::new());
+        // Generation 0: mine before any worker accepts, so the first
+        // response already answers from a complete catalog.
+        let mine_config =
+            ParallelConfig::new(config.mine_threads).with_split_depth(config.split_depth);
+        let result = Scpm::with_cache(&graph, config.params.clone(), Arc::clone(&cache))
+            .run_scheduled(&mine_config);
+        let catalog = PatternCatalog::build(&graph, &config.params, result, 0);
+        let state = Arc::new(ServerState {
+            graph,
+            addr,
+            catalog: RwLock::new(Arc::new(catalog)),
+            cache,
+            mine_lock: Mutex::new(()),
+            next_generation: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            remines: AtomicU64::new(0),
+            mine_threads: config.mine_threads,
+            split_depth: config.split_depth,
+            http_threads: config.threads,
+        });
+
+        let mut workers = Vec::with_capacity(config.threads);
+        for worker_id in 0..config.threads {
+            let listener = listener
+                .try_clone()
+                .map_err(|e| format!("cloning listener: {e}"))?;
+            let state = Arc::clone(&state);
+            let timeout = config.read_timeout;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("scpm-serve-{worker_id}"))
+                    .spawn(move || worker_loop(&listener, &state, timeout))
+                    .map_err(|e| format!("spawning worker: {e}"))?,
+            );
+        }
+        Ok(Server {
+            addr,
+            state,
+            workers,
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current catalog snapshot (for in-process inspection).
+    pub fn catalog(&self) -> Arc<PatternCatalog> {
+        self.state.current()
+    }
+
+    /// Requests shutdown and wakes blocked acceptors; returns immediately.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        // One poke per worker: a connect makes its blocked accept return.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Shuts down and joins every worker.
+    pub fn stop(mut self) {
+        self.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (via `POST /shutdown` or
+    /// [`Server::shutdown`] from another thread) and every worker exits —
+    /// the CLI's serving loop.
+    pub fn join(mut self) {
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One HTTP worker: accept → serve the connection → re-check shutdown.
+fn worker_loop(listener: &TcpListener, state: &Arc<ServerState>, timeout: Duration) {
+    loop {
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // A handler panic must not take down the accept loop: the
+        // connection is abandoned, the panic contained, and the worker
+        // moves on to the next accept.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(state, stream, timeout);
+        }));
+        if outcome.is_err() {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serves one connection: a keep-alive loop of request → response.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream, timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(ReadOutcome::Closed) | Ok(ReadOutcome::Disconnected) => return,
+            Err(err) => {
+                // Framing is unrecoverable after a parse error: answer
+                // (best-effort) and close.
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                let generation = state.current().generation();
+                let body = envelope_error(&err, generation);
+                let _ = write_response(&mut writer, err.status, &body, true);
+                return;
+            }
+            Ok(ReadOutcome::Request(request)) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                let close = request.close;
+                let (status, body) = respond(state, &request);
+                if status >= 400 {
+                    state.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                if write_response(&mut writer, status, &body, close).is_err() {
+                    return;
+                }
+                if close || state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Routes one request into `(status, body)`.
+fn respond(state: &Arc<ServerState>, request: &Request) -> (u16, String) {
+    match route(state, request) {
+        Ok((result, generation)) => (200, envelope_ok(&result, generation)),
+        Err(err) => {
+            let generation = state.current().generation();
+            (err.status, envelope_error(&err, generation))
+        }
+    }
+}
+
+/// The uniform success envelope: `{"result":…,"error":null,"generation":N}`.
+fn envelope_ok(result: &Json, generation: u64) -> String {
+    Json::Obj(vec![
+        ("result".into(), result.clone()),
+        ("error".into(), Json::Null),
+        ("generation".into(), Json::Int(generation)),
+    ])
+    .render()
+}
+
+/// The uniform error envelope:
+/// `{"result":null,"error":{"code":…,"message":…},"generation":N}`.
+fn envelope_error(err: &HttpError, generation: u64) -> String {
+    Json::Obj(vec![
+        ("result".into(), Json::Null),
+        (
+            "error".into(),
+            Json::Obj(vec![
+                ("code".into(), Json::str(err.code)),
+                ("message".into(), Json::str(err.message.clone())),
+            ]),
+        ),
+        ("generation".into(), Json::Int(generation)),
+    ])
+    .render()
+}
+
+/// Parses a required query parameter through `parse`.
+fn query_number<T: std::str::FromStr>(request: &Request, key: &str) -> Result<T, HttpError> {
+    let raw = request
+        .query_param(key)
+        .ok_or_else(|| HttpError::invalid_parameter(format!("missing `{key}` parameter")))?;
+    raw.parse()
+        .map_err(|_| HttpError::invalid_parameter(format!("invalid `{key}` value `{raw}`")))
+}
+
+/// Dispatches one request; `Ok` carries the result payload and the
+/// generation it was answered from.
+fn route(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), HttpError> {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/health") => {
+            let catalog = state.current();
+            Ok((
+                Json::Obj(vec![("status".into(), Json::str("ok"))]),
+                catalog.generation(),
+            ))
+        }
+        ("GET", "/stats") => {
+            let catalog = state.current();
+            let stats = Json::Obj(vec![
+                (
+                    "server".into(),
+                    Json::Obj(vec![
+                        ("threads".into(), Json::Int(state.http_threads as u64)),
+                        (
+                            "requests".into(),
+                            Json::Int(state.requests.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "errors".into(),
+                            Json::Int(state.errors.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "remines".into(),
+                            Json::Int(state.remines.load(Ordering::Relaxed)),
+                        ),
+                    ]),
+                ),
+                ("catalog".into(), catalog.summary_json()),
+                ("mining".into(), catalog.stats_json()),
+                (
+                    "null_model_cache".into(),
+                    Json::Obj(vec![
+                        ("entries".into(), Json::Int(state.cache.len() as u64)),
+                        ("hits".into(), Json::Int(state.cache.hits())),
+                        ("misses".into(), Json::Int(state.cache.misses())),
+                    ]),
+                ),
+            ]);
+            Ok((stats, catalog.generation()))
+        }
+        ("GET", "/catalog") => {
+            let catalog = state.current();
+            Ok((catalog.full_json(), catalog.generation()))
+        }
+        ("GET", "/patterns") => {
+            let attrs = request
+                .query_param("attrs")
+                .ok_or_else(|| HttpError::invalid_parameter("missing `attrs` parameter"))?;
+            let catalog = state.current();
+            Ok((catalog.query_attrs(attrs)?, catalog.generation()))
+        }
+        ("GET", "/patterns/covering") => {
+            let v: u32 = query_number(request, "v")?;
+            let catalog = state.current();
+            Ok((catalog.query_covering(v)?, catalog.generation()))
+        }
+        ("GET", "/reports") => {
+            let delta_min: f64 = query_number(request, "delta_min")?;
+            let catalog = state.current();
+            Ok((catalog.query_delta(delta_min)?, catalog.generation()))
+        }
+        ("GET", "/top") => {
+            let by = TopBy::parse(request.query_param("by").unwrap_or("delta"))?;
+            let k = match request.query_param("k") {
+                None => 10,
+                Some(raw) => raw.parse().map_err(|_| {
+                    HttpError::invalid_parameter(format!("invalid `k` value `{raw}`"))
+                })?,
+            };
+            let catalog = state.current();
+            Ok((catalog.query_top(by, k)?, catalog.generation()))
+        }
+        ("POST", "/mine") => remine(state, request),
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::Release);
+            // Wake sibling acceptors (this worker returns after writing
+            // the response).
+            for _ in 0..state.http_threads {
+                let _ = TcpStream::connect(state.addr);
+            }
+            let catalog = state.current();
+            Ok((
+                Json::Obj(vec![("status".into(), Json::str("shutting down"))]),
+                catalog.generation(),
+            ))
+        }
+        // Known paths with the wrong method get a 405 so conformance
+        // clients can tell "wrong verb" from "no such endpoint".
+        (
+            _,
+            "/health" | "/stats" | "/catalog" | "/patterns" | "/patterns/covering" | "/reports"
+            | "/top",
+        ) => Err(HttpError::new(
+            405,
+            "method_not_allowed",
+            format!("{method} is not supported on {path} (use GET)"),
+        )),
+        (_, "/mine" | "/shutdown") => Err(HttpError::new(
+            405,
+            "method_not_allowed",
+            format!("{method} is not supported on {path} (use POST)"),
+        )),
+        _ => Err(HttpError::new(
+            404,
+            "not_found",
+            format!("unknown endpoint `{path}`"),
+        )),
+    }
+}
+
+/// `POST /mine`: overlay the body's parameters on the current catalog's,
+/// validate, re-mine, and swap.
+fn remine(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), HttpError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| HttpError::bad_request("body is not valid UTF-8"))?;
+    let body = if text.trim().is_empty() {
+        Json::Obj(Vec::new())
+    } else {
+        Json::parse(text).map_err(|e| HttpError::bad_request(format!("invalid JSON body: {e}")))?
+    };
+    if !matches!(body, Json::Obj(_)) {
+        return Err(HttpError::bad_request("body must be a JSON object"));
+    }
+
+    // Serialize re-mines; concurrent POST /mine requests queue here.
+    let _guard = state.mine_lock.lock();
+    let base = state.current();
+    let params = params_from_body(base.params(), &body)?;
+    let generation = state.next_generation.fetch_add(1, Ordering::AcqRel);
+    let catalog = Arc::new(state.mine(&params, generation));
+    let summary = catalog.summary_json();
+    *state.catalog.write() = catalog;
+    state.remines.fetch_add(1, Ordering::Relaxed);
+    Ok((summary, generation))
+}
+
+/// Overlays a `POST /mine` body on `base`, validating every field.
+/// Unknown keys are rejected so typos fail loudly instead of silently
+/// re-mining with unchanged parameters.
+fn params_from_body(base: &ScpmParams, body: &Json) -> Result<ScpmParams, HttpError> {
+    const KNOWN: &[&str] = &[
+        "sigma_min",
+        "gamma",
+        "min_size",
+        "eps_min",
+        "delta_min",
+        "top_k",
+        "min_attrs",
+        "max_attrs",
+    ];
+    for key in body.keys() {
+        if !KNOWN.contains(&key) {
+            return Err(HttpError::invalid_parameter(format!(
+                "unknown parameter `{key}` (want one of {})",
+                KNOWN.join(", ")
+            )));
+        }
+    }
+    let get_usize = |key: &str, default: usize, min: usize| -> Result<usize, HttpError> {
+        match body.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                let n = v.as_u64().ok_or_else(|| {
+                    HttpError::invalid_parameter(format!("`{key}` must be a non-negative integer"))
+                })?;
+                let n = usize::try_from(n).unwrap_or(usize::MAX);
+                if n < min {
+                    return Err(HttpError::invalid_parameter(format!(
+                        "`{key}` must be at least {min}"
+                    )));
+                }
+                Ok(n)
+            }
+        }
+    };
+    let get_f64 = |key: &str, default: f64| -> Result<f64, HttpError> {
+        match body.get(key) {
+            None => Ok(default),
+            Some(v) => v.as_f64().filter(|x| x.is_finite()).ok_or_else(|| {
+                HttpError::invalid_parameter(format!("`{key}` must be a finite number"))
+            }),
+        }
+    };
+
+    let sigma_min = get_usize("sigma_min", base.sigma_min, 1)?;
+    let min_size = get_usize("min_size", base.quasi_clique.min_size, 1)?;
+    let top_k = get_usize("top_k", base.k, 1)?;
+    let min_attrs = get_usize("min_attrs", base.min_attrs, 1)?;
+    let max_attrs = get_usize("max_attrs", base.max_attrs, 1)?;
+    let gamma = get_f64("gamma", base.quasi_clique.gamma)?;
+    if !(gamma > 0.0 && gamma <= 1.0) {
+        return Err(HttpError::invalid_parameter(format!(
+            "`gamma` must be in (0, 1], got {gamma}"
+        )));
+    }
+    let eps_min = get_f64("eps_min", base.eps_min)?;
+    if !(0.0..=1.0).contains(&eps_min) {
+        return Err(HttpError::invalid_parameter(format!(
+            "`eps_min` must be in [0, 1], got {eps_min}"
+        )));
+    }
+    let delta_min = get_f64("delta_min", base.delta_min)?;
+    if delta_min < 0.0 {
+        return Err(HttpError::invalid_parameter(format!(
+            "`delta_min` must be non-negative, got {delta_min}"
+        )));
+    }
+    if max_attrs < min_attrs {
+        return Err(HttpError::invalid_parameter(format!(
+            "`max_attrs` ({max_attrs}) must be at least `min_attrs` ({min_attrs})"
+        )));
+    }
+
+    let mut params = ScpmParams::new(sigma_min, gamma, min_size)
+        .with_eps_min(eps_min)
+        .with_delta_min(delta_min)
+        .with_top_k(top_k)
+        .with_min_attrs(min_attrs)
+        .with_max_attrs(max_attrs);
+    params.search_order = base.search_order;
+    params.repr = base.repr;
+    Ok(params)
+}
+
+/// Rejects parameter sets the engine would panic on (the server must turn
+/// them into errors instead).
+fn validate_params(params: &ScpmParams) -> Result<(), HttpError> {
+    let gamma = params.quasi_clique.gamma;
+    if !(gamma > 0.0 && gamma <= 1.0) {
+        return Err(HttpError::invalid_parameter(format!(
+            "gamma must be in (0, 1], got {gamma}"
+        )));
+    }
+    if params.quasi_clique.min_size == 0 {
+        return Err(HttpError::invalid_parameter("min_size must be at least 1"));
+    }
+    Ok(())
+}

@@ -11,6 +11,9 @@
 //!                [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
 //!                [--min-attrs N] [--max-attrs N] [--threads N] [--split-depth N]
 //!                [--algo scpm|levelwise|scorp|naive] [--repr bitset|slice] [--limit N]
+//!                [--json]
+//! scpm serve     --graph g.txt | --snapshot g.snap [--port N] [--host H]
+//!                [--threads N] [--split-depth N] [+ the mine thresholds]
 //! scpm induce    --graph g.txt --attrs name,name [--dot out.dot]
 //!                [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
 //! scpm generate  --dataset dblp|lastfm|citeseer|smalldblp [--scale F]
@@ -63,6 +66,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "ingest" => ingest(&flags),
         "mine" => mine(&flags),
+        "serve" => serve(&flags),
         "induce" => induce(&flags),
         "generate" => generate(&flags),
         "stats" => stats(&flags),
@@ -90,6 +94,9 @@ const USAGE: &str = "usage:
                  [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
                  [--min-attrs N] [--max-attrs N] [--threads N] [--split-depth N]
                  [--algo scpm|levelwise|scorp|naive] [--repr bitset|slice] [--limit N]
+                 [--json]
+  scpm serve     --graph <file> | --snapshot <file.snap> [--port N] [--host H]
+                 [--threads N] [--split-depth N] [+ the mine thresholds]
   scpm induce    --graph <file> --attrs name,name [--dot <file>]
                  [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
   scpm generate  --dataset dblp|lastfm|citeseer|smalldblp [--scale F] [--seed N]
@@ -108,7 +115,7 @@ struct Flags {
     bools: Vec<String>,
 }
 
-const BOOL_FLAGS: &[&str] = &["naive", "strict-vertices", "raw-attr-order"];
+const BOOL_FLAGS: &[&str] = &["naive", "strict-vertices", "raw-attr-order", "json"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
@@ -265,23 +272,32 @@ fn params_from(flags: &Flags) -> Result<ScpmParams, String> {
         "slice" => Representation::Slice,
         other => return Err(format!("invalid --repr `{other}` (want bitset|slice)")),
     };
-    Ok(ScpmParams::new(
-        flags.num("sigma-min", 10usize)?,
-        flags.num("gamma", 0.5f64)?,
-        flags.num("min-size", 5usize)?,
+    // Validate up front: QcConfig panics on out-of-range values, and a
+    // CLI should fail with exit 1, not a panic.
+    let gamma = flags.num("gamma", 0.5f64)?;
+    if !(gamma > 0.0 && gamma <= 1.0) {
+        return Err(format!("--gamma must be in (0, 1], got {gamma}"));
+    }
+    let min_size = flags.num("min-size", 5usize)?;
+    if min_size == 0 {
+        return Err("--min-size must be at least 1".into());
+    }
+    Ok(
+        ScpmParams::new(flags.num("sigma-min", 10usize)?, gamma, min_size)
+            .with_eps_min(flags.num("eps-min", 0.0f64)?)
+            .with_delta_min(flags.num("delta-min", 0.0f64)?)
+            .with_top_k(flags.num("top-k", 5usize)?)
+            .with_min_attrs(flags.num("min-attrs", 1usize)?)
+            .with_max_attrs(flags.num("max-attrs", 3usize)?)
+            .with_order(order)
+            .with_repr(repr),
     )
-    .with_eps_min(flags.num("eps-min", 0.0f64)?)
-    .with_delta_min(flags.num("delta-min", 0.0f64)?)
-    .with_top_k(flags.num("top-k", 5usize)?)
-    .with_min_attrs(flags.num("min-attrs", 1usize)?)
-    .with_max_attrs(flags.num("max-attrs", 3usize)?)
-    .with_order(order)
-    .with_repr(repr))
 }
 
 fn mine(flags: &Flags) -> Result<(), String> {
     let graph = load(flags)?;
     let params = params_from(flags)?;
+    let catalog_params = params.clone();
     let limit = flags.num("limit", 10usize)?;
     let threads = flags.num("threads", 1usize)?;
     // Work-stealing task granularity; deeper splits expose more stealable
@@ -310,10 +326,50 @@ fn mine(flags: &Flags) -> Result<(), String> {
             ))
         }
     };
+    if flags.flag("json") {
+        // The catalog dump: byte-identical to what `scpm serve` answers
+        // on GET /catalog for the same graph and parameters (the
+        // conformance suite enforces this).
+        let catalog = scpm_serve::PatternCatalog::build(&graph, &catalog_params, result, 0);
+        println!("{}", catalog.full_json().render());
+        return Ok(());
+    }
     println!("{}", render_top_tables(&graph, &result, limit));
     println!("patterns (best {limit}):");
     println!("{}", render_patterns(&graph, &result, limit));
     println!("{}", render_summary(&result));
+    Ok(())
+}
+
+/// `scpm serve`: mine once, publish the catalog over HTTP/1.1, and block
+/// until a `POST /shutdown` arrives (the ctrl channel; SIGTERM keeps its
+/// default process-kill semantics — the catalog is rebuilt from the
+/// snapshot on restart, there is nothing to flush).
+fn serve(flags: &Flags) -> Result<(), String> {
+    let graph = load(flags)?;
+    let params = params_from(flags)?;
+    let host = flags.str("host").unwrap_or("127.0.0.1");
+    let port = flags.num("port", 7474u16)?;
+    let threads = flags.num("threads", 4usize)?;
+    let split_depth = flags.num("split-depth", DEFAULT_SPLIT_DEPTH)?;
+    let mut config =
+        scpm_serve::ServeConfig::new(params, threads).with_addr(format!("{host}:{port}"));
+    config.split_depth = split_depth;
+    let server = scpm_serve::Server::start(graph, config)?;
+    let catalog = server.catalog();
+    // The listening line is machine-read by the smoke tests (port 0 binds
+    // an ephemeral port); keep its shape stable.
+    println!("scpm serve listening on http://{}", server.addr());
+    println!(
+        "catalog generation 0: {} reports, {} patterns ({} workers; POST /shutdown to stop)",
+        catalog.result().reports.len(),
+        catalog.result().patterns.len(),
+        threads.max(1)
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.join();
+    println!("scpm serve: shut down cleanly");
     Ok(())
 }
 

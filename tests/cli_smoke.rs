@@ -135,6 +135,91 @@ fn closed_lists_nonredundant_sets() {
 }
 
 #[test]
+fn serve_starts_answers_and_shuts_down_cleanly() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let path = temp_graph("serve");
+    // Port 0 binds an ephemeral port; the listening line on stdout is the
+    // hand-off telling us which one.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_scpm"))
+        .args([
+            "serve",
+            "--graph",
+            path.to_str().unwrap(),
+            "--port",
+            "0",
+            "--threads",
+            "2",
+            "--sigma-min",
+            "3",
+            "--gamma",
+            "0.6",
+            "--min-size",
+            "4",
+            "--eps-min",
+            "0.5",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn scpm serve");
+
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr: std::net::SocketAddr = line
+        .trim()
+        .strip_prefix("scpm serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .parse()
+        .expect("unparseable listen address");
+
+    let client = scpm_serve::Client::new(addr);
+    let health = client.get("/health").expect("health check failed");
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health.body,
+        r#"{"result":{"status":"ok"},"error":null,"generation":0}"#
+    );
+    // Table 1 catalog over the socket: 5 reports, 7 patterns.
+    let stats = client.get("/stats").expect("stats failed");
+    assert!(stats.body.contains("\"reports\":5"), "{}", stats.body);
+    assert!(stats.body.contains("\"patterns\":7"), "{}", stats.body);
+
+    // Clean shutdown over the ctrl channel, not a kill.
+    let bye = client.post("/shutdown", "").expect("shutdown failed");
+    assert_eq!(bye.status, 200);
+    let status = child.wait().expect("serve process did not exit");
+    assert_eq!(status.code(), Some(0), "serve exited uncleanly");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(
+        rest.contains("scpm serve: shut down cleanly"),
+        "missing clean-shutdown line: {rest:?}"
+    );
+}
+
+#[test]
+fn serve_rejects_invalid_parameters_at_startup() {
+    let path = temp_graph("serve_bad");
+    let out = scpm(&[
+        "serve",
+        "--graph",
+        path.to_str().unwrap(),
+        "--port",
+        "0",
+        "--gamma",
+        "7",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("gamma"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn generate_convert_nullmodel_pipeline() {
     let dir = std::env::temp_dir().join("scpm_cli_smoke_pipe");
     std::fs::create_dir_all(&dir).unwrap();

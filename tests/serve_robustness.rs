@@ -1,0 +1,300 @@
+//! Robustness suite for `scpm serve`: hostile and malformed input must
+//! produce structured JSON errors — never a panic, never a wedged worker.
+//!
+//! Directed cases cover every limit in the HTTP reader (oversized request
+//! line, header flood, giant body, bad UTF-8, unsupported framing) and the
+//! parameter validators behind `POST /mine`. A proptest fuzzer then throws
+//! random byte soup and randomized HTTP-shaped requests at a shared live
+//! server. After *every* hostile exchange the server must still answer
+//! `GET /health` with the byte-exact golden — the "never wedged" check.
+//!
+//! Case count honors `PROPTEST_CASES` (CI pins it; default 256).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use scpm_core::ScpmParams;
+use scpm_graph::figure1::figure1;
+use scpm_serve::{Client, ServeConfig, Server};
+
+const HEALTH_GOLDEN: &str = r#"{"result":{"status":"ok"},"error":null,"generation":0}"#;
+
+fn table1_params() -> ScpmParams {
+    ScpmParams::new(3, 0.6, 4)
+        .with_eps_min(0.5)
+        .with_top_k(5)
+        .with_max_attrs(3)
+}
+
+/// One shared server for the whole suite (started on first use, torn down
+/// with the test process). A short read timeout keeps trickle-style
+/// attacks from slowing the run down.
+fn server() -> &'static Server {
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let config =
+            ServeConfig::new(table1_params(), 2).with_read_timeout(Duration::from_millis(500));
+        Server::start(figure1(), config).expect("server failed to start")
+    })
+}
+
+fn client() -> Client {
+    Client::new(server().addr()).with_timeout(Duration::from_secs(5))
+}
+
+/// The wedge detector: the server must still answer a clean request.
+fn assert_still_healthy(context: &str) {
+    let response = client().get("/health").unwrap_or_else(|e| {
+        panic!("server wedged after {context}: {e}");
+    });
+    assert_eq!(response.status, 200, "after {context}");
+    assert_eq!(response.body, HEALTH_GOLDEN, "after {context}");
+}
+
+/// Sends raw bytes, expects a response with `status` and an error envelope
+/// carrying `code`, and verifies the server survived.
+fn assert_raw_error(payload: &[u8], status: u16, code: &str, context: &str) {
+    let raw = client().raw(payload).expect(context);
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with(&format!("HTTP/1.1 {status} ")),
+        "{context}: expected {status}, got {text:?}"
+    );
+    assert!(
+        text.contains(&format!("\"code\":\"{code}\"")),
+        "{context}: expected code {code}, got {text:?}"
+    );
+    assert_still_healthy(context);
+}
+
+#[test]
+fn oversized_request_line_is_431() {
+    let mut payload = b"GET /".to_vec();
+    payload.extend(std::iter::repeat_n(b'a', 9 * 1024));
+    payload.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    assert_raw_error(&payload, 431, "line_too_long", "oversized request line");
+}
+
+#[test]
+fn header_flood_is_431() {
+    let mut payload = b"GET /health HTTP/1.1\r\n".to_vec();
+    for i in 0..100 {
+        payload.extend_from_slice(format!("X-Flood-{i}: x\r\n").as_bytes());
+    }
+    payload.extend_from_slice(b"\r\n");
+    assert_raw_error(&payload, 431, "too_many_headers", "header flood");
+}
+
+#[test]
+fn declared_giant_body_is_413() {
+    let payload = b"POST /mine HTTP/1.1\r\nContent-Length: 2000000\r\n\r\n";
+    assert_raw_error(payload, 413, "payload_too_large", "2 MB declared body");
+}
+
+#[test]
+fn transfer_encoding_is_501() {
+    let payload = b"POST /mine HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    assert_raw_error(payload, 501, "not_implemented", "chunked transfer");
+}
+
+#[test]
+fn unsupported_http_version_is_505() {
+    let payload = b"GET /health HTTP/2.0\r\n\r\n";
+    assert_raw_error(
+        payload,
+        505,
+        "http_version_not_supported",
+        "HTTP/2.0 request",
+    );
+}
+
+#[test]
+fn bad_utf8_request_line_is_400() {
+    let payload = b"GET /he\xff\xfealth HTTP/1.1\r\n\r\n";
+    assert_raw_error(payload, 400, "bad_request", "non-UTF-8 request line");
+}
+
+#[test]
+fn bad_content_length_is_400() {
+    let payload = b"POST /mine HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+    assert_raw_error(payload, 400, "bad_request", "non-numeric Content-Length");
+}
+
+#[test]
+fn malformed_request_lines_are_400() {
+    for payload in [
+        &b"GARBAGE\r\n\r\n"[..],
+        &b"GET /health\r\n\r\n"[..],
+        &b"GET /health HTTP/1.1 EXTRA\r\n\r\n"[..],
+        &b"G=T /health HTTP/1.1\r\n\r\n"[..],
+        &b"\r\nGET /health HTTP/1.1\r\n\r\n"[..],
+    ] {
+        assert_raw_error(
+            payload,
+            400,
+            "bad_request",
+            &format!("malformed line {payload:?}"),
+        );
+    }
+}
+
+#[test]
+fn truncated_requests_do_not_wedge() {
+    // Half-closed mid-request: the server sees EOF and drops the
+    // connection — any response (or none) is acceptable, a wedge is not.
+    for payload in [
+        &b""[..],
+        &b"GET"[..],
+        &b"GET /health HTTP/1.1\r\n"[..],
+        &b"POST /mine HTTP/1.1\r\nContent-Length: 10\r\n\r\n{"[..],
+    ] {
+        let _ = client().raw(payload);
+        assert_still_healthy(&format!("truncated request {payload:?}"));
+    }
+}
+
+#[test]
+fn slow_loris_times_out_without_wedging() {
+    // Keep the write side open (no half-close) and send nothing more: the
+    // server's read timeout must fire and release the worker.
+    let mut stream = TcpStream::connect(server().addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(b"GET /hea").unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8_lossy(&response);
+    assert!(
+        text.starts_with("HTTP/1.1 408 "),
+        "expected 408 after read timeout, got {text:?}"
+    );
+    assert!(text.contains("\"code\":\"timeout\""), "{text:?}");
+    assert_still_healthy("slow-loris connection");
+}
+
+#[test]
+fn invalid_mine_parameters_are_422_and_never_panic() {
+    let client = client();
+    // Each body hits a different validator; all must return a structured
+    // 422 without disturbing the generation-0 catalog.
+    for (body, fragment) in [
+        (r#"{"gamma":0}"#, "`gamma` must be in (0, 1]"),
+        (r#"{"gamma":1.5}"#, "`gamma` must be in (0, 1]"),
+        (r#"{"gamma":"high"}"#, "`gamma` must be a finite number"),
+        (r#"{"sigma_min":0}"#, "`sigma_min` must be at least 1"),
+        (
+            r#"{"sigma_min":-3}"#,
+            "`sigma_min` must be a non-negative integer",
+        ),
+        (r#"{"min_size":0}"#, "`min_size` must be at least 1"),
+        (r#"{"eps_min":1.5}"#, "`eps_min` must be in [0, 1]"),
+        (r#"{"eps_min":-0.1}"#, "`eps_min` must be in [0, 1]"),
+        (r#"{"delta_min":-1}"#, "`delta_min` must be non-negative"),
+        (r#"{"top_k":0}"#, "`top_k` must be at least 1"),
+        (
+            r#"{"min_attrs":3,"max_attrs":2}"#,
+            "`max_attrs` (2) must be at least `min_attrs` (3)",
+        ),
+        (r#"{"gamm":0.5}"#, "unknown parameter `gamm`"),
+    ] {
+        let response = client.post("/mine", body).expect(body);
+        assert_eq!(response.status, 422, "{body} → {}", response.body);
+        assert!(
+            response.body.contains("\"code\":\"invalid_parameter\""),
+            "{body} → {}",
+            response.body
+        );
+        assert!(
+            response.body.contains(fragment),
+            "{body} → {}",
+            response.body
+        );
+    }
+    // Structurally invalid bodies are 400s.
+    for body in ["[1,2,3]", "not json", "{\"gamma\":0.5", "\u{1f980}"] {
+        let response = client.post("/mine", body).expect(body);
+        assert_eq!(response.status, 400, "{body} → {}", response.body);
+    }
+    // Bad UTF-8 body with a correct Content-Length.
+    let payload = b"POST /mine HTTP/1.1\r\nContent-Length: 4\r\n\r\n\xff\xfe\xfd\xfc";
+    assert_raw_error(payload, 400, "bad_request", "non-UTF-8 mine body");
+    // The catalog was never replaced by any of the rejected bodies.
+    let response = client.get("/catalog").unwrap();
+    assert_eq!(response.generation().unwrap(), 0);
+    assert_still_healthy("invalid mine parameters");
+}
+
+/// Fragments the structured fuzzer splices into HTTP-shaped requests.
+fn request_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("GET".to_string()),
+        Just("POST".to_string()),
+        Just("PATCH".to_string()),
+        Just("G\u{0}T".to_string()),
+        Just("/health".to_string()),
+        Just("/catalog".to_string()),
+        Just("/patterns?attrs=A,%ZZ".to_string()),
+        Just("/top?k=99999999999999999999".to_string()),
+        Just("/%00%ff".to_string()),
+        Just("HTTP/1.1".to_string()),
+        Just("HTTP/9.9".to_string()),
+        Just("Content-Length: -1".to_string()),
+        Just("Content-Length: 18446744073709551616".to_string()),
+        Just("Connection: close".to_string()),
+        Just(": no name".to_string()),
+        Just("\r\n".to_string()),
+        Just(" ".to_string()),
+        Just("".to_string()),
+    ]
+}
+
+proptest! {
+    /// Random byte soup: whatever happens on the wire, the server answers
+    /// the next clean request.
+    #[test]
+    fn random_bytes_never_wedge_the_server(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = client().raw(&bytes);
+        let response = client().get("/health").map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!(
+                "server wedged after {} fuzz bytes: {e}", bytes.len()
+            ))
+        })?;
+        prop_assert_eq!(response.status, 200);
+        prop_assert_eq!(response.body.as_str(), HEALTH_GOLDEN);
+    }
+
+    /// HTTP-shaped fuzz: random splices of plausible request fragments.
+    /// These reach deeper into the parser than raw bytes (valid lines,
+    /// weird combinations) and must be equally harmless.
+    #[test]
+    fn fuzzed_requests_never_wedge_the_server(
+        parts in proptest::collection::vec(request_fragment(), 0..12),
+        trailing_crlf in any::<bool>(),
+    ) {
+        let mut payload = parts.join(" ").into_bytes();
+        if trailing_crlf {
+            payload.extend_from_slice(b"\r\n\r\n");
+        }
+        let raw = client().raw(&payload);
+        // Whatever came back (even nothing) must be a whole HTTP response
+        // or silence — and the server must still be alive.
+        if let Ok(bytes) = raw {
+            if !bytes.is_empty() {
+                prop_assert!(
+                    bytes.starts_with(b"HTTP/1.1 "),
+                    "non-HTTP bytes from server: {:?}",
+                    String::from_utf8_lossy(&bytes)
+                );
+            }
+        }
+        let response = client().get("/health").map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!("server wedged: {e}"))
+        })?;
+        prop_assert_eq!(response.status, 200);
+        prop_assert_eq!(response.body.as_str(), HEALTH_GOLDEN);
+    }
+}
