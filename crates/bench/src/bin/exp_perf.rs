@@ -23,6 +23,16 @@
 //! the regression contract; the file is committed at the repo root as
 //! `BENCH_scpm.json` (see `docs/PERFORMANCE.md`).
 //!
+//! After the matrix, a **streaming** scenario chains four deterministic
+//! graph deltas (attribute churn on the head attribute, in-subgraph
+//! edges, wired-in vertices, a pure no-op append) over the DBLP workload:
+//! each step runs the incremental miner off the chained evaluation memo
+//! side by side with a full re-mine and the binary exits nonzero unless
+//! the two catalogs are byte-identical **and** the incremental run
+//! evaluated strictly fewer lattice nodes live (see
+//! `docs/INCREMENTAL.md`). Dirty-region sizes and the full/incremental
+//! kernel-op ratio land in a `streaming` section of the JSON.
+//!
 //! `--check BASELINE.json` turns the binary into the CI perf-regression
 //! gate: each workload recorded in the baseline is re-run at its recorded
 //! scale and compared — **exactly** on outcomes (`qc_nodes`, `reports`,
@@ -38,13 +48,17 @@
 //! exactly that.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use scpm_bench::baseline::{parse_baseline, WorkloadBaseline};
 use scpm_bench::timed;
-use scpm_core::{Scpm, ScpmParams, ScpmResult};
+use scpm_core::{
+    DirtySet, IncrementalCtx, NullModelCache, ParallelConfig, Scpm, ScpmParams, ScpmResult,
+};
 use scpm_datasets::{
     dblp_like, dense_clique_like, lastfm_like, skewed_attr_like, sparse_star_like, SyntheticDataset,
 };
+use scpm_graph::{AttributedGraph, DeltaOp, GraphDelta};
 use scpm_quasiclique::Representation;
 
 /// One row of the scenario matrix: a seeded generator plus the
@@ -252,7 +266,12 @@ fn json_workload(w: &WorkloadReport) -> String {
     )
 }
 
-fn render(reports: &[WorkloadReport], min_ratio: f64, ok: bool) -> String {
+fn render(
+    reports: &[WorkloadReport],
+    streaming: &StreamingReport,
+    min_ratio: f64,
+    ok: bool,
+) -> String {
     format!(
         concat!(
             "{{\n",
@@ -266,6 +285,7 @@ fn render(reports: &[WorkloadReport], min_ratio: f64, ok: bool) -> String {
             "    \"blocks_skipped\": \"8-word blocks skipped via the VertexBitset summary hierarchy\"\n",
             "  }},\n",
             "  \"workloads\": [\n{}\n  ],\n",
+            "{},\n",
             "  \"summary\": {{\"min_kernel_ops_ratio\": {:.4}, \"all_outcomes_identical\": {}}}\n",
             "}}\n"
         ),
@@ -274,8 +294,199 @@ fn render(reports: &[WorkloadReport], min_ratio: f64, ok: bool) -> String {
             .map(json_workload)
             .collect::<Vec<_>>()
             .join(",\n"),
+        json_streaming(streaming),
         min_ratio,
         ok
+    )
+}
+
+/// One step of the streaming scenario: a delta mined incrementally off
+/// the chained memo, side by side with a full re-mine of the same graph.
+struct StreamingStep {
+    dirty_attrs: usize,
+    edge_caps: usize,
+    /// Lattice nodes the full re-mine evaluates.
+    examined_full: u64,
+    /// Lattice nodes the incremental run evaluated live.
+    reevaluated: u64,
+    /// Lattice nodes the incremental run replayed from the memo.
+    reused: u64,
+    full_kernel_ops: u64,
+    live_kernel_ops: u64,
+    reused_kernel_ops: u64,
+    wall_full: f64,
+    wall_incremental: f64,
+    /// Incremental catalog byte-identical to the full re-mine.
+    identical: bool,
+    /// Incremental evaluated strictly fewer lattice nodes live.
+    strictly_fewer: bool,
+}
+
+struct StreamingReport {
+    scale: f64,
+    seed: u64,
+    steps: Vec<StreamingStep>,
+}
+
+impl StreamingReport {
+    fn ok(&self) -> bool {
+        self.steps.iter().all(|s| s.identical && s.strictly_fewer)
+    }
+}
+
+/// A deterministic four-delta stream derived from the graph itself (no
+/// clock, no RNG): churn on the highest-support attribute, edges inside
+/// its subgraph, new vertices wired into it, and a pure no-op append.
+fn streaming_deltas(g: &AttributedGraph) -> Vec<GraphDelta> {
+    let top = (0..g.num_attributes() as u32)
+        .max_by_key(|&a| g.support(a))
+        .expect("graph has attributes");
+    let name = g.attr_name(top).to_string();
+    let vs: Vec<u32> = g.vertices_with(top).to_vec();
+    let n = g.num_vertices() as u32;
+    assert!(vs.len() >= 4, "head attribute too small for the stream");
+    let lacking: Vec<u32> = (0..n).filter(|v| !vs.contains(v)).take(3).collect();
+    vec![
+        // Novel assignments of the head attribute: V(S) changes for every
+        // S containing it.
+        GraphDelta {
+            ops: lacking
+                .iter()
+                .map(|&v| DeltaOp::AddAttr(v, name.clone()))
+                .collect(),
+        },
+        // Edges inside the head subgraph: G(S) changes where both
+        // endpoints share S (duplicates of existing edges are no-ops).
+        GraphDelta {
+            ops: vec![
+                DeltaOp::AddEdge(vs[0], vs[vs.len() / 2]),
+                DeltaOp::AddEdge(vs[1], vs[vs.len() - 1]),
+            ],
+        },
+        // Two new vertices wired into the head subgraph and labeled.
+        GraphDelta {
+            ops: vec![
+                DeltaOp::AddVertices(2),
+                DeltaOp::AddEdge(n, vs[0]),
+                DeltaOp::AddEdge(n + 1, vs[1]),
+                DeltaOp::AddEdge(n, n + 1),
+                DeltaOp::AddAttr(n, name.clone()),
+                DeltaOp::AddAttr(n + 1, name),
+            ],
+        },
+        // An isolated attribute-free vertex: dirties nothing at all.
+        GraphDelta {
+            ops: vec![DeltaOp::AddVertices(1)],
+        },
+    ]
+}
+
+/// Runs the streaming scenario: records a memo on the base mine, then for
+/// each delta compares the chained incremental update against a full
+/// re-mine — byte-identical outcomes, strictly fewer live evaluations.
+fn run_streaming(scale: f64, timing: bool) -> StreamingReport {
+    let seed = 42;
+    let params = ScpmParams::new(8, 0.5, 8)
+        .with_eps_min(0.1)
+        .with_top_k(3)
+        .with_max_attrs(3);
+    let config = ParallelConfig::new(1);
+    let base = dblp_like(scale, seed).graph;
+    let deltas = streaming_deltas(&base);
+    let mut scpm = Scpm::with_cache(&base, params.clone(), Arc::new(NullModelCache::new()))
+        .with_incremental(IncrementalCtx::recording());
+    let _ = scpm.run_scheduled(&config);
+    let (mut memo, _) = scpm.take_incremental().expect("recording ctx").into_parts();
+    let mut current = base;
+    let mut steps = Vec::new();
+    for delta in &deltas {
+        let applied = delta.apply(&current).expect("well-formed delta");
+        let (full, full_secs) = timed(|| {
+            Scpm::with_cache(
+                &applied.graph,
+                params.clone(),
+                Arc::new(NullModelCache::new()),
+            )
+            .run_scheduled(&config)
+        });
+        let dirty = DirtySet::from_delta(&applied.graph, &applied);
+        let dirty_attrs = dirty.dirty_attr_ids().len();
+        let edge_caps = dirty.num_edge_caps();
+        let mut scpm = Scpm::with_cache(
+            &applied.graph,
+            params.clone(),
+            Arc::new(NullModelCache::new()),
+        )
+        .with_incremental(IncrementalCtx::update(Arc::new(memo), dirty));
+        let (incremental, inc_secs) = timed(|| scpm.run_scheduled(&config));
+        let (new_memo, stats) = scpm.take_incremental().expect("update ctx").into_parts();
+        let examined_full = full.stats.attribute_sets_examined;
+        steps.push(StreamingStep {
+            dirty_attrs,
+            edge_caps,
+            examined_full,
+            reevaluated: stats.reevaluated,
+            reused: stats.reused,
+            full_kernel_ops: full.stats.qc_kernel_ops,
+            live_kernel_ops: stats.live_kernel_ops,
+            reused_kernel_ops: stats.reused_kernel_ops,
+            wall_full: if timing { full_secs } else { 0.0 },
+            wall_incremental: if timing { inc_secs } else { 0.0 },
+            identical: fingerprint(&full) == fingerprint(&incremental),
+            strictly_fewer: stats.reevaluated < examined_full,
+        });
+        memo = new_memo;
+        current = applied.graph;
+    }
+    StreamingReport { scale, seed, steps }
+}
+
+fn json_streaming(r: &StreamingReport) -> String {
+    let steps = r
+        .steps
+        .iter()
+        .map(|s| {
+            format!(
+                concat!(
+                    "      {{\"dirty_attrs\": {}, \"edge_caps\": {}, ",
+                    "\"examined_full\": {}, \"reevaluated\": {}, \"reused\": {}, ",
+                    "\"full_kernel_ops\": {}, \"live_kernel_ops\": {}, ",
+                    "\"reused_kernel_ops\": {}, \"kernel_ops_ratio\": {:.4}, ",
+                    "\"wall_full\": {:.6}, \"wall_incremental\": {:.6}, ",
+                    "\"identical\": {}, \"strictly_fewer\": {}}}"
+                ),
+                s.dirty_attrs,
+                s.edge_caps,
+                s.examined_full,
+                s.reevaluated,
+                s.reused,
+                s.full_kernel_ops,
+                s.live_kernel_ops,
+                s.reused_kernel_ops,
+                ratio(s.full_kernel_ops, s.live_kernel_ops),
+                s.wall_full,
+                s.wall_incremental,
+                s.identical,
+                s.strictly_fewer
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        concat!(
+            "  \"streaming\": {{\n",
+            "    \"workload\": \"dblp\",\n",
+            "    \"scale\": {},\n",
+            "    \"seed\": {},\n",
+            "    \"steps\": [\n{}\n    ],\n",
+            "    \"summary\": {{\"all_identical\": {}, \"all_strictly_fewer\": {}}}\n",
+            "  }}"
+        ),
+        r.scale,
+        r.seed,
+        steps,
+        r.steps.iter().all(|s| s.identical),
+        r.steps.iter().all(|s| s.strictly_fewer)
     )
 }
 
@@ -431,7 +642,30 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut ok = true;
+    // The streaming scenario runs in both modes: its invariants (byte
+    // identity with a full re-mine, strictly fewer live evaluations) are
+    // verified fresh on every run rather than compared to a baseline.
+    let streaming = run_streaming(dblp_scale, timing);
+    for (i, s) in streaming.steps.iter().enumerate() {
+        eprintln!(
+            "# streaming step {}: dirty_attrs={} edge_caps={} | full examined={} kernel_ops={} | incremental live={} reused={} live_kernel_ops={} | identical={} strictly_fewer={}",
+            i,
+            s.dirty_attrs,
+            s.edge_caps,
+            s.examined_full,
+            s.full_kernel_ops,
+            s.reevaluated,
+            s.reused,
+            s.live_kernel_ops,
+            s.identical,
+            s.strictly_fewer
+        );
+    }
+
+    let mut ok = streaming.ok();
+    if !ok {
+        eprintln!("# ERROR: streaming scenario violated an incremental invariant");
+    }
     for w in &reports {
         let b = &w.bitset.result.stats;
         eprintln!(
@@ -456,7 +690,7 @@ fn main() -> ExitCode {
         .iter()
         .map(report_ratio)
         .fold(f64::INFINITY, f64::min);
-    let body = render(&reports, min_ratio, ok);
+    let body = render(&reports, &streaming, min_ratio, ok);
     if let Err(e) = std::fs::write(&out_path, &body) {
         eprintln!("# ERROR: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;

@@ -11,6 +11,11 @@
 //! Emits one TSV row per endpoint (`endpoint  requests  p50_us  p99_us
 //! mean_us`) plus `remine` and `identity` rows, and exits nonzero if the
 //! byte-identity check fails — CI runs this as the serve end-to-end smoke.
+//!
+//! The smoke then POSTs a graph delta to `/update` and verifies the live
+//! incremental path end to end: the generation must bump by one and the
+//! served catalog must be byte-identical to a fresh batch mine of the
+//! updated graph (see `docs/INCREMENTAL.md`).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -19,6 +24,7 @@ use std::time::Instant;
 use scpm_bench::{arg_f64, arg_usize, row, timed};
 use scpm_core::{NullModelCache, ParallelConfig, Scpm, ScpmParams};
 use scpm_datasets::dblp_like;
+use scpm_graph::{DeltaOp, GraphDelta};
 use scpm_serve::{Client, PatternCatalog, ServeConfig, Server};
 
 fn params() -> ScpmParams {
@@ -129,11 +135,69 @@ fn main() -> ExitCode {
         if identical { "ok" } else { "MISMATCH" }
     );
 
+    // Live delta over the socket: POST /update must bump the generation
+    // and leave the served catalog byte-identical to a batch mine of the
+    // updated graph.
+    let gen_before = response.generation().expect("mine generation");
+    let n = reference_graph.num_vertices() as u32;
+    let attr = reference_graph.attr_name(0).to_string();
+    let body =
+        format!("{{\"add_vertices\": 1, \"edges\": [[0, {n}]], \"attrs\": [[{n}, \"{attr}\"]]}}");
+    let start = Instant::now();
+    let update = client.post("/update", &body).expect("update");
+    let update_us = start.elapsed().as_micros() as u64;
+    if update.status != 200 {
+        eprintln!(
+            "error: POST /update returned {}: {}",
+            update.status, update.body
+        );
+        return ExitCode::FAILURE;
+    }
+    row!("update_swap", 1, "-", "-", update_us);
+    let gen_after = update.generation().expect("update generation");
+    if gen_after != gen_before + 1 {
+        eprintln!("error: /update bumped generation {gen_before} -> {gen_after}, expected +1");
+        return ExitCode::FAILURE;
+    }
+
+    let delta = GraphDelta {
+        ops: vec![
+            DeltaOp::AddVertices(1),
+            DeltaOp::AddEdge(0, n),
+            DeltaOp::AddAttr(n, attr),
+        ],
+    };
+    let updated = delta.apply(&reference_graph).expect("apply delta").graph;
+    let result = Scpm::with_cache(&updated, p.clone(), Arc::new(NullModelCache::new()))
+        .run_scheduled(&ParallelConfig::new(1));
+    let batch_updated = PatternCatalog::build(&updated, &p, result, 0)
+        .full_json()
+        .render();
+    let served_updated = client
+        .get("/catalog")
+        .expect("catalog after update")
+        .result()
+        .expect("result payload")
+        .render();
+    let update_identical = served_updated == batch_updated;
+    row!(
+        "update_identity",
+        1,
+        "-",
+        "-",
+        if update_identical { "ok" } else { "MISMATCH" }
+    );
+
     server.stop();
-    if identical {
+    if identical && update_identical {
         ExitCode::SUCCESS
     } else {
-        eprintln!("error: served catalog differs from batch mine");
+        if !identical {
+            eprintln!("error: served catalog differs from batch mine");
+        }
+        if !update_identical {
+            eprintln!("error: updated catalog differs from batch mine of the updated graph");
+        }
         ExitCode::FAILURE
     }
 }

@@ -13,8 +13,10 @@ use std::time::Instant;
 use scpm_graph::attributed::{AttrId, AttributedGraph};
 use scpm_graph::csr::{intersect_into, VertexId};
 use scpm_itemset::Tidset;
+use scpm_quasiclique::{QuasiClique, SearchStats};
 
 use crate::correlation::CorrelationEngine;
+use crate::incremental::{EvalRecord, IncrementalCtx};
 use crate::nullmodel::{AnalyticalModel, NullModelCache};
 use crate::params::ScpmParams;
 use crate::pattern::{AttributeSetReport, Pattern, ScpmResult};
@@ -39,6 +41,13 @@ pub(crate) struct EnumEntry {
     pub tids: Tidset,
     pub cover: Vec<VertexId>,
     pub sub: Option<Arc<scpm_graph::induced::InducedSubgraph>>,
+    /// Incremental runs only: whether this entry was replayed from the
+    /// previous generation's memo, so its cover — and therefore the mining
+    /// set it restricts its children to — is bit-identical to the previous
+    /// run's. A child may only replay its own memo record when *both*
+    /// parents are stable; entries evaluated live are conservatively
+    /// unstable. Non-incremental runs never read the flag.
+    pub stable: bool,
 }
 
 /// The SCPM miner. Construct once per graph/parameter combination and call
@@ -59,6 +68,7 @@ pub struct Scpm<'g> {
     graph: &'g AttributedGraph,
     params: ScpmParams,
     model: AnalyticalModel,
+    incr: Option<IncrementalCtx>,
 }
 
 impl<'g> Scpm<'g> {
@@ -70,6 +80,7 @@ impl<'g> Scpm<'g> {
             graph,
             params,
             model,
+            incr: None,
         }
     }
 
@@ -103,7 +114,24 @@ impl<'g> Scpm<'g> {
             graph,
             params,
             model,
+            incr: None,
         }
+    }
+
+    /// Attaches an incremental context (see [`crate::incremental`]): a
+    /// recording context fills an evaluation memo during an otherwise
+    /// ordinary run; an update context additionally replays memo records
+    /// for attribute sets outside the delta's dirty region. The run's
+    /// reports, patterns and counters are byte-identical either way.
+    pub fn with_incremental(mut self, ctx: IncrementalCtx) -> Self {
+        self.incr = Some(ctx);
+        self
+    }
+
+    /// Detaches the incremental context after a run, yielding the memo
+    /// recorded for the next generation and this run's reuse counters.
+    pub fn take_incremental(&mut self) -> Option<IncrementalCtx> {
+        self.incr.take()
     }
 
     /// The shared `exp(σ)` memo of this run's null model.
@@ -163,7 +191,7 @@ impl<'g> Scpm<'g> {
                 continue;
             }
             let tids = Tidset::from_sorted(self.graph.vertices_with(a).to_vec());
-            if let Some(entry) = self.evaluate(engine, vec![a], tids, None, None, result) {
+            if let Some(entry) = self.evaluate(engine, vec![a], tids, None, None, true, result) {
                 entries.push(entry);
             }
         }
@@ -175,6 +203,14 @@ impl<'g> Scpm<'g> {
     /// records the report, emits top-k patterns when the set qualifies
     /// (reusing the coverage subgraph), and returns an [`EnumEntry`] when
     /// the Theorem 4/5 gates allow extension.
+    ///
+    /// `parents_stable` feeds the incremental replay gate: it must be true
+    /// only when every parent entry's cover is bit-identical to the
+    /// previous generation's (level 1 has no parents and passes `true`).
+    /// Under an update context, a clean set with stable parents and a memo
+    /// record is replayed instead of searched — producing byte-identical
+    /// reports, patterns and counters (see [`crate::incremental`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn evaluate(
         &self,
         engine: &CorrelationEngine<'g>,
@@ -182,10 +218,19 @@ impl<'g> Scpm<'g> {
         tids: Tidset,
         parent_cover: Option<&[VertexId]>,
         parent_sub: Option<&scpm_graph::induced::InducedSubgraph>,
+        parents_stable: bool,
         result: &mut ScpmResult,
     ) -> Option<EnumEntry> {
+        let replayed = self
+            .incr
+            .as_ref()
+            .and_then(|ctx| ctx.replayable(&attrs, parents_stable).cloned());
+        if let Some(record) = replayed {
+            return self.replay(engine, attrs, tids, parent_cover, record, result);
+        }
         let support = tids.support();
         let outcome = engine.epsilon_projected(tids.as_slice(), parent_cover, parent_sub);
+        let sub_built = outcome.sub.is_some();
         result.stats.attribute_sets_examined += 1;
         result.stats.qc_nodes_coverage += outcome.stats.nodes_visited;
         result.stats.qc_edge_tests += outcome.stats.edge_tests;
@@ -195,6 +240,8 @@ impl<'g> Scpm<'g> {
         let epsilon = outcome.epsilon;
         let delta_lb = self.model.normalize(epsilon, support);
         let qualified = epsilon >= self.params.eps_min && delta_lb >= self.params.delta_min;
+        let mut live_ops = outcome.stats.kernel_ops;
+        let mut topk: Option<(Vec<QuasiClique>, SearchStats)> = None;
 
         if attrs.len() >= self.params.min_attrs {
             result.reports.push(AttributeSetReport {
@@ -211,21 +258,38 @@ impl<'g> Scpm<'g> {
                 // coverage search — reuse its subgraph verbatim.
                 if let Some(sub) = outcome.sub.as_deref() {
                     let (cliques, tk_stats) = engine.top_k_on(sub, self.params.k);
+                    live_ops += tk_stats.kernel_ops;
                     result.stats.qc_nodes_topk += tk_stats.nodes_visited;
                     result.stats.qc_edge_tests += tk_stats.edge_tests;
                     result.stats.qc_kernel_ops += tk_stats.kernel_ops;
                     result.stats.qc_fused_ops += tk_stats.fused_ops;
                     result.stats.qc_blocks_skipped += tk_stats.blocks_skipped;
-                    for clique in cliques {
+                    for clique in &cliques {
                         result.patterns.push(Pattern {
                             attrs: attrs.clone(),
-                            clique,
+                            clique: clique.clone(),
                         });
                     }
+                    topk = Some((cliques, tk_stats));
                 }
             }
         } else if qualified {
             result.stats.attribute_sets_qualified += 1;
+        }
+
+        if let Some(ctx) = &self.incr {
+            ctx.count_live(live_ops);
+            ctx.store(
+                &attrs,
+                EvalRecord {
+                    support,
+                    epsilon,
+                    covered: outcome.covered.clone(),
+                    coverage_stats: outcome.stats,
+                    sub_built,
+                    topk,
+                },
+            );
         }
 
         // Extension gates (Theorems 4 and 5): `|K_S|` bounds `ε`/`δ` of any
@@ -261,6 +325,121 @@ impl<'g> Scpm<'g> {
             tids,
             cover: outcome.covered,
             sub,
+            stable: false,
+        })
+    }
+
+    /// The replay twin of [`Scpm::evaluate`]: reproduces the fresh path's
+    /// reports, patterns, counters and gate decisions from a memo record,
+    /// without a coverage search. Sound because the set is clean (its
+    /// `V(S)` and `G(S)` are unchanged, so ε and `K_S` are too) and its
+    /// parents are stable (so the restricted mining set — and with it every
+    /// search counter — is bit-identical). δ_lb and the Theorem-5 floor are
+    /// recomputed against the *new* graph's null model, so qualification
+    /// may flip even for a clean set; a set that turns qualified here runs
+    /// its first top-k search live (the global-extraction search is
+    /// byte-equivalent to the projected one a full mine would run).
+    fn replay(
+        &self,
+        engine: &CorrelationEngine<'g>,
+        attrs: Vec<AttrId>,
+        tids: Tidset,
+        parent_cover: Option<&[VertexId]>,
+        record: EvalRecord,
+        result: &mut ScpmResult,
+    ) -> Option<EnumEntry> {
+        let ctx = self.incr.as_ref().expect("replay without a context");
+        let support = tids.support();
+        debug_assert_eq!(
+            support, record.support,
+            "replayed a set whose support changed — dirty-set bug"
+        );
+        result.stats.attribute_sets_examined += 1;
+        result.stats.qc_nodes_coverage += record.coverage_stats.nodes_visited;
+        result.stats.qc_edge_tests += record.coverage_stats.edge_tests;
+        result.stats.qc_kernel_ops += record.coverage_stats.kernel_ops;
+        result.stats.qc_fused_ops += record.coverage_stats.fused_ops;
+        result.stats.qc_blocks_skipped += record.coverage_stats.blocks_skipped;
+        let epsilon = record.epsilon;
+        let delta_lb = self.model.normalize(epsilon, support);
+        let qualified = epsilon >= self.params.eps_min && delta_lb >= self.params.delta_min;
+        let mut reused_ops = record.coverage_stats.kernel_ops;
+        let mut topk = record.topk.clone();
+
+        if attrs.len() >= self.params.min_attrs {
+            result.reports.push(AttributeSetReport {
+                attrs: attrs.clone(),
+                support,
+                covered: record.covered.len(),
+                epsilon,
+                delta_lb,
+                qualified,
+            });
+            if qualified {
+                result.stats.attribute_sets_qualified += 1;
+                if record.sub_built {
+                    let (cliques, tk_stats) = match topk.take() {
+                        Some((cliques, tk_stats)) => {
+                            reused_ops += tk_stats.kernel_ops;
+                            (cliques, tk_stats)
+                        }
+                        None => engine.top_k(tids.as_slice(), parent_cover, self.params.k),
+                    };
+                    result.stats.qc_nodes_topk += tk_stats.nodes_visited;
+                    result.stats.qc_edge_tests += tk_stats.edge_tests;
+                    result.stats.qc_kernel_ops += tk_stats.kernel_ops;
+                    result.stats.qc_fused_ops += tk_stats.fused_ops;
+                    result.stats.qc_blocks_skipped += tk_stats.blocks_skipped;
+                    for clique in &cliques {
+                        result.patterns.push(Pattern {
+                            attrs: attrs.clone(),
+                            clique: clique.clone(),
+                        });
+                    }
+                    topk = Some((cliques, tk_stats));
+                }
+            }
+        } else if qualified {
+            result.stats.attribute_sets_qualified += 1;
+        }
+
+        ctx.count_reuse(reused_ops);
+        ctx.store(
+            &attrs,
+            EvalRecord {
+                support,
+                epsilon,
+                covered: record.covered.clone(),
+                coverage_stats: record.coverage_stats,
+                sub_built: record.sub_built,
+                topk,
+            },
+        );
+
+        if attrs.len() >= self.params.max_attrs {
+            return None;
+        }
+        let covered_count = record.covered.len() as f64;
+        let sigma_min = self.params.sigma_min as f64;
+        if self.params.prune.eps_pruning && covered_count < self.params.eps_min * sigma_min {
+            result.stats.pruned_eps_bound += 1;
+            return None;
+        }
+        if self.params.prune.delta_pruning {
+            let exp_floor = self.model.expected(self.params.sigma_min);
+            if covered_count < self.params.delta_min * exp_floor * sigma_min {
+                result.stats.pruned_delta_bound += 1;
+                return None;
+            }
+        }
+        // No retained subgraph: children that evaluate live fall back to
+        // global extraction, which is byte-equivalent to projection.
+        Some(EnumEntry {
+            attrs,
+            tids,
+            cover: record.covered,
+            sub: None,
+            stable: true,
         })
     }
 
@@ -359,6 +538,7 @@ impl<'g> Scpm<'g> {
             tids,
             parent_cover,
             base.sub.as_deref(),
+            base.stable && sibling.stable,
             result,
         )
     }

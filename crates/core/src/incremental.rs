@@ -1,0 +1,457 @@
+//! Incremental mining over graph deltas: dirty-set computation and the
+//! per-set evaluation memo the lattice driver replays clean sets from.
+//!
+//! # The dirty region of the attribute lattice
+//!
+//! The structural correlation of an attribute set `S` is a function of
+//! `V(S)` and of the induced subgraph `G(S) = G[V(S)]` only (Definition 2
+//! of the paper; the Theorem 3 restriction to the parents' covered
+//! vertices shrinks the *search*, never the answer). Under an insert-only
+//! [`GraphDelta`](scpm_graph::delta::GraphDelta) a set `S` can therefore
+//! only change if
+//!
+//! 1. some novel `(v, a)` assignment has `a ∈ S` — then `V(S)` itself
+//!    changed — or
+//! 2. some novel edge `{u, v}` has `S ⊆ F(u) ∩ F(v)` — then both
+//!    endpoints lie in `V(S)` and the edge appeared *inside* `G(S)`.
+//!
+//! Newly appended isolated vertices satisfy neither: they carry no
+//! attributes, so no `V(S)` and no `G(S)` contains them. [`DirtySet`]
+//! evaluates exactly this predicate. Everything else — supports, the
+//! Theorem 4/5 gates, `δ` normalization against the (changed) null model —
+//! is recomputed by the structural re-drive, so the classification errs
+//! on no side: a clean set provably evaluates to the same `ε`, the same
+//! covered set and the same search counters as a fresh run.
+//!
+//! # The evaluation memo
+//!
+//! [`EvalMemo`] maps each evaluated attribute set to an [`EvalRecord`]:
+//! its `ε`, covered vertices, coverage-search counters, and (when one was
+//! computed) its top-k quasi-cliques. An incremental run re-drives the
+//! lattice *structurally* — every tidset intersection and support gate is
+//! re-run on the updated graph, which is what keeps report order and
+//! pruning counters byte-identical to a full mine — but a set that is
+//! clean, whose parents' covers are unchanged, and that has a memo record
+//! replays the record instead of searching quasi-cliques again. The search
+//! is the dominant cost, so reuse is where the incremental win comes from;
+//! `tests/incremental_vs_full.rs` proves the byte-identity invariant over
+//! random delta streams.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use scpm_graph::attributed::{AttrId, AttributedGraph};
+use scpm_graph::csr::VertexId;
+use scpm_graph::delta::AppliedDelta;
+use scpm_quasiclique::{QuasiClique, SearchStats};
+
+/// The memoized outcome of one attribute set's evaluation.
+#[derive(Clone, Debug)]
+pub struct EvalRecord {
+    /// `σ(S) = |V(S)|` at the time of evaluation (consistency check).
+    pub support: usize,
+    /// `ε(S)`.
+    pub epsilon: f64,
+    /// The covered set `K_S`, sorted global vertex ids.
+    pub covered: Vec<VertexId>,
+    /// Counters of the coverage search.
+    pub coverage_stats: SearchStats,
+    /// Whether the evaluation built a mining subgraph (false when it
+    /// short-circuited below `min_size`). Replays only run a top-k search
+    /// when the original evaluation would have.
+    pub sub_built: bool,
+    /// The top-k quasi-cliques and their search counters, when a top-k
+    /// search ever ran for this set.
+    pub topk: Option<(Vec<QuasiClique>, SearchStats)>,
+}
+
+/// Evaluation memo of one mining run: attribute set → [`EvalRecord`].
+pub type EvalMemo = HashMap<Vec<AttrId>, EvalRecord>;
+
+/// The dirty region of the attribute lattice induced by an applied delta.
+///
+/// `is_dirty(S)` answers whether `V(S)` or `G(S)` may differ from the
+/// pre-delta graph (see the module docs for why this is exact for
+/// insert-only deltas).
+#[derive(Clone, Debug, Default)]
+pub struct DirtySet {
+    /// Marks every set dirty regardless (recording mode).
+    all_dirty: bool,
+    /// `dirty_attrs[a]`: some novel `(v, a)` assignment exists.
+    dirty_attrs: Vec<bool>,
+    /// For each novel edge `{u, v}` with a non-empty attribute overlap:
+    /// `F(u) ∩ F(v)`, sorted. A set is edge-dirty iff it is a subset of
+    /// one of these caps.
+    edge_caps: Vec<Vec<AttrId>>,
+}
+
+impl DirtySet {
+    /// The everything-is-dirty set (recording mode: no record is replayed).
+    pub fn all() -> DirtySet {
+        DirtySet {
+            all_dirty: true,
+            ..DirtySet::default()
+        }
+    }
+
+    /// Computes the dirty region of `applied` over its updated graph.
+    pub fn from_delta(graph: &AttributedGraph, applied: &AppliedDelta) -> DirtySet {
+        let mut dirty_attrs = vec![false; graph.num_attributes()];
+        for &(_, a) in &applied.novel_attrs {
+            dirty_attrs[a as usize] = true;
+        }
+        let mut edge_caps: Vec<Vec<AttrId>> = Vec::new();
+        for &(u, v) in &applied.novel_edges {
+            let cap = sorted_intersection(graph.attributes_of(u), graph.attributes_of(v));
+            if !cap.is_empty() && !edge_caps.contains(&cap) {
+                edge_caps.push(cap);
+            }
+        }
+        DirtySet {
+            all_dirty: false,
+            dirty_attrs,
+            edge_caps,
+        }
+    }
+
+    /// Whether `V(S)` or `G(S)` may have changed for the sorted attribute
+    /// set `attrs`.
+    pub fn is_dirty(&self, attrs: &[AttrId]) -> bool {
+        if self.all_dirty {
+            return true;
+        }
+        if attrs
+            .iter()
+            .any(|&a| self.dirty_attrs.get(a as usize).copied().unwrap_or(true))
+        {
+            return true;
+        }
+        self.edge_caps.iter().any(|cap| is_subset(attrs, cap))
+    }
+
+    /// The attribute ids with novel assignments (sorted).
+    pub fn dirty_attr_ids(&self) -> Vec<AttrId> {
+        self.dirty_attrs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(a, _)| a as AttrId)
+            .collect()
+    }
+
+    /// Number of novel-edge attribute caps (distinct `F(u) ∩ F(v)` sets).
+    pub fn num_edge_caps(&self) -> usize {
+        self.edge_caps.len()
+    }
+
+    /// Whether no lattice node can be dirty (e.g. the delta only appended
+    /// isolated vertices or duplicated existing edges/assignments).
+    pub fn is_empty(&self) -> bool {
+        !self.all_dirty && self.edge_caps.is_empty() && !self.dirty_attrs.iter().any(|&d| d)
+    }
+}
+
+/// Sorted-slice intersection (both inputs ascending).
+fn sorted_intersection(a: &[AttrId], b: &[AttrId]) -> Vec<AttrId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether sorted `needle` is a subset of sorted `haystack`.
+fn is_subset(needle: &[AttrId], haystack: &[AttrId]) -> bool {
+    let mut j = 0;
+    for &x in needle {
+        loop {
+            match haystack.get(j) {
+                None => return false,
+                Some(&h) if h < x => j += 1,
+                Some(&h) if h == x => {
+                    j += 1;
+                    break;
+                }
+                Some(_) => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Counters of one incremental run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Attribute sets replayed from the memo.
+    pub reused: u64,
+    /// Attribute sets evaluated live (fresh coverage search).
+    pub reevaluated: u64,
+    /// Modeled kernel operations performed by live evaluations.
+    pub live_kernel_ops: u64,
+    /// Modeled kernel operations replayed from memo records (work a full
+    /// re-mine would have performed again).
+    pub reused_kernel_ops: u64,
+}
+
+/// The incremental context a [`Scpm`](crate::Scpm) run carries: the memo
+/// of the previous generation, the dirty region of the delta, and the memo
+/// being recorded for the *next* generation.
+///
+/// Two modes share the type:
+///
+/// * **recording** ([`IncrementalCtx::recording`]) — every set is treated
+///   as dirty, so the run evaluates everything live and only *fills* the
+///   memo. This is how a baseline generation is established.
+/// * **update** ([`IncrementalCtx::update`]) — clean sets with stable
+///   parents replay their records; everything else evaluates live. The
+///   new memo is complete either way, so updates chain.
+///
+/// The context is interior-mutable (`Mutex`/atomics) because the
+/// work-stealing scheduler evaluates sets from many workers against one
+/// shared `Scpm`.
+#[derive(Debug)]
+pub struct IncrementalCtx {
+    /// Previous generation's memo (empty in recording mode).
+    memo: Arc<EvalMemo>,
+    /// Dirty region of the delta ([`DirtySet::all`] in recording mode).
+    dirty: DirtySet,
+    /// Memo of the run in progress.
+    new_memo: Mutex<EvalMemo>,
+    recording: bool,
+    reused: AtomicU64,
+    reevaluated: AtomicU64,
+    live_kernel_ops: AtomicU64,
+    reused_kernel_ops: AtomicU64,
+}
+
+impl IncrementalCtx {
+    /// A recording context: evaluate everything live, fill the memo.
+    pub fn recording() -> IncrementalCtx {
+        IncrementalCtx {
+            memo: Arc::new(EvalMemo::new()),
+            dirty: DirtySet::all(),
+            new_memo: Mutex::new(EvalMemo::new()),
+            recording: true,
+            reused: AtomicU64::new(0),
+            reevaluated: AtomicU64::new(0),
+            live_kernel_ops: AtomicU64::new(0),
+            reused_kernel_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// An update context: replay `memo` records outside the `dirty` region.
+    pub fn update(memo: Arc<EvalMemo>, dirty: DirtySet) -> IncrementalCtx {
+        IncrementalCtx {
+            memo,
+            dirty,
+            new_memo: Mutex::new(EvalMemo::new()),
+            recording: false,
+            reused: AtomicU64::new(0),
+            reevaluated: AtomicU64::new(0),
+            live_kernel_ops: AtomicU64::new(0),
+            reused_kernel_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this context is in recording mode (no replays).
+    pub fn is_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// The dirty region this context was built with.
+    pub fn dirty(&self) -> &DirtySet {
+        &self.dirty
+    }
+
+    /// Looks up a replayable record: the set must be clean, its parents'
+    /// covers unchanged, and a record present.
+    pub(crate) fn replayable(&self, attrs: &[AttrId], parents_stable: bool) -> Option<&EvalRecord> {
+        if self.recording || !parents_stable || self.dirty.is_dirty(attrs) {
+            return None;
+        }
+        self.memo.get(attrs)
+    }
+
+    /// Stores the record of a just-evaluated (or just-replayed) set into
+    /// the next generation's memo.
+    pub(crate) fn store(&self, attrs: &[AttrId], record: EvalRecord) {
+        self.new_memo.lock().insert(attrs.to_vec(), record);
+    }
+
+    /// Counts one replayed set and the kernel work it avoided.
+    pub(crate) fn count_reuse(&self, kernel_ops: u64) {
+        self.reused.fetch_add(1, Ordering::Relaxed);
+        self.reused_kernel_ops
+            .fetch_add(kernel_ops, Ordering::Relaxed);
+    }
+
+    /// Counts one live evaluation and its kernel work.
+    pub(crate) fn count_live(&self, kernel_ops: u64) {
+        self.reevaluated.fetch_add(1, Ordering::Relaxed);
+        self.live_kernel_ops
+            .fetch_add(kernel_ops, Ordering::Relaxed);
+    }
+
+    /// This run's reuse counters.
+    pub fn stats(&self) -> IncrementalStats {
+        IncrementalStats {
+            reused: self.reused.load(Ordering::Relaxed),
+            reevaluated: self.reevaluated.load(Ordering::Relaxed),
+            live_kernel_ops: self.live_kernel_ops.load(Ordering::Relaxed),
+            reused_kernel_ops: self.reused_kernel_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Consumes the context, returning the next generation's memo and the
+    /// run's counters.
+    pub fn into_parts(self) -> (EvalMemo, IncrementalStats) {
+        let stats = self.stats();
+        (self.new_memo.into_inner(), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpm_graph::delta::GraphDelta;
+    use scpm_graph::figure1::{figure1, paper_vertex};
+
+    #[test]
+    fn subset_and_intersection_helpers() {
+        assert!(is_subset(&[], &[1, 2]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[0], &[]));
+        assert_eq!(sorted_intersection(&[1, 2, 4], &[2, 3, 4]), vec![2, 4]);
+        assert_eq!(sorted_intersection(&[1], &[2]), Vec::<AttrId>::new());
+    }
+
+    #[test]
+    fn attribute_insertions_dirty_their_attribute() {
+        let g = figure1();
+        // Give vertex 1 (paper label) attribute B: every set containing B
+        // is dirty, everything else clean.
+        let applied = GraphDelta::parse(&format!("a {} B\n", paper_vertex(1)))
+            .unwrap()
+            .apply(&g)
+            .unwrap();
+        let dirty = DirtySet::from_delta(&applied.graph, &applied);
+        let a = applied.graph.attr_id("A").unwrap();
+        let b = applied.graph.attr_id("B").unwrap();
+        let c = applied.graph.attr_id("C").unwrap();
+        assert!(dirty.is_dirty(&[b]));
+        assert!(dirty.is_dirty(&[a, b]));
+        assert!(!dirty.is_dirty(&[a]));
+        assert!(!dirty.is_dirty(&[c]));
+        assert!(!dirty.is_dirty(&[a, c]));
+        assert_eq!(dirty.dirty_attr_ids(), vec![b]);
+    }
+
+    #[test]
+    fn edge_insertions_dirty_the_endpoint_attribute_overlap() {
+        let g = figure1();
+        // Edge {1, 5} (paper labels): F(1) = {A,C}, F(5) = {A,E} — the
+        // overlap is {A}, so exactly the subsets of {A} are dirty.
+        let applied = GraphDelta::parse(&format!("e {} {}\n", paper_vertex(1), paper_vertex(5)))
+            .unwrap()
+            .apply(&g)
+            .unwrap();
+        let dirty = DirtySet::from_delta(&applied.graph, &applied);
+        let a = applied.graph.attr_id("A").unwrap();
+        let b = applied.graph.attr_id("B").unwrap();
+        let c = applied.graph.attr_id("C").unwrap();
+        assert!(dirty.is_dirty(&[a]));
+        assert!(!dirty.is_dirty(&[a, b]));
+        assert!(!dirty.is_dirty(&[a, c]));
+        assert!(!dirty.is_dirty(&[b]));
+        assert!(dirty.dirty_attr_ids().is_empty());
+        assert_eq!(dirty.num_edge_caps(), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_dirty_nothing() {
+        let g = figure1();
+        let applied = GraphDelta::parse("v 3\ne 11 12\n")
+            .unwrap()
+            .apply(&g)
+            .unwrap();
+        // The new vertices have no attributes: F(11) ∩ F(12) = ∅.
+        let dirty = DirtySet::from_delta(&applied.graph, &applied);
+        assert!(dirty.is_empty());
+        for a in applied.graph.attributes() {
+            assert!(!dirty.is_dirty(&[a]));
+        }
+    }
+
+    #[test]
+    fn noop_deltas_dirty_nothing() {
+        let g = figure1();
+        let applied = GraphDelta::parse("e 0 1\na 0 A\n")
+            .unwrap()
+            .apply(&g)
+            .unwrap();
+        assert!(applied.is_noop());
+        let dirty = DirtySet::from_delta(&applied.graph, &applied);
+        assert!(dirty.is_empty());
+    }
+
+    #[test]
+    fn recording_context_marks_everything_dirty() {
+        let ctx = IncrementalCtx::recording();
+        assert!(ctx.is_recording());
+        assert!(ctx.dirty().is_dirty(&[0]));
+        assert!(ctx.replayable(&[0], true).is_none());
+        ctx.store(
+            &[0],
+            EvalRecord {
+                support: 1,
+                epsilon: 0.0,
+                covered: vec![],
+                coverage_stats: SearchStats::default(),
+                sub_built: false,
+                topk: None,
+            },
+        );
+        let (memo, stats) = ctx.into_parts();
+        assert_eq!(memo.len(), 1);
+        assert_eq!(stats.reused, 0);
+    }
+
+    #[test]
+    fn update_context_replays_only_clean_sets_with_stable_parents() {
+        let mut memo = EvalMemo::new();
+        let record = EvalRecord {
+            support: 4,
+            epsilon: 0.5,
+            covered: vec![1, 2],
+            coverage_stats: SearchStats::default(),
+            sub_built: true,
+            topk: None,
+        };
+        memo.insert(vec![0], record.clone());
+        memo.insert(vec![1], record);
+        let dirty = DirtySet {
+            all_dirty: false,
+            dirty_attrs: vec![false, true],
+            edge_caps: vec![],
+        };
+        let ctx = IncrementalCtx::update(Arc::new(memo), dirty);
+        assert!(ctx.replayable(&[0], true).is_some());
+        assert!(ctx.replayable(&[0], false).is_none(), "unstable parents");
+        assert!(ctx.replayable(&[1], true).is_none(), "dirty attribute");
+        assert!(ctx.replayable(&[2], true).is_none(), "no record");
+    }
+}

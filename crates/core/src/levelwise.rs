@@ -90,6 +90,10 @@ impl<'g> Scpm<'g> {
                         tids,
                         parent_cover,
                         a.sub.as_deref(),
+                        // The levelwise driver joins arbitrary sibling
+                        // pairs, not the DFS prefix classes the memo was
+                        // recorded under — never replay here.
+                        false,
                         &mut result,
                     ) {
                         next.push(entry);

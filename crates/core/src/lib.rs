@@ -46,6 +46,7 @@
 pub mod algorithm;
 pub mod correlation;
 pub mod hypergeom;
+pub mod incremental;
 pub mod levelwise;
 pub mod naive;
 pub mod nullmodel;
@@ -58,6 +59,7 @@ pub mod scorp;
 pub use algorithm::Scpm;
 pub use correlation::{CorrelationEngine, CorrelationOutcome};
 pub use hypergeom::{hypergeometric_pmf, hypergeometric_tail, ExactModel};
+pub use incremental::{DirtySet, EvalMemo, EvalRecord, IncrementalCtx, IncrementalStats};
 pub use naive::run_naive;
 pub use nullmodel::{
     binomial_pmf, binomial_tail, empirical_p_value, simulate_coverage_samples, simulate_expected,

@@ -1,0 +1,416 @@
+//! Graph deltas: insert-only change sets applied to an [`AttributedGraph`].
+//!
+//! Real attributed graphs (co-authorship, friendship, citation) grow
+//! continuously — vertices appear, edges close, vertices acquire new
+//! attributes. A [`GraphDelta`] captures one batch of such insertions and
+//! [`GraphDelta::apply`] materializes the updated graph, reporting exactly
+//! which insertions were *novel* (duplicates of existing edges or
+//! attribute assignments are accepted and ignored). The novel effects are
+//! what the incremental miner's dirty-set computation consumes
+//! (`scpm_core::incremental`, `docs/INCREMENTAL.md`).
+//!
+//! # Text grammar
+//!
+//! One operation per line; `#` starts a comment; blank lines are ignored:
+//!
+//! ```text
+//! v <k>              # append k isolated vertices (new ids n..n+k)
+//! e <u> <v>          # insert the undirected edge {u, v}
+//! a <v> <name>...    # add one or more named attributes to vertex v
+//! ```
+//!
+//! Operations are applied in file order, so an `e`/`a` line may reference
+//! vertices introduced by an earlier `v` line. Self-loops and references
+//! to vertices that do not (yet) exist are errors — a delta is a claim
+//! about a specific snapshot, and silently dropping bad operations would
+//! desynchronize replicas applying the same stream.
+//!
+//! # Attribute-id stability
+//!
+//! [`GraphDelta::apply`] re-interns the base graph's attribute names in id
+//! order before any delta attribute, so every existing [`AttrId`] keeps
+//! its value and new names take ids `|A|..`. A full mine of the updated
+//! graph therefore enumerates the attribute lattice in the same order as
+//! an incremental update — the property the byte-identity differential
+//! suite (`tests/incremental_vs_full.rs`) pins down.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::attributed::{AttrId, AttributedGraph, AttributedGraphBuilder};
+use crate::csr::VertexId;
+
+/// One insert operation of a [`GraphDelta`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Append `k` isolated, attribute-free vertices.
+    AddVertices(usize),
+    /// Insert the undirected edge `{u, v}` (no-op if present).
+    AddEdge(VertexId, VertexId),
+    /// Add the named attribute to vertex `v` (no-op if present).
+    AddAttr(VertexId, String),
+}
+
+/// An insert-only change set over an [`AttributedGraph`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Operations in application order.
+    pub ops: Vec<DeltaOp>,
+}
+
+/// Why a delta could not be parsed or applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A line of the text form did not parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// An edge operation named the same vertex twice.
+    SelfLoop(VertexId),
+    /// An operation referenced a vertex beyond the current vertex count.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The vertex count at the point the operation was applied.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Parse { line, message } => write!(f, "delta line {line}: {message}"),
+            DeltaError::SelfLoop(v) => write!(f, "delta: self-loop on vertex {v}"),
+            DeltaError::VertexOutOfRange { vertex, bound } => {
+                write!(
+                    f,
+                    "delta: vertex {vertex} out of range (graph has {bound} vertices)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The result of applying a [`GraphDelta`]: the updated graph plus the
+/// deduplicated *novel* effects (insertions that changed the graph).
+#[derive(Debug)]
+pub struct AppliedDelta {
+    /// The updated graph.
+    pub graph: AttributedGraph,
+    /// Vertices appended by the delta.
+    pub added_vertices: usize,
+    /// Edges that did not exist before, as `(min, max)` pairs.
+    pub novel_edges: Vec<(VertexId, VertexId)>,
+    /// `(vertex, attribute)` assignments that did not exist before, with
+    /// attribute ids in the *updated* graph's table.
+    pub novel_attrs: Vec<(VertexId, AttrId)>,
+}
+
+impl AppliedDelta {
+    /// Whether the delta changed nothing (every operation was a no-op).
+    pub fn is_noop(&self) -> bool {
+        self.added_vertices == 0 && self.novel_edges.is_empty() && self.novel_attrs.is_empty()
+    }
+}
+
+impl GraphDelta {
+    /// Parses the text form (see the module docs for the grammar).
+    pub fn parse(text: &str) -> Result<GraphDelta, DeltaError> {
+        let mut ops = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut tokens = content.split_whitespace();
+            let op = tokens.next().expect("non-empty line has a first token");
+            let parse_err = |message: String| DeltaError::Parse { line, message };
+            let mut next_num = |what: &str| -> Result<u64, DeltaError> {
+                let tok = tokens
+                    .next()
+                    .ok_or_else(|| parse_err(format!("missing {what}")))?;
+                tok.parse()
+                    .map_err(|_| parse_err(format!("invalid {what} `{tok}`")))
+            };
+            match op {
+                "v" => {
+                    let k = next_num("vertex count")? as usize;
+                    if tokens.next().is_some() {
+                        return Err(parse_err("trailing tokens after `v <k>`".into()));
+                    }
+                    ops.push(DeltaOp::AddVertices(k));
+                }
+                "e" => {
+                    let u = next_num("source vertex")? as VertexId;
+                    let v = next_num("target vertex")? as VertexId;
+                    if tokens.next().is_some() {
+                        return Err(parse_err("trailing tokens after `e <u> <v>`".into()));
+                    }
+                    ops.push(DeltaOp::AddEdge(u, v));
+                }
+                "a" => {
+                    let v = next_num("vertex")? as VertexId;
+                    let names: Vec<&str> = tokens.collect();
+                    if names.is_empty() {
+                        return Err(parse_err(
+                            "`a <v>` needs at least one attribute name".into(),
+                        ));
+                    }
+                    for name in names {
+                        ops.push(DeltaOp::AddAttr(v, name.to_string()));
+                    }
+                }
+                other => {
+                    return Err(parse_err(format!(
+                        "unknown operation `{other}` (want v|e|a)"
+                    )));
+                }
+            }
+        }
+        Ok(GraphDelta { ops })
+    }
+
+    /// Renders the delta back into its text form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            match op {
+                DeltaOp::AddVertices(k) => out.push_str(&format!("v {k}\n")),
+                DeltaOp::AddEdge(u, v) => out.push_str(&format!("e {u} {v}\n")),
+                DeltaOp::AddAttr(v, name) => out.push_str(&format!("a {v} {name}\n")),
+            }
+        }
+        out
+    }
+
+    /// Applies the delta to `base`, returning the updated graph and the
+    /// deduplicated novel effects.
+    ///
+    /// The base graph is untouched; the update rebuilds CSR and attribute
+    /// storage from scratch (insert-only deltas keep every existing vertex
+    /// id, edge, attribute id and attribute assignment valid, see the
+    /// module docs on id stability).
+    pub fn apply(&self, base: &AttributedGraph) -> Result<AppliedDelta, DeltaError> {
+        let old_n = base.num_vertices();
+        let added_vertices: usize = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::AddVertices(k) => *k,
+                _ => 0,
+            })
+            .sum();
+
+        let mut builder = AttributedGraphBuilder::new(old_n + added_vertices);
+        // Re-intern the base attribute table in id order first: existing
+        // AttrIds keep their values, novel names take ids |A|.. .
+        for a in base.attributes() {
+            builder.intern_attr(base.attr_name(a));
+        }
+        for (u, v) in base.graph().edges() {
+            builder.add_edge(u, v);
+        }
+        for v in 0..old_n as VertexId {
+            for &a in base.attributes_of(v) {
+                builder.add_attr(v, a);
+            }
+        }
+
+        // Replay the operations, tracking the growing vertex bound and
+        // deduplicating against both the base graph and earlier delta ops.
+        let mut bound = old_n;
+        let mut novel_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut novel_attr_names: Vec<(VertexId, String)> = Vec::new();
+        let mut seen_edges: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let mut seen_attrs: HashSet<(VertexId, String)> = HashSet::new();
+        for op in &self.ops {
+            match op {
+                DeltaOp::AddVertices(k) => bound += k,
+                DeltaOp::AddEdge(u, v) => {
+                    let (u, v) = (*u, *v);
+                    if u == v {
+                        return Err(DeltaError::SelfLoop(u));
+                    }
+                    for w in [u, v] {
+                        if w as usize >= bound {
+                            return Err(DeltaError::VertexOutOfRange { vertex: w, bound });
+                        }
+                    }
+                    let key = (u.min(v), u.max(v));
+                    let exists_in_base = (key.1 as usize) < old_n && base.graph().has_edge(u, v);
+                    if exists_in_base || !seen_edges.insert(key) {
+                        continue;
+                    }
+                    builder.add_edge(u, v);
+                    novel_edges.push(key);
+                }
+                DeltaOp::AddAttr(v, name) => {
+                    let v = *v;
+                    if v as usize >= bound {
+                        return Err(DeltaError::VertexOutOfRange { vertex: v, bound });
+                    }
+                    let exists_in_base = (v as usize) < old_n
+                        && base.attr_id(name).is_some_and(|a| base.has_attribute(v, a));
+                    if exists_in_base || !seen_attrs.insert((v, name.clone())) {
+                        continue;
+                    }
+                    builder.add_attr_named(v, name);
+                    novel_attr_names.push((v, name.clone()));
+                }
+            }
+        }
+
+        let graph = builder.build();
+        novel_edges.sort_unstable();
+        let mut novel_attrs: Vec<(VertexId, AttrId)> = novel_attr_names
+            .into_iter()
+            .map(|(v, name)| {
+                let a = graph
+                    .attr_id(&name)
+                    .expect("novel attribute was interned during apply");
+                (v, a)
+            })
+            .collect();
+        novel_attrs.sort_unstable();
+        Ok(AppliedDelta {
+            graph,
+            added_vertices,
+            novel_edges,
+            novel_attrs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::{figure1, paper_vertex};
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# grow\nv 2\ne 11 12\na 11 A B\n\ne 0 11  # close\n";
+        let delta = GraphDelta::parse(text).unwrap();
+        assert_eq!(
+            delta.ops,
+            vec![
+                DeltaOp::AddVertices(2),
+                DeltaOp::AddEdge(11, 12),
+                DeltaOp::AddAttr(11, "A".into()),
+                DeltaOp::AddAttr(11, "B".into()),
+                DeltaOp::AddEdge(0, 11),
+            ]
+        );
+        let reparsed = GraphDelta::parse(&delta.render()).unwrap();
+        assert_eq!(delta, reparsed);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(GraphDelta::parse("v\n").is_err());
+        assert!(GraphDelta::parse("e 1\n").is_err());
+        assert!(GraphDelta::parse("e 1 2 3\n").is_err());
+        assert!(GraphDelta::parse("a 1\n").is_err());
+        assert!(GraphDelta::parse("x 1 2\n").is_err());
+        assert!(GraphDelta::parse("e one two\n").is_err());
+    }
+
+    #[test]
+    fn apply_preserves_base_and_reports_novel_effects() {
+        let g = figure1();
+        let delta = GraphDelta::parse("v 1\ne 0 11\na 11 A\na 11 Z\n").unwrap();
+        let applied = delta.apply(&g).unwrap();
+        assert_eq!(applied.added_vertices, 1);
+        assert_eq!(applied.novel_edges, vec![(0, 11)]);
+        let a = applied.graph.attr_id("A").unwrap();
+        let z = applied.graph.attr_id("Z").unwrap();
+        assert_eq!(applied.novel_attrs, vec![(11, a), (11, z)]);
+        assert_eq!(applied.graph.num_vertices(), 12);
+        assert_eq!(applied.graph.num_edges(), 20);
+        // Old attribute ids are stable; the novel name appended after.
+        for old in g.attributes() {
+            assert_eq!(applied.graph.attr_name(old), g.attr_name(old));
+        }
+        assert_eq!(z, g.num_attributes() as AttrId);
+        // Old structure intact.
+        assert!(applied
+            .graph
+            .graph()
+            .has_edge(paper_vertex(1), paper_vertex(2)));
+        assert!(applied.graph.has_attribute(paper_vertex(6), a));
+    }
+
+    #[test]
+    fn duplicate_insertions_are_noops() {
+        let g = figure1();
+        // Edge {1,2} and attribute A on vertex 1 already exist; a repeated
+        // novel edge appears once.
+        let delta = GraphDelta::parse("e 0 1\na 0 A\nv 1\ne 0 11\ne 11 0\n").unwrap();
+        let applied = delta.apply(&g).unwrap();
+        assert_eq!(applied.novel_edges, vec![(0, 11)]);
+        assert!(applied.novel_attrs.is_empty());
+        assert_eq!(applied.graph.num_edges(), g.num_edges() + 1);
+        let fully_noop = GraphDelta::parse("e 0 1\na 0 A\n")
+            .unwrap()
+            .apply(&g)
+            .unwrap();
+        assert!(fully_noop.is_noop());
+        assert_eq!(fully_noop.graph.num_edges(), g.num_edges());
+        assert_eq!(fully_noop.graph.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn apply_rejects_bad_references() {
+        let g = figure1();
+        assert!(matches!(
+            GraphDelta::parse("e 3 3\n").unwrap().apply(&g),
+            Err(DeltaError::SelfLoop(3))
+        ));
+        assert!(matches!(
+            GraphDelta::parse("e 0 11\n").unwrap().apply(&g),
+            Err(DeltaError::VertexOutOfRange {
+                vertex: 11,
+                bound: 11
+            })
+        ));
+        assert!(matches!(
+            GraphDelta::parse("a 99 A\n").unwrap().apply(&g),
+            Err(DeltaError::VertexOutOfRange { vertex: 99, .. })
+        ));
+        // Vertices become referencable only after their `v` line.
+        assert!(GraphDelta::parse("e 0 11\nv 1\n")
+            .unwrap()
+            .apply(&g)
+            .is_err());
+        assert!(GraphDelta::parse("v 1\ne 0 11\n")
+            .unwrap()
+            .apply(&g)
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = figure1();
+        let applied = GraphDelta::default().apply(&g).unwrap();
+        assert!(applied.is_noop());
+        assert_eq!(applied.graph.num_vertices(), g.num_vertices());
+        assert_eq!(applied.graph.num_edges(), g.num_edges());
+        assert_eq!(applied.graph.num_attributes(), g.num_attributes());
+    }
+
+    #[test]
+    fn apply_on_empty_graph() {
+        let empty = AttributedGraphBuilder::new(0).build();
+        let delta = GraphDelta::parse("v 3\ne 0 1\na 2 red\n").unwrap();
+        let applied = delta.apply(&empty).unwrap();
+        assert_eq!(applied.graph.num_vertices(), 3);
+        assert_eq!(applied.graph.num_edges(), 1);
+        assert_eq!(applied.graph.num_attributes(), 1);
+        assert_eq!(applied.novel_edges, vec![(0, 1)]);
+    }
+}

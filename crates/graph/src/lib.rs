@@ -18,6 +18,9 @@
 //!   deduplication and self-loop removal.
 //! * [`AttributedGraph`] — a [`CsrGraph`] plus a per-vertex attribute store
 //!   and an inverted index (attribute → sorted vertex list).
+//! * [`delta`] — insert-only change sets (`GraphDelta`) applied to an
+//!   attributed graph, reporting the novel effects the incremental miner's
+//!   dirty-set computation consumes (see `docs/INCREMENTAL.md`).
 //! * [`induced`] — induced-subgraph extraction used by every mining
 //!   algorithm in the workspace.
 //! * [`generators`] — random graph models (G(n,p), G(n,m), Barabási–Albert,
@@ -38,6 +41,7 @@ pub mod cluster;
 pub mod components;
 pub mod csr;
 pub mod degree;
+pub mod delta;
 pub mod figure1;
 pub mod generators;
 pub mod induced;
@@ -54,6 +58,7 @@ pub use cluster::{clustering, local_clustering, ClusteringStats};
 pub use components::Components;
 pub use csr::{CsrGraph, VertexId};
 pub use degree::DegreeDistribution;
+pub use delta::{AppliedDelta, DeltaError, DeltaOp, GraphDelta};
 pub use induced::InducedSubgraph;
 pub use io::source::{Interner, RawSource};
 pub use kcore::CoreDecomposition;

@@ -20,6 +20,20 @@
 //! and replaces the `Arc` in one write-lock store. Every response carries
 //! the generation it was answered from.
 //!
+//! # Live updates
+//!
+//! The graph itself lives behind the same snapshot discipline (a
+//! `RwLock<Arc<MiningState>>` bundling graph + null-model cache + the
+//! evaluation memo of the last mine). `POST /update` applies an
+//! insert-only [`GraphDelta`] to the current graph and re-mines it
+//! *incrementally*: every mine runs in recording mode so its per-set
+//! evaluation memo is retained, and an update replays the memo for every
+//! lattice node outside the delta's dirty region (docs/INCREMENTAL.md).
+//! The resulting catalog is byte-identical to a from-scratch mine of the
+//! updated graph and is swapped in with a generation bump, exactly like a
+//! re-mine. The null-model cache is *not* carried across an update —
+//! `exp(σ)` is a function of the graph, and the graph changed.
+//!
 //! # Shutdown
 //!
 //! `POST /shutdown` (the ctrl channel) flips an atomic flag and pokes one
@@ -38,8 +52,12 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
-use scpm_core::{NullModelCache, ParallelConfig, Scpm, ScpmParams, DEFAULT_SPLIT_DEPTH};
+use scpm_core::{
+    DirtySet, EvalMemo, IncrementalCtx, NullModelCache, ParallelConfig, Scpm, ScpmParams,
+    DEFAULT_SPLIT_DEPTH,
+};
 use scpm_graph::attributed::AttributedGraph;
+use scpm_graph::{DeltaOp, GraphDelta};
 
 use crate::catalog::{PatternCatalog, TopBy};
 use crate::http::{read_request, write_response, HttpError, ReadOutcome, Request};
@@ -96,17 +114,32 @@ impl ServeConfig {
     }
 }
 
+/// The mining substrate of one graph version: the graph, the `exp(σ)`
+/// memo computed against it, and the evaluation memo of the last mine
+/// over it (always recorded — [`update`] replays it for clean lattice
+/// nodes). Swapped as one `Arc` so handlers and updates always see a
+/// consistent triple.
+struct MiningState {
+    graph: Arc<AttributedGraph>,
+    /// `exp(σ)` memo; shared across re-mines of *this* graph version,
+    /// discarded on update (it is a function of the graph).
+    cache: Arc<NullModelCache>,
+    /// Per-set evaluation memo of the mine that produced the current
+    /// catalog, recorded under the catalog's parameters.
+    memo: Arc<EvalMemo>,
+}
+
 /// Shared server state.
 struct ServerState {
-    graph: AttributedGraph,
+    /// The graph-version swap slot (see [`MiningState`]).
+    mining: RwLock<Arc<MiningState>>,
     /// The listener's bound address (used for the shutdown self-poke).
     addr: SocketAddr,
     /// The swap slot: handlers clone the `Arc` under the read lock and
     /// answer from the snapshot.
     catalog: RwLock<Arc<PatternCatalog>>,
-    /// `exp(σ)` memo shared by every generation's mine.
-    cache: Arc<NullModelCache>,
-    /// Serializes re-mines (concurrent `POST /mine` requests queue here).
+    /// Serializes re-mines and updates (concurrent `POST /mine` and
+    /// `POST /update` requests queue here).
     mine_lock: Mutex<()>,
     /// Next generation number to assign.
     next_generation: AtomicU64,
@@ -114,22 +147,54 @@ struct ServerState {
     requests: AtomicU64,
     errors: AtomicU64,
     remines: AtomicU64,
+    updates: AtomicU64,
     mine_threads: usize,
     split_depth: usize,
     http_threads: usize,
 }
 
 impl ServerState {
-    fn mine(&self, params: &ScpmParams, generation: u64) -> PatternCatalog {
+    fn mine(
+        &self,
+        mining: &MiningState,
+        params: &ScpmParams,
+        generation: u64,
+    ) -> (PatternCatalog, EvalMemo) {
         let config = ParallelConfig::new(self.mine_threads).with_split_depth(self.split_depth);
-        let result = Scpm::with_cache(&self.graph, params.clone(), Arc::clone(&self.cache))
-            .run_scheduled(&config);
-        PatternCatalog::build(&self.graph, params, result, generation)
+        record_mine(&mining.graph, params, &mining.cache, &config, generation)
     }
 
     fn current(&self) -> Arc<PatternCatalog> {
         Arc::clone(&self.catalog.read())
     }
+
+    fn current_mining(&self) -> Arc<MiningState> {
+        Arc::clone(&self.mining.read())
+    }
+}
+
+/// One recording mine: runs the scheduler with a recording
+/// [`IncrementalCtx`] and returns the catalog plus the evaluation memo a
+/// later `POST /update` replays from. Output is byte-identical to a
+/// non-recording mine.
+fn record_mine(
+    graph: &AttributedGraph,
+    params: &ScpmParams,
+    cache: &Arc<NullModelCache>,
+    config: &ParallelConfig,
+    generation: u64,
+) -> (PatternCatalog, EvalMemo) {
+    let mut scpm = Scpm::with_cache(graph, params.clone(), Arc::clone(cache))
+        .with_incremental(IncrementalCtx::recording());
+    let result = scpm.run_scheduled(config);
+    let (memo, _) = scpm
+        .take_incremental()
+        .expect("recording run keeps its context")
+        .into_parts();
+    (
+        PatternCatalog::build(graph, params, result, generation),
+        memo,
+    )
 }
 
 /// A running server: its bound address plus the worker pool.
@@ -154,23 +219,26 @@ impl Server {
 
         let cache = Arc::new(NullModelCache::new());
         // Generation 0: mine before any worker accepts, so the first
-        // response already answers from a complete catalog.
+        // response already answers from a complete catalog. Recording mode
+        // retains the evaluation memo `POST /update` replays from.
         let mine_config =
             ParallelConfig::new(config.mine_threads).with_split_depth(config.split_depth);
-        let result = Scpm::with_cache(&graph, config.params.clone(), Arc::clone(&cache))
-            .run_scheduled(&mine_config);
-        let catalog = PatternCatalog::build(&graph, &config.params, result, 0);
+        let (catalog, memo) = record_mine(&graph, &config.params, &cache, &mine_config, 0);
         let state = Arc::new(ServerState {
-            graph,
+            mining: RwLock::new(Arc::new(MiningState {
+                graph: Arc::new(graph),
+                cache,
+                memo: Arc::new(memo),
+            })),
             addr,
             catalog: RwLock::new(Arc::new(catalog)),
-            cache,
             mine_lock: Mutex::new(()),
             next_generation: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             remines: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
             mine_threads: config.mine_threads,
             split_depth: config.split_depth,
             http_threads: config.threads,
@@ -360,6 +428,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), Htt
         }
         ("GET", "/stats") => {
             let catalog = state.current();
+            let cache = Arc::clone(&state.current_mining().cache);
             let stats = Json::Obj(vec![
                 (
                     "server".into(),
@@ -377,6 +446,10 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), Htt
                             "remines".into(),
                             Json::Int(state.remines.load(Ordering::Relaxed)),
                         ),
+                        (
+                            "updates".into(),
+                            Json::Int(state.updates.load(Ordering::Relaxed)),
+                        ),
                     ]),
                 ),
                 ("catalog".into(), catalog.summary_json()),
@@ -384,9 +457,9 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), Htt
                 (
                     "null_model_cache".into(),
                     Json::Obj(vec![
-                        ("entries".into(), Json::Int(state.cache.len() as u64)),
-                        ("hits".into(), Json::Int(state.cache.hits())),
-                        ("misses".into(), Json::Int(state.cache.misses())),
+                        ("entries".into(), Json::Int(cache.len() as u64)),
+                        ("hits".into(), Json::Int(cache.hits())),
+                        ("misses".into(), Json::Int(cache.misses())),
                     ]),
                 ),
             ]);
@@ -425,6 +498,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), Htt
             Ok((catalog.query_top(by, k)?, catalog.generation()))
         }
         ("POST", "/mine") => remine(state, request),
+        ("POST", "/update") => update(state, request),
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::Release);
             // Wake sibling acceptors (this worker returns after writing
@@ -449,7 +523,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), Htt
             "method_not_allowed",
             format!("{method} is not supported on {path} (use GET)"),
         )),
-        (_, "/mine" | "/shutdown") => Err(HttpError::new(
+        (_, "/mine" | "/update" | "/shutdown") => Err(HttpError::new(
             405,
             "method_not_allowed",
             format!("{method} is not supported on {path} (use POST)"),
@@ -479,13 +553,190 @@ fn remine(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), Ht
     // Serialize re-mines; concurrent POST /mine requests queue here.
     let _guard = state.mine_lock.lock();
     let base = state.current();
+    let mining = state.current_mining();
     let params = params_from_body(base.params(), &body)?;
     let generation = state.next_generation.fetch_add(1, Ordering::AcqRel);
-    let catalog = Arc::new(state.mine(&params, generation));
+    let (catalog, memo) = state.mine(&mining, &params, generation);
+    let catalog = Arc::new(catalog);
     let summary = catalog.summary_json();
+    // Same graph version: keep graph and exp(σ) cache, refresh the memo
+    // (it is recorded under the new catalog's parameters).
+    *state.mining.write() = Arc::new(MiningState {
+        graph: Arc::clone(&mining.graph),
+        cache: Arc::clone(&mining.cache),
+        memo: Arc::new(memo),
+    });
     *state.catalog.write() = catalog;
     state.remines.fetch_add(1, Ordering::Relaxed);
     Ok((summary, generation))
+}
+
+/// `POST /update`: apply an insert-only graph delta
+/// (`{"add_vertices":N,"edges":[[u,v],…],"attrs":[[v,"name"],…]}`, every
+/// key optional, applied in that order) and incrementally re-mine under
+/// the current catalog's parameters. The new catalog is byte-identical to
+/// a from-scratch mine of the updated graph; the response reports the
+/// delta's novel effects, the dirty region, and the replay counters.
+fn update(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), HttpError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| HttpError::bad_request("body is not valid UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(HttpError::bad_request("body must be a JSON object"));
+    }
+    let body =
+        Json::parse(text).map_err(|e| HttpError::bad_request(format!("invalid JSON body: {e}")))?;
+    let delta = delta_from_body(&body)?;
+
+    // Serialize with re-mines: both swap the catalog, and an update also
+    // swaps the graph version.
+    let _guard = state.mine_lock.lock();
+    let base = state.current();
+    let mining = state.current_mining();
+    let applied = delta
+        .apply(&mining.graph)
+        .map_err(|e| HttpError::invalid_parameter(format!("delta does not apply: {e}")))?;
+    let dirty = DirtySet::from_delta(&applied.graph, &applied);
+    let dirty_attrs = dirty.dirty_attr_ids().len();
+    let dirty_caps = dirty.num_edge_caps();
+
+    // Fresh exp(σ) cache — the null model is a function of the graph.
+    let cache = Arc::new(NullModelCache::new());
+    let config = ParallelConfig::new(state.mine_threads).with_split_depth(state.split_depth);
+    let params = base.params().clone();
+    let mut scpm = Scpm::with_cache(&applied.graph, params.clone(), Arc::clone(&cache))
+        .with_incremental(IncrementalCtx::update(Arc::clone(&mining.memo), dirty));
+    let result = scpm.run_scheduled(&config);
+    let (memo, incr) = scpm
+        .take_incremental()
+        .expect("update run keeps its context")
+        .into_parts();
+
+    let generation = state.next_generation.fetch_add(1, Ordering::AcqRel);
+    let catalog = Arc::new(PatternCatalog::build(
+        &applied.graph,
+        &params,
+        result,
+        generation,
+    ));
+    let summary = catalog.summary_json();
+    let response = Json::Obj(vec![
+        (
+            "applied".into(),
+            Json::Obj(vec![
+                (
+                    "added_vertices".into(),
+                    Json::Int(applied.added_vertices as u64),
+                ),
+                (
+                    "novel_edges".into(),
+                    Json::Int(applied.novel_edges.len() as u64),
+                ),
+                (
+                    "novel_attrs".into(),
+                    Json::Int(applied.novel_attrs.len() as u64),
+                ),
+            ]),
+        ),
+        (
+            "dirty".into(),
+            Json::Obj(vec![
+                ("attrs".into(), Json::Int(dirty_attrs as u64)),
+                ("edge_caps".into(), Json::Int(dirty_caps as u64)),
+            ]),
+        ),
+        (
+            "incremental".into(),
+            Json::Obj(vec![
+                ("reused".into(), Json::Int(incr.reused)),
+                ("reevaluated".into(), Json::Int(incr.reevaluated)),
+                (
+                    "reused_kernel_ops".into(),
+                    Json::Int(incr.reused_kernel_ops),
+                ),
+                ("live_kernel_ops".into(), Json::Int(incr.live_kernel_ops)),
+            ]),
+        ),
+        ("catalog".into(), summary),
+    ]);
+    *state.mining.write() = Arc::new(MiningState {
+        graph: Arc::new(applied.graph),
+        cache,
+        memo: Arc::new(memo),
+    });
+    *state.catalog.write() = catalog;
+    state.updates.fetch_add(1, Ordering::Relaxed);
+    Ok((response, generation))
+}
+
+/// Parses a `POST /update` body into a [`GraphDelta`]. Unknown keys are
+/// rejected so typos fail loudly instead of silently applying an empty
+/// delta.
+fn delta_from_body(body: &Json) -> Result<GraphDelta, HttpError> {
+    if !matches!(body, Json::Obj(_)) {
+        return Err(HttpError::bad_request("body must be a JSON object"));
+    }
+    const KNOWN: &[&str] = &["add_vertices", "edges", "attrs"];
+    for key in body.keys() {
+        if !KNOWN.contains(&key) {
+            return Err(HttpError::invalid_parameter(format!(
+                "unknown key `{key}` (want one of {})",
+                KNOWN.join(", ")
+            )));
+        }
+    }
+    let mut ops = Vec::new();
+    if let Some(v) = body.get("add_vertices") {
+        let n = v.as_u64().ok_or_else(|| {
+            HttpError::invalid_parameter("`add_vertices` must be a non-negative integer")
+        })?;
+        let n = usize::try_from(n)
+            .map_err(|_| HttpError::invalid_parameter("`add_vertices` is too large"))?;
+        if n > 0 {
+            ops.push(DeltaOp::AddVertices(n));
+        }
+    }
+    if let Some(edges) = body.get("edges") {
+        let edges = edges
+            .as_array()
+            .ok_or_else(|| HttpError::invalid_parameter("`edges` must be an array of [u, v]"))?;
+        for edge in edges {
+            let pair = edge.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                HttpError::invalid_parameter("each edge must be a [u, v] pair of vertex ids")
+            })?;
+            let u = vertex_id(&pair[0], "edge endpoint")?;
+            let v = vertex_id(&pair[1], "edge endpoint")?;
+            ops.push(DeltaOp::AddEdge(u, v));
+        }
+    }
+    if let Some(attrs) = body.get("attrs") {
+        let attrs = attrs.as_array().ok_or_else(|| {
+            HttpError::invalid_parameter("`attrs` must be an array of [v, \"name\"]")
+        })?;
+        for attr in attrs {
+            let pair = attr.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                HttpError::invalid_parameter("each attr must be a [v, \"name\"] pair")
+            })?;
+            let v = vertex_id(&pair[0], "attr vertex")?;
+            let name = pair[1]
+                .as_str()
+                .ok_or_else(|| HttpError::invalid_parameter("attribute name must be a string"))?;
+            if name.is_empty() || name.chars().any(char::is_whitespace) {
+                return Err(HttpError::invalid_parameter(
+                    "attribute name must be non-empty and whitespace-free",
+                ));
+            }
+            ops.push(DeltaOp::AddAttr(v, name.to_string()));
+        }
+    }
+    Ok(GraphDelta { ops })
+}
+
+/// Parses one JSON value as a vertex id.
+fn vertex_id(value: &Json, what: &str) -> Result<u32, HttpError> {
+    value
+        .as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| HttpError::invalid_parameter(format!("{what} must be a vertex id")))
 }
 
 /// Overlays a `POST /mine` body on `base`, validating every field.
