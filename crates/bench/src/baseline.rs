@@ -23,6 +23,10 @@ pub struct WorkloadBaseline {
     /// Modeled kernel work of the bitset path. Compared under
     /// `kernel_ops_tolerance`.
     pub kernel_ops: u64,
+    /// Residual point probes of the bitset path. `kernel_ops +
+    /// edge_tests` is compared under the same tolerance — the
+    /// probe-bottleneck contract of the batched promotion kernels.
+    pub edge_tests: u64,
     /// Attribute-set reports emitted. Compared exactly.
     pub reports: u64,
     /// Patterns emitted. Compared exactly.
@@ -120,6 +124,7 @@ pub fn parse_baseline(text: &str) -> Result<Vec<WorkloadBaseline>, String> {
             seed: need(obj, "seed")? as u64,
             qc_nodes: need(bitset, "qc_nodes")? as u64,
             kernel_ops: need(bitset, "kernel_ops")? as u64,
+            edge_tests: need(bitset, "edge_tests")? as u64,
             reports: need(bitset, "reports")? as u64,
             patterns: need(bitset, "patterns")? as u64,
             kernel_ops_tolerance: need(obj, "kernel_ops_tolerance")?,
@@ -145,8 +150,8 @@ mod tests {
       "name": "dblp",
       "scale": 0.02,
       "seed": 42,
-      "slice": {"wall_secs": 0.1, "qc_nodes": 9, "kernel_ops": 100, "reports": 3, "patterns": 2},
-      "bitset": {"wall_secs": 0.1, "qc_nodes": 9, "kernel_ops": 40, "reports": 3, "patterns": 2},
+      "slice": {"wall_secs": 0.1, "qc_nodes": 9, "edge_tests": 70, "kernel_ops": 100, "reports": 3, "patterns": 2},
+      "bitset": {"wall_secs": 0.1, "qc_nodes": 9, "edge_tests": 12, "kernel_ops": 40, "reports": 3, "patterns": 2},
       "thresholds": {"kernel_ops_tolerance": 1.05, "min_kernel_ops_ratio": 2.0},
       "outcomes_identical": true
     },
@@ -154,7 +159,7 @@ mod tests {
       "name": "lastfm",
       "scale": 0.01,
       "seed": 7,
-      "bitset": {"qc_nodes": 5, "kernel_ops": 20, "reports": 1, "patterns": 0},
+      "bitset": {"qc_nodes": 5, "edge_tests": 4, "kernel_ops": 20, "reports": 1, "patterns": 0},
       "thresholds": {"kernel_ops_tolerance": 1.1, "min_kernel_ops_ratio": 1.5}
     }
   ],
@@ -169,6 +174,8 @@ mod tests {
         assert_eq!(ws[0].seed, 42);
         // The bitset sub-object wins, not the slice one.
         assert_eq!(ws[0].kernel_ops, 40);
+        assert_eq!(ws[0].edge_tests, 12);
+        assert_eq!(ws[1].edge_tests, 4);
         assert_eq!(ws[0].qc_nodes, 9);
         assert_eq!(ws[0].reports, 3);
         assert_eq!(ws[0].patterns, 2);

@@ -237,6 +237,8 @@ impl<'g> Scpm<'g> {
         result.stats.qc_kernel_ops += outcome.stats.kernel_ops;
         result.stats.qc_fused_ops += outcome.stats.fused_ops;
         result.stats.qc_blocks_skipped += outcome.stats.blocks_skipped;
+        result.stats.qc_probes_elided += outcome.stats.probes_elided;
+        result.stats.qc_batch_ops += outcome.stats.batch_ops;
         let epsilon = outcome.epsilon;
         let delta_lb = self.model.normalize(epsilon, support);
         let qualified = epsilon >= self.params.eps_min && delta_lb >= self.params.delta_min;
@@ -264,6 +266,8 @@ impl<'g> Scpm<'g> {
                     result.stats.qc_kernel_ops += tk_stats.kernel_ops;
                     result.stats.qc_fused_ops += tk_stats.fused_ops;
                     result.stats.qc_blocks_skipped += tk_stats.blocks_skipped;
+                    result.stats.qc_probes_elided += tk_stats.probes_elided;
+                    result.stats.qc_batch_ops += tk_stats.batch_ops;
                     for clique in &cliques {
                         result.patterns.push(Pattern {
                             attrs: attrs.clone(),
@@ -360,6 +364,8 @@ impl<'g> Scpm<'g> {
         result.stats.qc_kernel_ops += record.coverage_stats.kernel_ops;
         result.stats.qc_fused_ops += record.coverage_stats.fused_ops;
         result.stats.qc_blocks_skipped += record.coverage_stats.blocks_skipped;
+        result.stats.qc_probes_elided += record.coverage_stats.probes_elided;
+        result.stats.qc_batch_ops += record.coverage_stats.batch_ops;
         let epsilon = record.epsilon;
         let delta_lb = self.model.normalize(epsilon, support);
         let qualified = epsilon >= self.params.eps_min && delta_lb >= self.params.delta_min;
@@ -390,6 +396,8 @@ impl<'g> Scpm<'g> {
                     result.stats.qc_kernel_ops += tk_stats.kernel_ops;
                     result.stats.qc_fused_ops += tk_stats.fused_ops;
                     result.stats.qc_blocks_skipped += tk_stats.blocks_skipped;
+                    result.stats.qc_probes_elided += tk_stats.probes_elided;
+                    result.stats.qc_batch_ops += tk_stats.batch_ops;
                     for clique in &cliques {
                         result.patterns.push(Pattern {
                             attrs: attrs.clone(),

@@ -47,6 +47,8 @@ pub fn run_naive(graph: &AttributedGraph, params: &ScpmParams) -> ScpmResult {
         result.stats.qc_kernel_ops += stats.kernel_ops;
         result.stats.qc_fused_ops += stats.fused_ops;
         result.stats.qc_blocks_skipped += stats.blocks_skipped;
+        result.stats.qc_probes_elided += stats.probes_elided;
+        result.stats.qc_batch_ops += stats.batch_ops;
         let mut covered: Vec<u32> = cliques
             .iter()
             .flat_map(|q| q.vertices.iter().copied())

@@ -87,6 +87,14 @@ pub struct ScpmStats {
     /// summed over all searches; see
     /// [`SearchStats::blocks_skipped`](scpm_quasiclique::SearchStats).
     pub qc_blocks_skipped: u64,
+    /// Point probes the batched row-AND promotion kernels answered in
+    /// bulk (bitset path only), summed over all searches; see
+    /// [`SearchStats::probes_elided`](scpm_quasiclique::SearchStats).
+    pub qc_probes_elided: u64,
+    /// `u64` words touched by the batched promotion sweeps, summed over
+    /// all searches; see
+    /// [`SearchStats::batch_ops`](scpm_quasiclique::SearchStats).
+    pub qc_batch_ops: u64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
 }
@@ -106,6 +114,8 @@ impl ScpmStats {
         self.qc_kernel_ops += other.qc_kernel_ops;
         self.qc_fused_ops += other.qc_fused_ops;
         self.qc_blocks_skipped += other.qc_blocks_skipped;
+        self.qc_probes_elided += other.qc_probes_elided;
+        self.qc_batch_ops += other.qc_batch_ops;
         // `elapsed` is wall-clock and set by the driver, not summed.
     }
 }

@@ -68,7 +68,7 @@ pub fn render_patterns(g: &AttributedGraph, result: &ScpmResult, limit: usize) -
 pub fn render_summary(result: &ScpmResult) -> String {
     let s = &result.stats;
     format!(
-        "examined={} qualified={} patterns={} pruned[support={} eps={} delta={}] qc_nodes[coverage={} topk={}] qc_work[edge_tests={} kernel_ops={} fused_ops={} blocks_skipped={}] elapsed={:?}",
+        "examined={} qualified={} patterns={} pruned[support={} eps={} delta={}] qc_nodes[coverage={} topk={}] qc_work[edge_tests={} kernel_ops={} fused_ops={} blocks_skipped={} probes_elided={} batch_ops={}] elapsed={:?}",
         s.attribute_sets_examined,
         s.attribute_sets_qualified,
         result.patterns.len(),
@@ -81,6 +81,8 @@ pub fn render_summary(result: &ScpmResult) -> String {
         s.qc_kernel_ops,
         s.qc_fused_ops,
         s.qc_blocks_skipped,
+        s.qc_probes_elided,
+        s.qc_batch_ops,
         s.elapsed
     )
 }

@@ -108,6 +108,8 @@ impl<'g> Scorp<'g> {
         result.stats.qc_kernel_ops += outcome.stats.kernel_ops;
         result.stats.qc_fused_ops += outcome.stats.fused_ops;
         result.stats.qc_blocks_skipped += outcome.stats.blocks_skipped;
+        result.stats.qc_probes_elided += outcome.stats.probes_elided;
+        result.stats.qc_batch_ops += outcome.stats.batch_ops;
         let epsilon = outcome.epsilon;
         let delta_lb = self.model.normalize(epsilon, support);
         let qualified = epsilon >= self.params.eps_min;
@@ -137,6 +139,8 @@ impl<'g> Scorp<'g> {
                 result.stats.qc_kernel_ops += stats.kernel_ops;
                 result.stats.qc_fused_ops += stats.fused_ops;
                 result.stats.qc_blocks_skipped += stats.blocks_skipped;
+                result.stats.qc_probes_elided += stats.probes_elided;
+                result.stats.qc_batch_ops += stats.batch_ops;
                 cliques.sort_by(pattern_order);
                 for clique in cliques {
                     result.patterns.push(Pattern {

@@ -14,13 +14,23 @@ pub enum Representation {
     Slice,
     /// Packed `u64`-word bitsets: a dense
     /// [`BitAdjacency`](scpm_graph::bitadj::BitAdjacency) matrix per
-    /// reduced subgraph (`O(1)` edge tests) and
+    /// reduced subgraph (`O(1)` edge tests),
     /// [`VertexBitset`](scpm_graph::bitadj::VertexBitset) popcount kernels
-    /// for external degrees. Falls back to [`Representation::Slice`] when
-    /// the reduced subgraph exceeds
+    /// for external degrees, and batched row-AND promotion sweeps in the
+    /// child-generation / forcing hot paths — all through the blocked
+    /// scalar kernels. Falls back to [`Representation::Slice`] when the
+    /// reduced subgraph exceeds
     /// [`BITADJ_MAX_VERTICES`](crate::engine::BITADJ_MAX_VERTICES).
     #[default]
     Bitset,
+    /// The bitset path with the explicit-SIMD kernel backend resolved at
+    /// pack time
+    /// ([`detect_kernel_backend`](scpm_graph::bitadj::detect_kernel_backend):
+    /// AVX2 → NEON → scalar). Identical search tree and counters to
+    /// [`Representation::Bitset`] — only the instructions per word differ.
+    /// On builds without the `simd` feature this is exactly the scalar
+    /// bitset path.
+    Simd,
 }
 
 /// Parameters of the quasi-clique definition: a vertex set `Q` is a

@@ -43,7 +43,8 @@ use crate::config::{QcConfig, Representation};
 use crate::node::{candidate_feasible, member_feasible, SearchNode};
 use crate::reduce::reduce_vertices;
 use scpm_graph::bitadj::{
-    difference_is_empty, gather_intersect_popcount, BitAdjacency, VertexBitset,
+    detect_kernel_backend, difference_is_empty_with, gather_intersect_popcount_with, BitAdjacency,
+    KernelBackend, VertexBitset,
 };
 use scpm_graph::csr::{CsrGraph, VertexId};
 use scpm_graph::induced::InducedSubgraph;
@@ -134,11 +135,13 @@ pub struct SearchStats {
     pub pruned_size_bound: u64,
     /// Sets emitted (before maximality post-filtering).
     pub emitted: u64,
-    /// Point adjacency/membership queries answered in the hot loops. The
-    /// search tree is identical across representations, so this is nearly
-    /// representation-independent (short-circuited scans may diverge by a
-    /// few tests); what mainly differs is how much each query *costs* —
-    /// see [`SearchStats::kernel_ops`].
+    /// Point adjacency/membership queries answered in the hot loops. Since
+    /// the batched promotion kernels landed this is representation-
+    /// *dependent*: the bitset path answers its promotion queries with
+    /// row-AND sweeps instead (each elided point probe is counted in
+    /// [`SearchStats::probes_elided`]), so its `edge_tests` is what
+    /// remains — seed-child membership probes and the short-circuited
+    /// maximality checks.
     pub edge_tests: u64,
     /// Modeled hot-loop work: elements touched by slice scans/merges, or
     /// `u64` words touched by bitset kernels. The hardware-independent
@@ -154,6 +157,15 @@ pub struct SearchStats {
     /// hierarchy (currently the containment filter's summary fast-reject)
     /// — data words the unsummarized kernels of PR 4 would have touched.
     pub blocks_skipped: u64,
+    /// Point probes the batched row-AND promotion kernels answered in
+    /// bulk instead — exactly the `edge_tests` the slice path performs at
+    /// the same sites (child-generation bump extraction, critical-vertex
+    /// forcing, the cover partition). Zero on the slice path.
+    pub probes_elided: u64,
+    /// `u64` words touched by the batched promotion sweeps (also counted
+    /// in [`SearchStats::kernel_ops`]; this separates the batching work
+    /// from the rest of the kernel model). Zero on the slice path.
+    pub batch_ops: u64,
 }
 
 impl SearchStats {
@@ -166,6 +178,8 @@ impl SearchStats {
             kernel_ops: 0,
             fused_ops: 0,
             blocks_skipped: 0,
+            probes_elided: 0,
+            batch_ops: 0,
             ..*self
         }
     }
@@ -260,6 +274,16 @@ pub struct EngineScratch {
     removed_bits: VertexBitset,
     /// Nonzero word indices of `removed_bits`.
     removed_active: Vec<u32>,
+    /// Member set `X`, packed for the batched promotion kernels (critical
+    /// forcing and child-generation `x_indeg` bumps).
+    x_bits: VertexBitset,
+    /// Nonzero word indices of `x_bits`.
+    x_active: Vec<u32>,
+    /// Vertex → candidate-index map (valid only for vertices currently in
+    /// the candidate set; stale entries elsewhere are never read).
+    cand_pos: Vec<u32>,
+    /// Vertex → member-index map (valid only for vertices in `x_bits`).
+    x_pos: Vec<u32>,
     /// Per-vertex counters for `single_extendable`, zeroed via `touched`.
     counts: Vec<u32>,
     touched: Vec<VertexId>,
@@ -286,6 +310,12 @@ impl EngineScratch {
         self.aux_active.clear();
         self.removed_bits.reset(n);
         self.removed_active.clear();
+        self.x_bits.reset(n);
+        self.x_active.clear();
+        self.cand_pos.clear();
+        self.cand_pos.resize(n, 0);
+        self.x_pos.clear();
+        self.x_pos.resize(n, 0);
         self.counts.clear();
         self.counts.resize(n, 0);
         self.touched.clear();
@@ -382,8 +412,14 @@ impl<'g> Miner<'g> {
         scratch.reset(n);
         // Pack the reduced subgraph's adjacency once for the whole search;
         // oversized graphs fall back to the slice kernels (identical
-        // results, see `BITADJ_MAX_VERTICES`).
-        let bits_on = self.repr == Representation::Bitset && n <= BITADJ_MAX_VERTICES;
+        // results, see `BITADJ_MAX_VERTICES`). The kernel backend is
+        // resolved here — once per pack — so the hot loops dispatch on a
+        // register-resident enum, never re-probing CPU features.
+        let bits_on = self.repr != Representation::Slice && n <= BITADJ_MAX_VERTICES;
+        let backend = match self.repr {
+            Representation::Simd if bits_on => detect_kernel_backend(),
+            _ => KernelBackend::Scalar,
+        };
         if bits_on {
             scratch.adj.rebuild(&sub.graph);
             // One pass packs the rows, a second lists each row's nonzero
@@ -393,7 +429,7 @@ impl<'g> Miner<'g> {
             scratch.adj.clear();
         }
         let mut ctx = Ctx::new(
-            &sub.graph, self.cfg, self.prune, self.order, mode, bits_on, scratch,
+            &sub.graph, self.cfg, self.prune, self.order, mode, bits_on, backend, scratch,
         );
         ctx.search(&mut stats);
         let Ctx { emitted, .. } = ctx;
@@ -414,7 +450,7 @@ impl<'g> Miner<'g> {
                 }
             }
             MiningMode::EnumerateMaximal => {
-                let maximal = containment_filter(emitted, n, &mut stats);
+                let maximal = containment_filter(emitted, n, backend, &mut stats);
                 let cliques = self.score(&sub, maximal);
                 MiningOutcome {
                     cliques,
@@ -423,7 +459,7 @@ impl<'g> Miner<'g> {
                 }
             }
             MiningMode::TopK(k) => {
-                let maximal = containment_filter(emitted, n, &mut stats);
+                let maximal = containment_filter(emitted, n, backend, &mut stats);
                 let mut cliques = self.score(&sub, maximal);
                 cliques.sort_by(pattern_order);
                 cliques.truncate(k);
@@ -470,6 +506,7 @@ impl<'g> Miner<'g> {
 fn containment_filter(
     mut sets: Vec<Vec<VertexId>>,
     n: usize,
+    backend: KernelBackend,
     stats: &mut SearchStats,
 ) -> Vec<Vec<VertexId>> {
     sets.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
@@ -487,11 +524,11 @@ fn containment_filter(
             // Summary fast-reject: a nonzero probe word over an empty
             // kept word disproves containment without touching the data
             // words (counted as every 8-word block skipped).
-            if !difference_is_empty(probe.summary(), bigger.summary()) {
+            if !difference_is_empty_with(backend, probe.summary(), bigger.summary()) {
                 stats.blocks_skipped += probe.num_blocks() as u64;
                 return false;
             }
-            probe.is_subset_of(bigger)
+            probe.is_subset_of_with(backend, bigger)
         });
         if contained {
             continue;
@@ -521,6 +558,10 @@ struct Ctx<'a> {
     mode: MiningMode,
     /// Whether the packed kernels are active (`scratch.adj` is populated).
     bits_on: bool,
+    /// Kernel backend resolved at pack time ([`KernelBackend::Scalar`]
+    /// unless the run requested [`Representation::Simd`] on a capable
+    /// build + CPU).
+    backend: KernelBackend,
     /// Reusable buffers (stamps, coverage bitmap, work list, bitsets).
     s: &'a mut EngineScratch,
     /// Emitted local sets, each sorted (maximal / top-k modes).
@@ -572,6 +613,7 @@ enum Reduction {
 }
 
 impl<'a> Ctx<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         g: &'a CsrGraph,
         cfg: QcConfig,
@@ -579,6 +621,7 @@ impl<'a> Ctx<'a> {
         order: SearchOrder,
         mode: MiningMode,
         bits_on: bool,
+        backend: KernelBackend,
         scratch: &'a mut EngineScratch,
     ) -> Self {
         let n = g.num_vertices();
@@ -589,6 +632,7 @@ impl<'a> Ctx<'a> {
             order,
             mode,
             bits_on,
+            backend,
             s: scratch,
             emitted: Vec::new(),
             remaining: n,
@@ -793,6 +837,14 @@ impl<'a> Ctx<'a> {
     /// Moves every candidate neighbor of member `member_idx` into `X`,
     /// maintaining the indeg bookkeeping of members and remaining
     /// candidates.
+    ///
+    /// Bitset path: fully batched — the forced/rest partition and every
+    /// indeg bump come from `row ∧ set` word sweeps over the packed
+    /// candidate and member sets instead of per-vertex point probes (the
+    /// elided probes and the words swept are counted in
+    /// [`SearchStats::probes_elided`] / [`SearchStats::batch_ops`]). The
+    /// slice path keeps its stamp-probe loops; both produce identical
+    /// bookkeeping, hence an identical search tree.
     fn force_candidates(
         &mut self,
         node: &mut SearchNode,
@@ -800,6 +852,10 @@ impl<'a> Ctx<'a> {
         stats: &mut SearchStats,
     ) {
         let v = node.x[member_idx];
+        if self.bits_on {
+            self.force_candidates_batched(node, v, stats);
+            return;
+        }
         self.mark_neighbors(v, stats);
         let mut forced: Vec<VertexId> = Vec::new();
         let mut rest: Vec<VertexId> = Vec::with_capacity(node.cands.len());
@@ -832,6 +888,122 @@ impl<'a> Ctx<'a> {
                 }
             }
         }
+    }
+
+    /// The bitset arm of [`Ctx::force_candidates`]: the packed candidate
+    /// set (`cand_bits`, in sync with `node.cands`) is partitioned by one
+    /// sweep of `row(v)`, and each forced vertex's member/candidate bumps
+    /// are one `row ∧ X` and one `row ∧ rest` sweep. Forced vertices join
+    /// the packed member set as they are appended, so later forced
+    /// vertices count earlier ones exactly as the point-probe loop does.
+    fn force_candidates_batched(
+        &mut self,
+        node: &mut SearchNode,
+        v: VertexId,
+        stats: &mut SearchStats,
+    ) {
+        let mut batch = 0u64;
+        let mut forced: Vec<VertexId> = Vec::new();
+        let mut rest: Vec<VertexId> = Vec::with_capacity(node.cands.len());
+        let mut rest_indeg: Vec<u32> = Vec::with_capacity(node.cands.len());
+        {
+            let row = self.s.adj.row(v);
+            let cand_words = self.s.cand_bits.words();
+            let mut j = 0usize;
+            // Candidates ascend and `cand_active` lists their words in
+            // ascending order, so walking set bits word by word visits
+            // node.cands[0..] in order — `j` is the candidate index.
+            for &wi in &self.s.cand_active {
+                let wi = wi as usize;
+                let cw = cand_words[wi];
+                if cw == 0 {
+                    continue;
+                }
+                batch += 1;
+                let m = row[wi] & cw;
+                let mut bits = cw;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let c = (wi * 64 + bit) as VertexId;
+                    debug_assert_eq!(node.cands[j], c);
+                    if m & (1u64 << bit) != 0 {
+                        forced.push(c);
+                    } else {
+                        rest.push(c);
+                        rest_indeg.push(node.cands_indeg[j]);
+                    }
+                    j += 1;
+                }
+            }
+            debug_assert_eq!(j, node.cands.len());
+        }
+        stats.probes_elided += node.cands.len() as u64;
+        debug_assert!(!forced.is_empty(), "critical member must have exdeg > 0");
+        // Forced vertices leave the packed candidate set (keeping it in
+        // sync with `rest` for the candidate-side sweeps below).
+        for &w in &forced {
+            self.s.cand_bits.remove(w);
+        }
+        // Pack X with its vertex → index map; build the rest-index map.
+        let cleared = self.s.x_active.len();
+        self.s.x_bits.clear_active(&mut self.s.x_active);
+        for (i, &u) in node.x.iter().enumerate() {
+            self.s.x_pos[u as usize] = i as u32;
+            self.s.x_bits.insert_tracked(u, &mut self.s.x_active);
+        }
+        for (j, &c) in rest.iter().enumerate() {
+            self.s.cand_pos[c as usize] = j as u32;
+        }
+        stats.kernel_ops += (cleared + forced.len() + node.x.len() + rest.len()) as u64;
+        node.cands = rest;
+        node.cands_indeg = rest_indeg;
+        for w in forced {
+            let mut w_indeg = 0u32;
+            {
+                let row = self.s.adj.row(w);
+                let x_words = self.s.x_bits.words();
+                for &wi in &self.s.x_active {
+                    let wi = wi as usize;
+                    if x_words[wi] == 0 {
+                        continue;
+                    }
+                    batch += 1;
+                    let mut m = row[wi] & x_words[wi];
+                    while m != 0 {
+                        let bit = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let u = wi * 64 + bit;
+                        node.x_indeg[self.s.x_pos[u] as usize] += 1;
+                        w_indeg += 1;
+                    }
+                }
+            }
+            stats.probes_elided += node.x.len() as u64;
+            self.s.x_pos[w as usize] = node.x.len() as u32;
+            node.x.push(w);
+            node.x_indeg.push(w_indeg);
+            self.s.x_bits.insert_tracked(w, &mut self.s.x_active);
+            let row = self.s.adj.row(w);
+            let cand_words = self.s.cand_bits.words();
+            for &wi in &self.s.cand_active {
+                let wi = wi as usize;
+                if cand_words[wi] == 0 {
+                    continue;
+                }
+                batch += 1;
+                let mut m = row[wi] & cand_words[wi];
+                while m != 0 {
+                    let bit = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let c = wi * 64 + bit;
+                    node.cands_indeg[self.s.cand_pos[c] as usize] += 1;
+                }
+            }
+            stats.probes_elided += node.cands.len() as u64;
+        }
+        stats.batch_ops += batch;
+        stats.kernel_ops += batch;
     }
 
     /// Prepares point-adjacency queries against `N(v)`: stamp-marks the
@@ -954,28 +1126,64 @@ impl<'a> Ctx<'a> {
             if let Some(jbest) = best {
                 let cv = node.cands[jbest];
                 if self.bits_on {
-                    stats.kernel_ops += order.len() as u64;
+                    // Batched stable partition: one sweep of row(cv) over
+                    // the packed candidate words. `order` is still the
+                    // identity permutation here and candidates ascend, so
+                    // walking set bits word by word visits order[0..] in
+                    // order — no point probes.
+                    let row = self.s.adj.row(cv);
+                    let cand_words = self.s.cand_bits.words();
+                    let mut uncovered: Vec<u32> = Vec::with_capacity(order.len());
+                    let mut covered: Vec<u32> = Vec::new();
+                    let mut j = 0u32;
+                    let mut batch = 0u64;
+                    for &wi in &self.s.cand_active {
+                        let wi = wi as usize;
+                        let cw = cand_words[wi];
+                        if cw == 0 {
+                            continue;
+                        }
+                        batch += 1;
+                        let m = row[wi] & cw;
+                        let mut bits = cw;
+                        while bits != 0 {
+                            let bit = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            if m & (1u64 << bit) != 0 {
+                                covered.push(j);
+                            } else {
+                                uncovered.push(j);
+                            }
+                            j += 1;
+                        }
+                    }
+                    debug_assert_eq!(j as usize, order.len());
+                    stats.probes_elided += order.len() as u64;
+                    stats.batch_ops += batch;
+                    stats.kernel_ops += batch;
+                    skip_from = uncovered.len();
+                    stats.pruned_cover += covered.len() as u64;
+                    order = uncovered;
+                    order.extend(covered);
                 } else {
                     self.s.cover_mark.begin();
                     for &u in self.g.neighbors(cv) {
                         self.s.cover_mark.set(u);
                     }
                     stats.kernel_ops += (self.g.degree(cv) + order.len()) as u64;
+                    stats.edge_tests += order.len() as u64;
+                    // Stable partition: uncovered pivots first, covered
+                    // last.
+                    let (uncovered, covered): (Vec<u32>, Vec<u32>) =
+                        order.iter().partition(|&&j| {
+                            let c = node.cands[j as usize];
+                            !self.s.cover_mark.get(c)
+                        });
+                    skip_from = uncovered.len();
+                    stats.pruned_cover += covered.len() as u64;
+                    order = uncovered;
+                    order.extend(covered);
                 }
-                stats.edge_tests += order.len() as u64;
-                // Stable partition: uncovered pivots first, covered last.
-                let (uncovered, covered): (Vec<u32>, Vec<u32>) = order.iter().partition(|&&j| {
-                    let c = node.cands[j as usize];
-                    if self.bits_on {
-                        !self.s.adj.has_edge(cv, c)
-                    } else {
-                        !self.s.cover_mark.get(c)
-                    }
-                });
-                skip_from = uncovered.len();
-                stats.pruned_cover += covered.len() as u64;
-                order = uncovered;
-                order.extend(covered);
             }
         }
 
@@ -995,6 +1203,25 @@ impl<'a> Ctx<'a> {
         } else {
             None
         };
+        // Batched bitset child generation packs X once per node (with its
+        // vertex → index map) and builds the candidate index map; pivots
+        // are then *removed* from the packed candidate set one by one, so
+        // at pivot `pos` the packed set is exactly the candidates at
+        // later positions — the child's candidate set — and one `row(v)`
+        // sweep yields the member bumps, the candidate bumps, and the
+        // ascending candidate order for free (no sort, no point probes).
+        if self.bits_on && rank.is_none() && skip_from > 0 {
+            let cleared = self.s.x_active.len();
+            self.s.x_bits.clear_active(&mut self.s.x_active);
+            for (i, &u) in node.x.iter().enumerate() {
+                self.s.x_pos[u as usize] = i as u32;
+                self.s.x_bits.insert_tracked(u, &mut self.s.x_active);
+            }
+            for (j, &c) in node.cands.iter().enumerate() {
+                self.s.cand_pos[c as usize] = j as u32;
+            }
+            stats.kernel_ops += (cleared + node.x.len() + node.cands.len()) as u64;
+        }
         for (pos, &jidx) in order.iter().enumerate().take(skip_from) {
             let idx = jidx as usize;
             let v = node.cands[idx];
@@ -1004,6 +1231,10 @@ impl<'a> Ctx<'a> {
                 // two-hop neighborhood — no scan over the full candidate
                 // list (which is the entire graph at the root).
                 children.push(self.seed_child(v, pos as u32, rank, stats));
+                continue;
+            }
+            if self.bits_on {
+                children.push(self.pivot_child_batched(&node, v, order.len() - pos - 1, stats));
                 continue;
             }
             self.mark_neighbors(v, stats);
@@ -1130,6 +1361,82 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Builds the child node of pivot `v` on the bitset path, fully
+    /// batched: the caller has packed `X` (with `x_pos`) and built
+    /// `cand_pos`, and removes pivots from the packed candidate set in
+    /// processing order — so after `self.s.cand_bits.remove(v)` the packed
+    /// set is exactly the child's candidate set (`later` vertices). One
+    /// `row(v) ∧ X` sweep bumps the member indegs; one `row(v) ∧ cands`
+    /// sweep emits the child's candidates *already ascending* with their
+    /// indeg bumps read off the AND word — replacing `|X| + later` point
+    /// probes (counted in [`SearchStats::probes_elided`]) and the
+    /// per-child sort with `batch_ops` word touches.
+    fn pivot_child_batched(
+        &mut self,
+        node: &SearchNode,
+        v: VertexId,
+        later: usize,
+        stats: &mut SearchStats,
+    ) -> SearchNode {
+        let mut batch = 0u64;
+        self.s.cand_bits.remove(v);
+        let mut child_x = node.x.clone();
+        let mut child_x_indeg = node.x_indeg.clone();
+        {
+            let row = self.s.adj.row(v);
+            let x_words = self.s.x_bits.words();
+            for &wi in &self.s.x_active {
+                let wi = wi as usize;
+                if x_words[wi] == 0 {
+                    continue;
+                }
+                batch += 1;
+                let mut m = row[wi] & x_words[wi];
+                while m != 0 {
+                    let bit = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let u = wi * 64 + bit;
+                    child_x_indeg[self.s.x_pos[u] as usize] += 1;
+                }
+            }
+        }
+        stats.probes_elided += node.x.len() as u64;
+        child_x.push(v);
+        child_x_indeg.push(node.cands_indeg[self.s.cand_pos[v as usize] as usize]);
+        let mut child_cands: Vec<VertexId> = Vec::with_capacity(later);
+        let mut child_indeg: Vec<u32> = Vec::with_capacity(later);
+        let row = self.s.adj.row(v);
+        let cand_words = self.s.cand_bits.words();
+        for &wi in &self.s.cand_active {
+            let wi = wi as usize;
+            let cw = cand_words[wi];
+            if cw == 0 {
+                continue;
+            }
+            batch += 1;
+            let m = row[wi] & cw;
+            let mut bits = cw;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let w = (wi * 64 + bit) as VertexId;
+                let j = self.s.cand_pos[w as usize] as usize;
+                child_cands.push(w);
+                child_indeg.push(node.cands_indeg[j] + ((m >> bit) & 1) as u32);
+            }
+        }
+        debug_assert_eq!(child_cands.len(), later);
+        stats.probes_elided += later as u64;
+        stats.batch_ops += batch;
+        stats.kernel_ops += batch;
+        SearchNode {
+            x: child_x,
+            x_indeg: child_x_indeg,
+            cands: child_cands,
+            cands_indeg: child_indeg,
+        }
+    }
+
     /// Gathered fused popcount `|row(v) ∩ set_words|` over the sparser of
     /// the row's precomputed active-word list and `active` (the packed
     /// set's) — the word-level galloping idiom every bitset exdeg kernel
@@ -1145,7 +1452,7 @@ impl<'a> Ctx<'a> {
         let ra = self.s.adj.row_active(v);
         let list = if ra.len() <= active.len() { ra } else { active };
         *gathered += list.len();
-        gather_intersect_popcount(self.s.adj.row(v), set_words, list) as u32
+        gather_intersect_popcount_with(self.backend, self.s.adj.row(v), set_words, list) as u32
     }
 
     /// Packs/stamps the candidate set of `node` for the per-vertex exdeg
@@ -1667,7 +1974,7 @@ mod tests {
         let n = g.num_vertices();
         let mut stats = SearchStats::default();
         assert_eq!(
-            containment_filter(input.clone(), n, &mut stats),
+            containment_filter(input.clone(), n, KernelBackend::Scalar, &mut stats),
             containment_filter_naive(input)
         );
     }
@@ -1684,7 +1991,7 @@ mod tests {
             let n = 70;
             let mut stats = SearchStats::default();
             assert_eq!(
-                containment_filter(sets.clone(), n, &mut stats),
+                containment_filter(sets.clone(), n, KernelBackend::Scalar, &mut stats),
                 containment_filter_naive(sets.clone()),
                 "{sets:?}"
             );

@@ -200,6 +200,8 @@ impl PatternCatalog {
             ("qc_kernel_ops".into(), Json::Int(s.qc_kernel_ops)),
             ("qc_fused_ops".into(), Json::Int(s.qc_fused_ops)),
             ("qc_blocks_skipped".into(), Json::Int(s.qc_blocks_skipped)),
+            ("qc_probes_elided".into(), Json::Int(s.qc_probes_elided)),
+            ("qc_batch_ops".into(), Json::Int(s.qc_batch_ops)),
         ])
     }
 

@@ -69,6 +69,47 @@ fn mine_reproduces_table1_via_process() {
 }
 
 #[test]
+fn mine_rejects_unknown_repr() {
+    let path = temp_graph("badrepr");
+    let out = scpm(&[
+        "mine",
+        "--graph",
+        path.to_str().unwrap(),
+        "--repr",
+        "avx512",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid --repr `avx512`"), "{stderr}");
+    // The hint lists every accepted value, including the gated one.
+    assert!(stderr.contains("bitset|slice|simd"), "{stderr}");
+}
+
+#[test]
+fn mine_repr_simd_gated_on_feature() {
+    let path = temp_graph("simdrepr");
+    let out = scpm(&["mine", "--graph", path.to_str().unwrap(), "--repr", "simd"]);
+    // Cargo unifies features across the build graph, so this test sees
+    // the same `simd` setting the spawned binary was compiled with.
+    if scpm_graph::bitadj::simd_compiled() {
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("patterns"));
+    } else {
+        assert_eq!(out.status.code(), Some(1));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("requires a build with the `simd` feature"),
+            "{stderr}"
+        );
+        assert!(stderr.contains("cargo build --features simd"), "{stderr}");
+    }
+}
+
+#[test]
 fn induce_reports_epsilon_and_pvalue() {
     let path = temp_graph("induce");
     let out = scpm(&[

@@ -187,7 +187,7 @@ fn full_catalog_is_byte_exact() {
             &client,
             "/catalog",
             200,
-            r#"{"result":{"params":{"sigma_min":3,"gamma":0.6,"min_size":4,"eps_min":0.5,"delta_min":0,"top_k":5,"min_attrs":1,"max_attrs":3},"num_vertices":11,"num_attributes":5,"num_reports":5,"num_patterns":7,"reports":[{"attrs":["A"],"support":11,"covered":9,"epsilon":0.8181818181818182,"delta_lb":0.8181818181818182,"qualified":true},{"attrs":["C"],"support":3,"covered":0,"epsilon":0,"delta_lb":0,"qualified":false},{"attrs":["D"],"support":3,"covered":0,"epsilon":0,"delta_lb":0,"qualified":false},{"attrs":["B"],"support":6,"covered":6,"epsilon":1,"delta_lb":1.8429319371727748,"qualified":true},{"attrs":["A","B"],"support":6,"covered":6,"epsilon":1,"delta_lb":1.8429319371727748,"qualified":true}],"patterns":[{"attrs":["A"],"vertices":[5,6,7,8,9,10],"size":6,"gamma":0.6,"density":0.6},{"attrs":["A"],"vertices":[2,3,4,5],"size":4,"gamma":1,"density":1},{"attrs":["A"],"vertices":[2,3,5,6],"size":4,"gamma":0.6666666666666666,"density":0.8333333333333334},{"attrs":["A"],"vertices":[2,4,5,6],"size":4,"gamma":0.6666666666666666,"density":0.8333333333333334},{"attrs":["A"],"vertices":[2,5,6,7],"size":4,"gamma":0.6666666666666666,"density":0.8333333333333334},{"attrs":["B"],"vertices":[5,6,7,8,9,10],"size":6,"gamma":0.6,"density":0.6},{"attrs":["A","B"],"vertices":[5,6,7,8,9,10],"size":6,"gamma":0.6,"density":0.6}],"stats":{"attribute_sets_examined":5,"attribute_sets_qualified":3,"pruned_support":0,"pruned_apriori":0,"pruned_eps_bound":2,"pruned_delta_bound":0,"qc_nodes_coverage":27,"qc_nodes_topk":35,"qc_edge_tests":423,"qc_kernel_ops":1711,"qc_fused_ops":533,"qc_blocks_skipped":0}},"error":null,"generation":0}"#,
+            r#"{"result":{"params":{"sigma_min":3,"gamma":0.6,"min_size":4,"eps_min":0.5,"delta_min":0,"top_k":5,"min_attrs":1,"max_attrs":3},"num_vertices":11,"num_attributes":5,"num_reports":5,"num_patterns":7,"reports":[{"attrs":["A"],"support":11,"covered":9,"epsilon":0.8181818181818182,"delta_lb":0.8181818181818182,"qualified":true},{"attrs":["C"],"support":3,"covered":0,"epsilon":0,"delta_lb":0,"qualified":false},{"attrs":["D"],"support":3,"covered":0,"epsilon":0,"delta_lb":0,"qualified":false},{"attrs":["B"],"support":6,"covered":6,"epsilon":1,"delta_lb":1.8429319371727748,"qualified":true},{"attrs":["A","B"],"support":6,"covered":6,"epsilon":1,"delta_lb":1.8429319371727748,"qualified":true}],"patterns":[{"attrs":["A"],"vertices":[5,6,7,8,9,10],"size":6,"gamma":0.6,"density":0.6},{"attrs":["A"],"vertices":[2,3,4,5],"size":4,"gamma":1,"density":1},{"attrs":["A"],"vertices":[2,3,5,6],"size":4,"gamma":0.6666666666666666,"density":0.8333333333333334},{"attrs":["A"],"vertices":[2,4,5,6],"size":4,"gamma":0.6666666666666666,"density":0.8333333333333334},{"attrs":["A"],"vertices":[2,5,6,7],"size":4,"gamma":0.6666666666666666,"density":0.8333333333333334},{"attrs":["B"],"vertices":[5,6,7,8,9,10],"size":6,"gamma":0.6,"density":0.6},{"attrs":["A","B"],"vertices":[5,6,7,8,9,10],"size":6,"gamma":0.6,"density":0.6}],"stats":{"attribute_sets_examined":5,"attribute_sets_qualified":3,"pruned_support":0,"pruned_apriori":0,"pruned_eps_bound":2,"pruned_delta_bound":0,"qc_nodes_coverage":27,"qc_nodes_topk":35,"qc_edge_tests":58,"qc_kernel_ops":1619,"qc_fused_ops":533,"qc_blocks_skipped":0,"qc_probes_elided":365,"qc_batch_ops":119}},"error":null,"generation":0}"#,
         );
     });
 }
@@ -342,8 +342,16 @@ fn stats_reports_all_sections() {
         );
         assert_eq!(
             mining.get("qc_kernel_ops").and_then(Json::as_u64),
-            Some(1711)
+            Some(1619)
         );
+        // The batched-promotion counters are served alongside the classic
+        // kernel figures; on Figure 1 the elided probes are exactly the
+        // point probes the slice path would have issued at those sites.
+        assert_eq!(
+            mining.get("qc_probes_elided").and_then(Json::as_u64),
+            Some(365)
+        );
+        assert_eq!(mining.get("qc_batch_ops").and_then(Json::as_u64), Some(119));
         let cache = stats.get("null_model_cache").unwrap();
         assert!(cache.get("entries").and_then(Json::as_u64).is_some());
     });
