@@ -66,7 +66,9 @@ fn main() -> ExitCode {
         )
     );
 
-    // Materialize the on-disk release shape.
+    // Materialize the on-disk release shape. Plain (non-atomic) creates
+    // are fine: these files are regenerated at the top of every run and
+    // consumed only below, so a torn write costs a re-run, not state.
     let edges_path = dir.join("dblp.edges");
     let attrs_path = dir.join("dblp.attrs");
     let (_, secs) = timed(|| {
@@ -109,10 +111,11 @@ fn main() -> ExitCode {
         )
     );
 
-    // Snapshot round-trip.
+    // Snapshot round-trip. Atomic write: this snapshot is read back (and
+    // may be reused as a cache), so it must never exist in a torn state.
     let snap_path = dir.join("dblp.snap");
     let (bytes, secs) = timed(|| snapshot::encode(&ingested.graph));
-    std::fs::write(&snap_path, &bytes).expect("write snapshot");
+    scpm_graph::write_atomic(&snap_path, &bytes).expect("write snapshot");
     row!(
         "encode",
         format!("{secs:.3}"),

@@ -754,7 +754,9 @@ fn main() -> ExitCode {
         .map(report_ratio)
         .fold(f64::INFINITY, f64::min);
     let body = render(&reports, &streaming, min_ratio, ok);
-    if let Err(e) = std::fs::write(&out_path, &body) {
+    // Atomic write: BENCH.md is diffed against a checked-in baseline, so
+    // a torn report must never masquerade as a complete run.
+    if let Err(e) = scpm_graph::write_atomic(std::path::Path::new(&out_path), body.as_bytes()) {
         eprintln!("# ERROR: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }

@@ -16,6 +16,12 @@
 //! incremental path end to end: the generation must bump by one and the
 //! served catalog must be byte-identical to a fresh batch mine of the
 //! updated graph (see `docs/INCREMENTAL.md`).
+//!
+//! Finally it exercises the durability path: a `--data-dir`-style server
+//! is killed (no shutdown checkpoint) right after an acknowledged update,
+//! and reopening the data directory must replay the journal into a
+//! byte-identical catalog (`restart_identity` row, see
+//! `docs/DURABILITY.md`).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -25,7 +31,7 @@ use scpm_bench::{arg_f64, arg_usize, row, timed};
 use scpm_core::{NullModelCache, ParallelConfig, Scpm, ScpmParams};
 use scpm_datasets::dblp_like;
 use scpm_graph::{DeltaOp, GraphDelta};
-use scpm_serve::{Client, PatternCatalog, ServeConfig, Server};
+use scpm_serve::{Client, DurabilityConfig, PatternCatalog, ServeConfig, Server};
 
 fn params() -> ScpmParams {
     ScpmParams::new(8, 0.5, 6)
@@ -189,7 +195,49 @@ fn main() -> ExitCode {
     );
 
     server.stop();
-    if identical && update_identical {
+
+    // Kill-and-restart: abort a durable server (no shutdown checkpoint)
+    // right after an acknowledged update, then reopen the data directory.
+    // Recovery must replay the journaled delta into a catalog that is
+    // byte-identical to the one served before the kill.
+    let data_dir = std::env::temp_dir().join(format!("scpm_exp_serve_{seed}"));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let durable_config = || {
+        ServeConfig::new(params(), threads)
+            .with_durability(DurabilityConfig::new(&data_dir).with_checkpoint_every(1_000_000))
+    };
+    let durable =
+        Server::start(reference_graph.clone(), durable_config()).expect("durable server start");
+    let durable_client = Client::new(durable.addr());
+    let update = durable_client
+        .post("/update", &body)
+        .expect("durable update");
+    if update.status != 200 {
+        eprintln!(
+            "error: durable POST /update returned {}: {}",
+            update.status, update.body
+        );
+        return ExitCode::FAILURE;
+    }
+    let before_kill = durable.catalog().full_json().render();
+    durable.abort();
+    let start = Instant::now();
+    let (reopened, report) = Server::open(durable_config()).expect("reopen data dir");
+    let recover_us = start.elapsed().as_micros() as u64;
+    row!("restart_recover", 1, "-", "-", recover_us);
+    let after_restart = reopened.catalog().full_json().render();
+    reopened.stop();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let restart_identical = report.replayed_deltas == 1 && before_kill == after_restart;
+    row!(
+        "restart_identity",
+        1,
+        "-",
+        "-",
+        if restart_identical { "ok" } else { "MISMATCH" }
+    );
+
+    if identical && update_identical && restart_identical {
         ExitCode::SUCCESS
     } else {
         if !identical {
@@ -197,6 +245,12 @@ fn main() -> ExitCode {
         }
         if !update_identical {
             eprintln!("error: updated catalog differs from batch mine of the updated graph");
+        }
+        if !restart_identical {
+            eprintln!(
+                "error: catalog after kill-and-restart differs (replayed {} deltas)",
+                report.replayed_deltas
+            );
         }
         ExitCode::FAILURE
     }

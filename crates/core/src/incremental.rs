@@ -97,6 +97,20 @@ impl DirtySet {
         }
     }
 
+    /// The nothing-is-dirty set over a graph with `num_attrs` attributes:
+    /// every memoized set with stable parents replays. This is the
+    /// recovery path's "replay without a recording mine" — a restarted
+    /// server re-drives the lattice structurally but reuses every
+    /// persisted evaluation, because the graph is byte-identical to the
+    /// one the memo was recorded against (see `docs/DURABILITY.md`).
+    pub fn clean(num_attrs: usize) -> DirtySet {
+        DirtySet {
+            all_dirty: false,
+            dirty_attrs: vec![false; num_attrs],
+            edge_caps: Vec::new(),
+        }
+    }
+
     /// Computes the dirty region of `applied` over its updated graph.
     pub fn from_delta(graph: &AttributedGraph, applied: &AppliedDelta) -> DirtySet {
         let mut dirty_attrs = vec![false; graph.num_attributes()];

@@ -48,6 +48,7 @@ pub mod correlation;
 pub mod hypergeom;
 pub mod incremental;
 pub mod levelwise;
+pub mod memoio;
 pub mod naive;
 pub mod nullmodel;
 pub mod parallel;
@@ -55,11 +56,13 @@ pub mod params;
 pub mod pattern;
 pub mod report;
 pub mod scorp;
+pub mod store;
 
 pub use algorithm::Scpm;
 pub use correlation::{CorrelationEngine, CorrelationOutcome};
 pub use hypergeom::{hypergeometric_pmf, hypergeometric_tail, ExactModel};
 pub use incremental::{DirtySet, EvalMemo, EvalRecord, IncrementalCtx, IncrementalStats};
+pub use memoio::{decode_memo, encode_memo, params_fingerprint, DecodedMemo, MemoError};
 pub use naive::run_naive;
 pub use nullmodel::{
     binomial_pmf, binomial_tail, empirical_p_value, simulate_coverage_samples, simulate_expected,
@@ -73,3 +76,7 @@ pub use parallel::{
 pub use params::{ScpmParams, ScpmPruneFlags};
 pub use pattern::{describe_patterns, AttributeSetReport, Pattern, ScpmResult, ScpmStats};
 pub use scorp::Scorp;
+pub use store::{
+    checkpoint, checkpoint_with, recover, replay_mine, DataDir, RecoveredMine, RecoveredState,
+    StoreError,
+};

@@ -1,0 +1,445 @@
+//! Deterministic fault injection over durability I/O, plus the atomic
+//! file writer built on it.
+//!
+//! Every byte the durability subsystem puts on disk flows through a
+//! [`FaultInjector`]: file creation, payload writes, syncs, and the
+//! final renames of atomic writes. The injector counts those operations
+//! and, when armed with a [`FaultPlan`], fails exactly one of them in a
+//! chosen [`FaultMode`] — an I/O error, a short write, or a simulated
+//! process crash after which *every* subsequent operation through the
+//! same injector fails (the process is "dead"; nothing it would have
+//! written later can reach the disk). The crash-recovery differential
+//! harness (`tests/crash_recovery.rs`) first counts the operations of a
+//! fault-free run, then replays the run once per operation index and
+//! asserts recovery lands on an atomic pre- or post-commit state — see
+//! `docs/DURABILITY.md` for the fault-point catalog.
+//!
+//! A default-constructed injector is a no-op passthrough (no allocation,
+//! no counting), so production call sites pay nothing. External
+//! processes (the CLI, `exp_serve`) arm one from the environment via
+//! [`FaultInjector::from_env`] and the `SCPM_FAULT=<mode>@<index>`
+//! failpoint.
+//!
+//! [`write_atomic`] is the one durable write primitive the workspace
+//! uses: temp file in the target directory → write → fsync → rename.
+//! Readers therefore observe either the old file or the new file, never
+//! a torn mixture — the rename is the commit point.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How an armed injector fails the planned operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation returns an I/O error; the process keeps running
+    /// (a full disk, a permissions flip, an EIO).
+    Error,
+    /// A write persists only the first half of its payload, then
+    /// errors; the process keeps running. Non-write operations degrade
+    /// to [`FaultMode::Error`].
+    ShortWrite,
+    /// The operation takes partial effect (writes persist half their
+    /// payload; creates/syncs/renames do nothing) and the injector
+    /// becomes permanently dead: every later operation fails with a
+    /// crash-marked error. This simulates the process dying mid-I/O.
+    Crash,
+}
+
+impl FaultMode {
+    /// Parses the mode names accepted by the `SCPM_FAULT` failpoint.
+    pub fn parse(s: &str) -> Option<FaultMode> {
+        match s {
+            "error" => Some(FaultMode::Error),
+            "short" => Some(FaultMode::ShortWrite),
+            "crash" => Some(FaultMode::Crash),
+            _ => None,
+        }
+    }
+}
+
+/// A single planned fault: fail durability operation number `op_index`
+/// (0-based, in injector order) in the given mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// 0-based index of the operation to fail.
+    pub op_index: u64,
+    /// Failure mode applied at that operation.
+    pub mode: FaultMode,
+}
+
+struct InjectorState {
+    plan: Option<FaultPlan>,
+    next_op: AtomicU64,
+    crashed: AtomicBool,
+}
+
+/// Deterministic fault injector threaded through durability I/O.
+///
+/// Cloning shares the underlying operation counter, so one injector can
+/// be handed to several layers (journal writer, checkpoint path) and
+/// still number their operations in a single global sequence.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    state: Option<Arc<InjectorState>>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.state {
+            None => write!(f, "FaultInjector(none)"),
+            Some(s) => write!(
+                f,
+                "FaultInjector(plan: {:?}, next_op: {}, crashed: {})",
+                s.plan,
+                s.next_op.load(Ordering::Relaxed),
+                s.crashed.load(Ordering::Relaxed)
+            ),
+        }
+    }
+}
+
+/// Marker message carried by injected-crash errors; [`is_injected_crash`]
+/// recognizes it after the error has crossed `io::Error` boundaries.
+const CRASH_MSG: &str = "scpm fault injection: simulated crash";
+const ERROR_MSG: &str = "scpm fault injection: injected i/o error";
+
+/// True if the error was produced by a [`FaultMode::Crash`] injection
+/// (directly or by any operation after the simulated crash).
+pub fn is_injected_crash(e: &io::Error) -> bool {
+    e.to_string().contains(CRASH_MSG)
+}
+
+fn crash_error() -> io::Error {
+    io::Error::other(CRASH_MSG)
+}
+
+fn injected_error() -> io::Error {
+    io::Error::other(ERROR_MSG)
+}
+
+/// What the gate decided for one operation.
+enum Gate {
+    /// Run the operation normally.
+    Proceed,
+    /// Fail it in this mode.
+    Fail(FaultMode),
+}
+
+impl FaultInjector {
+    /// A passthrough injector: operations run directly, nothing counts.
+    pub fn none() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// An injector that counts operations and fails per `plan`.
+    ///
+    /// Pass `op_index: u64::MAX` to count a fault-free run: the plan
+    /// never fires and [`FaultInjector::ops_seen`] reports how many
+    /// fault points the run had.
+    pub fn plan(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            state: Some(Arc::new(InjectorState {
+                plan: Some(plan),
+                next_op: AtomicU64::new(0),
+                crashed: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// A counting injector with no planned fault (same as a plan that
+    /// never fires).
+    pub fn counting() -> FaultInjector {
+        FaultInjector {
+            state: Some(Arc::new(InjectorState {
+                plan: None,
+                next_op: AtomicU64::new(0),
+                crashed: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Reads the `SCPM_FAULT=<mode>@<index>` failpoint from the
+    /// environment (`mode` ∈ `error` | `short` | `crash`). Returns a
+    /// passthrough injector when unset; malformed values are reported
+    /// as an error so a typo cannot silently disable a planned fault.
+    pub fn from_env() -> Result<FaultInjector, String> {
+        match std::env::var("SCPM_FAULT") {
+            Err(_) => Ok(FaultInjector::none()),
+            Ok(spec) => {
+                let parsed = spec.split_once('@').and_then(|(m, k)| {
+                    Some(FaultPlan {
+                        mode: FaultMode::parse(m)?,
+                        op_index: k.parse().ok()?,
+                    })
+                });
+                match parsed {
+                    Some(plan) => Ok(FaultInjector::plan(plan)),
+                    None => Err(format!(
+                        "invalid SCPM_FAULT {spec:?} (expected <error|short|crash>@<index>)"
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Number of durability operations gated so far (counting injectors
+    /// only; a passthrough reports 0).
+    pub fn ops_seen(&self) -> u64 {
+        self.state
+            .as_ref()
+            .map(|s| s.next_op.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// True once a [`FaultMode::Crash`] has fired: the simulated
+    /// process is dead and every further operation fails.
+    pub fn crashed(&self) -> bool {
+        self.state
+            .as_ref()
+            .map(|s| s.crashed.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    fn gate(&self) -> io::Result<Gate> {
+        let Some(state) = &self.state else {
+            return Ok(Gate::Proceed);
+        };
+        if state.crashed.load(Ordering::Relaxed) {
+            return Err(crash_error());
+        }
+        let op = state.next_op.fetch_add(1, Ordering::Relaxed);
+        match state.plan {
+            Some(plan) if plan.op_index == op => {
+                if plan.mode == FaultMode::Crash {
+                    state.crashed.store(true, Ordering::Relaxed);
+                }
+                Ok(Gate::Fail(plan.mode))
+            }
+            _ => Ok(Gate::Proceed),
+        }
+    }
+
+    /// Creates (truncating) a file — one fault point.
+    pub fn create(&self, path: &Path) -> io::Result<File> {
+        match self.gate()? {
+            Gate::Proceed => File::create(path),
+            Gate::Fail(FaultMode::Crash) => Err(crash_error()),
+            Gate::Fail(_) => Err(injected_error()),
+        }
+    }
+
+    /// Writes a full payload to an open file — one fault point. Short
+    /// writes and crashes persist the first half of `bytes` before
+    /// failing, modeling a write torn by the failure.
+    pub fn write(&self, file: &mut File, bytes: &[u8]) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed => file.write_all(bytes),
+            Gate::Fail(mode) => {
+                let half = bytes.len() / 2;
+                match mode {
+                    FaultMode::Error => Err(injected_error()),
+                    FaultMode::ShortWrite => {
+                        file.write_all(&bytes[..half])?;
+                        let _ = file.sync_all();
+                        Err(injected_error())
+                    }
+                    FaultMode::Crash => {
+                        let _ = file.write_all(&bytes[..half]);
+                        let _ = file.sync_all();
+                        Err(crash_error())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Syncs file content and metadata to disk — one fault point.
+    pub fn sync(&self, file: &File) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed => file.sync_all(),
+            Gate::Fail(FaultMode::Crash) => Err(crash_error()),
+            Gate::Fail(_) => Err(injected_error()),
+        }
+    }
+
+    /// Renames a file over its final name — one fault point, the commit
+    /// point of every atomic write.
+    pub fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.gate()? {
+            Gate::Proceed => fs::rename(from, to),
+            Gate::Fail(FaultMode::Crash) => Err(crash_error()),
+            Gate::Fail(_) => Err(injected_error()),
+        }
+    }
+}
+
+fn tmp_sibling(path: &Path) -> io::Result<PathBuf> {
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("atomic write target has no file name: {}", path.display()),
+        )
+    })?;
+    let mut tmp = name.to_os_string();
+    tmp.push(".tmp");
+    Ok(path.with_file_name(tmp))
+}
+
+/// Atomically replaces `path` with `bytes`: write `<name>.tmp` in the
+/// same directory, fsync, then rename over the target. A reader (or a
+/// crash) observes either the complete old content or the complete new
+/// content, never a prefix or a mixture.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    write_atomic_with(&FaultInjector::none(), path.as_ref(), bytes)
+}
+
+/// [`write_atomic`] with fault injection: create, write, sync, and
+/// rename are four consecutive fault points. On a non-crash failure the
+/// temp file is cleaned up; after a simulated crash it is left behind,
+/// exactly as a real crash would leave it (recovery ignores and prunes
+/// `*.tmp` debris).
+pub fn write_atomic_with(inj: &FaultInjector, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path)?;
+    let result = (|| {
+        let mut file = inj.create(&tmp)?;
+        inj.write(&mut file, bytes)?;
+        inj.sync(&file)?;
+        drop(file);
+        inj.rename(&tmp, path)
+    })();
+    if result.is_err() && !inj.crashed() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("scpm_fault_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn passthrough_writes_and_counts_nothing() {
+        let dir = tdir("passthrough");
+        let inj = FaultInjector::none();
+        let path = dir.join("f.bin");
+        write_atomic_with(&inj, &path, b"hello").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello");
+        assert_eq!(inj.ops_seen(), 0);
+        assert!(!dir.join("f.bin.tmp").exists());
+    }
+
+    #[test]
+    fn counting_run_reports_four_ops_per_atomic_write() {
+        let dir = tdir("count");
+        let inj = FaultInjector::counting();
+        write_atomic_with(&inj, &dir.join("f.bin"), b"x").unwrap();
+        assert_eq!(inj.ops_seen(), 4); // create, write, sync, rename
+    }
+
+    #[test]
+    fn atomic_write_never_exposes_partial_content() {
+        // Whatever single op fails, the target holds old content in full.
+        let dir = tdir("atomicity");
+        let path = dir.join("f.bin");
+        write_atomic(&path, b"old-content").unwrap();
+        for op in 0..4 {
+            for mode in [FaultMode::Error, FaultMode::ShortWrite, FaultMode::Crash] {
+                let inj = FaultInjector::plan(FaultPlan { op_index: op, mode });
+                let r = write_atomic_with(&inj, &path, b"NEW-CONTENT");
+                if op == 3 && r.is_ok() {
+                    // Rename is the commit point; a fault *at* the rename
+                    // always fails here, so Ok is unreachable before it.
+                    unreachable!();
+                }
+                assert!(r.is_err(), "op {op} {mode:?} unexpectedly succeeded");
+                assert_eq!(
+                    fs::read(&path).unwrap(),
+                    b"old-content",
+                    "op {op} {mode:?} tore the target"
+                );
+                // Reset for the next round: clear temp debris.
+                let _ = fs::remove_file(dir.join("f.bin.tmp"));
+            }
+        }
+        // And with the fault past the end, the write commits.
+        let inj = FaultInjector::plan(FaultPlan {
+            op_index: u64::MAX,
+            mode: FaultMode::Crash,
+        });
+        write_atomic_with(&inj, &path, b"NEW-CONTENT").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"NEW-CONTENT");
+    }
+
+    #[test]
+    fn crash_is_sticky_and_marked() {
+        let dir = tdir("sticky");
+        let inj = FaultInjector::plan(FaultPlan {
+            op_index: 0,
+            mode: FaultMode::Crash,
+        });
+        let e = write_atomic_with(&inj, &dir.join("a.bin"), b"a").unwrap_err();
+        assert!(is_injected_crash(&e));
+        assert!(inj.crashed());
+        // The "process" is dead: every later operation fails too.
+        let e2 = write_atomic_with(&inj, &dir.join("b.bin"), b"b").unwrap_err();
+        assert!(is_injected_crash(&e2));
+        assert!(!dir.join("b.bin").exists());
+    }
+
+    #[test]
+    fn short_write_persists_half_then_errors() {
+        let dir = tdir("short");
+        let inj = FaultInjector::plan(FaultPlan {
+            op_index: 1, // the payload write of the first atomic write
+            mode: FaultMode::ShortWrite,
+        });
+        let path = dir.join("f.bin");
+        let e = write_atomic_with(&inj, &path, b"0123456789").unwrap_err();
+        assert!(!is_injected_crash(&e));
+        // Target never appeared; the torn payload only ever hit the temp
+        // file, which the error path removed.
+        assert!(!path.exists());
+        assert!(!dir.join("f.bin.tmp").exists());
+    }
+
+    #[test]
+    fn from_env_parses_and_rejects() {
+        // Sequential checks; env vars are process-global, so keep this in
+        // one test and restore the variable at the end.
+        std::env::remove_var("SCPM_FAULT");
+        assert!(FaultInjector::from_env().unwrap().state.is_none());
+        std::env::set_var("SCPM_FAULT", "crash@7");
+        let inj = FaultInjector::from_env().unwrap();
+        assert_eq!(
+            inj.state.as_ref().unwrap().plan,
+            Some(FaultPlan {
+                op_index: 7,
+                mode: FaultMode::Crash
+            })
+        );
+        std::env::set_var("SCPM_FAULT", "nonsense");
+        assert!(FaultInjector::from_env().is_err());
+        std::env::remove_var("SCPM_FAULT");
+    }
+
+    #[test]
+    fn clones_share_one_op_sequence() {
+        let dir = tdir("shared");
+        let a = FaultInjector::counting();
+        let b = a.clone();
+        write_atomic_with(&a, &dir.join("a.bin"), b"a").unwrap();
+        write_atomic_with(&b, &dir.join("b.bin"), b"b").unwrap();
+        assert_eq!(a.ops_seen(), 8);
+        assert_eq!(b.ops_seen(), 8);
+    }
+}

@@ -202,10 +202,13 @@ pub fn load_attributed(path: impl AsRef<Path>) -> Result<AttributedGraph, ParseE
     read_attributed(file)
 }
 
-/// Saves an attributed graph to a file path.
+/// Saves an attributed graph to a file path, atomically (temp file →
+/// sync → rename): an interrupted save never leaves a torn graph file
+/// where a good one stood.
 pub fn save_attributed(g: &AttributedGraph, path: impl AsRef<Path>) -> std::io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    write_attributed(g, file)
+    let mut bytes = Vec::new();
+    write_attributed(g, &mut bytes)?;
+    crate::fault::write_atomic(path.as_ref(), &bytes)
 }
 
 #[cfg(test)]

@@ -1,0 +1,649 @@
+//! Append-only write-ahead journal of [`GraphDelta`] records.
+//!
+//! The serving tier journals every accepted graph delta *before*
+//! applying it (write-ahead logging), so a crash between the append and
+//! the next checkpoint loses nothing: recovery replays the journal on
+//! top of the last good snapshot through the incremental mining path.
+//! One journal file belongs to one snapshot generation; its records are
+//! sequence-numbered continuing from that generation, which is the
+//! cumulative count of deltas ever journaled (see `docs/DURABILITY.md`
+//! for the checkpoint/recovery protocol).
+//!
+//! ## File format (version 1, little-endian)
+//!
+//! ```text
+//! header   "SCPMJRNL"  u32 version=1  u64 base_generation
+//! record   u32 payload_len
+//!          u64 seq                    base_generation + 1, + 2, …
+//!          payload                    GraphDelta text (delta grammar)
+//!          u64 checksum               FNV-1a 64 of seq_le ++ payload
+//! ```
+//!
+//! The header is written atomically ([`crate::fault::write_atomic`]),
+//! so a journal file either exists with a complete header or not at
+//! all. Records are appended with a single write followed by an fsync;
+//! the checksum covers the sequence number and payload of each record
+//! individually.
+//!
+//! ## Reader semantics
+//!
+//! The reader distinguishes the two ways a journal can be damaged:
+//!
+//! * **Torn tail** — the file ends mid-record, or the *final* record
+//!   fails its checksum: the expected leftovers of a crash during an
+//!   append. The intact prefix is returned together with a
+//!   [`TornTail`] report; [`repair_torn_tail`] truncates the file back
+//!   to the intact prefix, and doing so is idempotent.
+//! * **Mid-log corruption** — a checksum failure (or a checksummed but
+//!   unparseable/out-of-sequence record) with more data behind it.
+//!   That is bit rot or tampering, not a crash artifact, and the
+//!   reader rejects the whole file with [`JournalError::Corrupt`]
+//!   rather than silently dropping acknowledged writes.
+//!
+//! The reader never panics on arbitrary bytes; the proptests in
+//! `crates/graph/tests/proptest_durability.rs` feed it truncations and
+//! bit flips of valid journals plus raw fuzz.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::delta::GraphDelta;
+use crate::fault::{write_atomic_with, FaultInjector};
+use crate::snapshot::fnv1a64;
+
+const MAGIC: &[u8; 8] = b"SCPMJRNL";
+
+/// Current journal format version.
+pub const VERSION: u32 = 1;
+
+/// Header length in bytes: magic + version + base generation.
+pub const HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Upper bound on a single record payload. A length prefix beyond this
+/// is treated as damage rather than an instruction to allocate.
+pub const MAX_PAYLOAD_LEN: u32 = 64 << 20;
+
+/// Errors produced while reading or repairing a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file does not start with the journal magic.
+    NotAJournal,
+    /// Unsupported journal format version.
+    BadVersion(u32),
+    /// A damaged record with valid data behind it — bit rot or
+    /// tampering, not a crash artifact. The journal is rejected
+    /// wholesale; recovery must fall back to an older generation.
+    Corrupt {
+        /// Byte offset of the damaged record.
+        offset: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::NotAJournal => write!(f, "not a scpm journal (bad magic)"),
+            JournalError::BadVersion(v) => write!(
+                f,
+                "unsupported journal version {v} (this build reads version {VERSION})"
+            ),
+            JournalError::Corrupt { offset, detail } => {
+                write!(f, "journal corrupt at byte {offset}: {detail}")
+            }
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Report of a torn tail: bytes past `valid_len` are the remnant of an
+/// interrupted append and carry no acknowledged record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Length of the intact prefix (header plus whole records).
+    pub valid_len: u64,
+    /// Number of damaged trailing bytes past the prefix.
+    pub dropped_bytes: u64,
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Sequence number (the graph generation this delta produces).
+    pub seq: u64,
+    /// The journaled delta.
+    pub delta: GraphDelta,
+}
+
+/// A fully decoded journal.
+#[derive(Debug)]
+pub struct JournalRead {
+    /// Snapshot generation this journal continues from.
+    pub base_generation: u64,
+    /// Intact records, in sequence order.
+    pub records: Vec<JournalRecord>,
+    /// Present when the file ends in a torn append.
+    pub torn: Option<TornTail>,
+}
+
+impl JournalRead {
+    /// Sequence number of the last intact record, or the base
+    /// generation if the journal is empty.
+    pub fn last_seq(&self) -> u64 {
+        self.records
+            .last()
+            .map(|r| r.seq)
+            .unwrap_or(self.base_generation)
+    }
+}
+
+/// Decodes journal bytes. Torn tails are tolerated and reported;
+/// mid-log corruption is an error. Never panics.
+pub fn decode_journal(data: &[u8]) -> Result<JournalRead, JournalError> {
+    if data.len() < 8 {
+        // Header writes are atomic, so a short file is foreign, not torn.
+        return Err(JournalError::NotAJournal);
+    }
+    if &data[..8] != MAGIC {
+        return Err(JournalError::NotAJournal);
+    }
+    if data.len() < HEADER_LEN {
+        return Err(JournalError::NotAJournal);
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(JournalError::BadVersion(version));
+    }
+    let base_generation = u64::from_le_bytes(data[12..HEADER_LEN].try_into().unwrap());
+
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN;
+    let total = data.len();
+    let torn = loop {
+        if offset == total {
+            break None;
+        }
+        let torn_here = |off: usize| TornTail {
+            valid_len: off as u64,
+            dropped_bytes: (total - off) as u64,
+        };
+        if total - offset < 4 + 8 {
+            break Some(torn_here(offset));
+        }
+        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap());
+        if len > MAX_PAYLOAD_LEN {
+            // An absurd length prefix: a damaged frame with no
+            // verifiable record behind it to prove acknowledged data
+            // follows. Treat as a torn tail — truncation here drops
+            // only unverifiable bytes, never a checksummed record.
+            break Some(torn_here(offset));
+        }
+        let frame = 4 + 8 + len as usize + 8;
+        if total - offset < frame {
+            break Some(torn_here(offset));
+        }
+        let seq_start = offset + 4;
+        let payload_start = seq_start + 8;
+        let payload_end = payload_start + len as usize;
+        let stored = u64::from_le_bytes(data[payload_end..payload_end + 8].try_into().unwrap());
+        let computed = fnv1a64(&data[seq_start..payload_end]);
+        if stored != computed {
+            if offset + frame == total {
+                // Final record: a checksum failure here is the classic
+                // torn append (length landed, payload didn't).
+                break Some(torn_here(offset));
+            }
+            return Err(JournalError::Corrupt {
+                offset: offset as u64,
+                detail: format!(
+                    "record checksum mismatch (stored {stored:#018x}, computed {computed:#018x}) with {} bytes following",
+                    total - (offset + frame)
+                ),
+            });
+        }
+        // Behind a valid checksum, structural failures are corruption
+        // (or forgery), never crash artifacts.
+        let seq = u64::from_le_bytes(data[seq_start..payload_start].try_into().unwrap());
+        let expect = base_generation + records.len() as u64 + 1;
+        if seq != expect {
+            return Err(JournalError::Corrupt {
+                offset: offset as u64,
+                detail: format!("sequence number {seq} where {expect} was expected"),
+            });
+        }
+        let text = std::str::from_utf8(&data[payload_start..payload_end]).map_err(|_| {
+            JournalError::Corrupt {
+                offset: offset as u64,
+                detail: "payload is not valid UTF-8 behind a valid checksum".into(),
+            }
+        })?;
+        let delta = GraphDelta::parse(text).map_err(|e| JournalError::Corrupt {
+            offset: offset as u64,
+            detail: format!("payload does not parse as a delta: {e}"),
+        })?;
+        records.push(JournalRecord { seq, delta });
+        offset += frame;
+    };
+    Ok(JournalRead {
+        base_generation,
+        records,
+        torn,
+    })
+}
+
+/// Reads and decodes a journal file.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalRead, JournalError> {
+    let data = std::fs::read(path)?;
+    decode_journal(&data)
+}
+
+/// Truncates a torn tail off a journal file, returning the report of
+/// what was dropped (or `None` if the file was already intact).
+/// Idempotent: repairing an intact journal is a no-op, and repairing
+/// twice equals repairing once. Mid-log corruption is *not* repaired —
+/// it is returned as an error, because truncating there would discard
+/// acknowledged records.
+pub fn repair_torn_tail(path: impl AsRef<Path>) -> Result<Option<TornTail>, JournalError> {
+    let path = path.as_ref();
+    let read = read_journal(path)?;
+    if let Some(torn) = read.torn {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(torn.valid_len)?;
+        file.sync_all()?;
+        Ok(Some(torn))
+    } else {
+        Ok(None)
+    }
+}
+
+fn frame_record(seq: u64, delta: &GraphDelta) -> Vec<u8> {
+    let payload = delta.render();
+    let payload = payload.as_bytes();
+    let mut frame = Vec::with_capacity(4 + 8 + payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(payload);
+    let sum = fnv1a64(&frame[4..]);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    frame
+}
+
+/// Append handle for a journal file.
+///
+/// Every append is write-ahead durable: the record is written and
+/// fsynced before `append` returns its sequence number. A failed append
+/// leaves no trace — the writer truncates the file back to its
+/// pre-append length so a later append cannot bury torn bytes mid-log
+/// (which the reader would reject as corruption). If even that repair
+/// fails the writer poisons itself and refuses further appends.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    injector: FaultInjector,
+    len: u64,
+    next_seq: u64,
+    poisoned: bool,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal for `base_generation` at `path`
+    /// (atomically: the header lands via temp-file + rename, so a crash
+    /// can never leave a half-written header).
+    pub fn create(path: impl AsRef<Path>, base_generation: u64) -> io::Result<JournalWriter> {
+        JournalWriter::create_with(&FaultInjector::none(), path.as_ref(), base_generation)
+    }
+
+    /// [`JournalWriter::create`] with fault injection over the header
+    /// write and all subsequent appends.
+    pub fn create_with(
+        inj: &FaultInjector,
+        path: &Path,
+        base_generation: u64,
+    ) -> io::Result<JournalWriter> {
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&base_generation.to_le_bytes());
+        write_atomic_with(inj, path, &header)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            injector: inj.clone(),
+            len: HEADER_LEN as u64,
+            next_seq: base_generation + 1,
+            poisoned: false,
+        })
+    }
+
+    /// Opens an existing journal for appending, repairing a torn tail
+    /// first. Mid-log corruption is refused ([`JournalError::Corrupt`]).
+    pub fn open_append(
+        path: impl AsRef<Path>,
+    ) -> Result<(JournalWriter, JournalRead), JournalError> {
+        JournalWriter::open_append_with(&FaultInjector::none(), path.as_ref())
+    }
+
+    /// [`JournalWriter::open_append`] with fault injection over
+    /// subsequent appends (the torn-tail repair itself is recovery-side
+    /// and not a fault point).
+    pub fn open_append_with(
+        inj: &FaultInjector,
+        path: &Path,
+    ) -> Result<(JournalWriter, JournalRead), JournalError> {
+        repair_torn_tail(path)?;
+        let read = read_journal(path)?;
+        debug_assert!(read.torn.is_none());
+        let file = OpenOptions::new().append(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok((
+            JournalWriter {
+                file,
+                path: path.to_path_buf(),
+                injector: inj.clone(),
+                len,
+                next_seq: read.last_seq() + 1,
+                poisoned: false,
+            },
+            read,
+        ))
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequence number the next successful append will return.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one delta: write the framed record, fsync, return its
+    /// sequence number. On failure the record is rolled back (truncate
+    /// to the pre-append length) and the error is returned; the caller
+    /// must treat the delta as not committed.
+    pub fn append(&mut self, delta: &GraphDelta) -> io::Result<u64> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "journal writer poisoned by an earlier failed rollback",
+            ));
+        }
+        let seq = self.next_seq;
+        let frame = frame_record(seq, delta);
+        let result = (|| {
+            self.injector.write(&mut self.file, &frame)?;
+            self.injector.sync(&self.file)
+        })();
+        match result {
+            Ok(()) => {
+                self.len += frame.len() as u64;
+                self.next_seq += 1;
+                Ok(seq)
+            }
+            Err(e) => {
+                // Roll the torn bytes back so the next append (if the
+                // process survives) cannot bury them mid-log. Plain fs
+                // calls: this is failure handling, not a fault point.
+                let rollback = self
+                    .file
+                    .set_len(self.len)
+                    .and_then(|()| self.file.sync_all());
+                if rollback.is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultMode, FaultPlan};
+
+    fn tdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("scpm_journal_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_deltas() -> Vec<GraphDelta> {
+        vec![
+            GraphDelta::parse("v 2\ne 0 1\n").unwrap(),
+            GraphDelta::parse("a 0 red blue\n").unwrap(),
+            GraphDelta::parse("v 1\ne 1 2\na 2 green\n").unwrap(),
+        ]
+    }
+
+    fn write_sample(path: &Path, base: u64) -> Vec<u64> {
+        let mut w = JournalWriter::create(path, base).unwrap();
+        sample_deltas()
+            .iter()
+            .map(|d| w.append(d).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_and_sequencing() {
+        let dir = tdir("roundtrip");
+        let path = dir.join("j.wal");
+        let seqs = write_sample(&path, 10);
+        assert_eq!(seqs, vec![11, 12, 13]);
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.base_generation, 10);
+        assert!(read.torn.is_none());
+        assert_eq!(read.last_seq(), 13);
+        let expect = sample_deltas();
+        assert_eq!(read.records.len(), expect.len());
+        for (rec, d) in read.records.iter().zip(&expect) {
+            assert_eq!(rec.delta.render(), d.render());
+        }
+    }
+
+    #[test]
+    fn empty_journal_reads_back_empty() {
+        let dir = tdir("empty");
+        let path = dir.join("j.wal");
+        JournalWriter::create(&path, 5).unwrap();
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.base_generation, 5);
+        assert!(read.records.is_empty());
+        assert_eq!(read.last_seq(), 5);
+    }
+
+    #[test]
+    fn every_truncation_is_tolerated_never_panics() {
+        let dir = tdir("truncate");
+        let path = dir.join("j.wal");
+        write_sample(&path, 0);
+        let raw = std::fs::read(&path).unwrap();
+        // Record frame boundaries for the prefix-count oracle.
+        let mut boundaries = vec![HEADER_LEN];
+        {
+            let mut off = HEADER_LEN;
+            while off < raw.len() {
+                let len = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap()) as usize;
+                off += 4 + 8 + len + 8;
+                boundaries.push(off);
+            }
+        }
+        for cut in 0..raw.len() {
+            let r = decode_journal(&raw[..cut]);
+            if cut < HEADER_LEN {
+                assert!(
+                    matches!(r, Err(JournalError::NotAJournal)),
+                    "cut {cut}: {r:?}"
+                );
+                continue;
+            }
+            let read = r.unwrap_or_else(|e| panic!("cut {cut} rejected: {e}"));
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(read.records.len(), whole, "cut {cut}");
+            let on_boundary = boundaries.contains(&cut);
+            assert_eq!(read.torn.is_some(), !on_boundary, "cut {cut}");
+            if let Some(torn) = read.torn {
+                assert_eq!(torn.valid_len, boundaries[whole] as u64);
+                assert_eq!(torn.dropped_bytes as usize, cut - boundaries[whole]);
+            }
+        }
+    }
+
+    #[test]
+    fn mid_log_corruption_is_rejected_not_truncated() {
+        let dir = tdir("midlog");
+        let path = dir.join("j.wal");
+        write_sample(&path, 0);
+        let raw = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the FIRST record: two intact records
+        // follow, so this must be Corrupt, not a torn tail.
+        let mut bad = raw.clone();
+        bad[HEADER_LEN + 4 + 8] ^= 0x01;
+        match decode_journal(&bad) {
+            Err(JournalError::Corrupt { offset, .. }) => {
+                assert_eq!(offset, HEADER_LEN as u64)
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The same flip in the LAST record is a torn tail.
+        let last_start = {
+            let mut off = HEADER_LEN;
+            let mut prev = off;
+            while off < raw.len() {
+                let len = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap()) as usize;
+                prev = off;
+                off += 4 + 8 + len + 8;
+            }
+            prev
+        };
+        let mut torn = raw.clone();
+        torn[last_start + 4 + 8] ^= 0x01;
+        let read = decode_journal(&torn).unwrap();
+        assert_eq!(read.records.len(), 2);
+        assert_eq!(read.torn.unwrap().valid_len, last_start as u64);
+    }
+
+    #[test]
+    fn repair_is_idempotent_and_append_resumes() {
+        let dir = tdir("repair");
+        let path = dir.join("j.wal");
+        write_sample(&path, 0);
+        let full = std::fs::read(&path).unwrap();
+        // Tear the tail: drop the last 5 bytes of the file.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let first = repair_torn_tail(&path).unwrap().expect("tail was torn");
+        assert!(first.dropped_bytes > 0);
+        // Idempotent: a second repair finds nothing to do.
+        assert_eq!(repair_torn_tail(&path).unwrap(), None);
+        let after = std::fs::read(&path).unwrap();
+        assert_eq!(after.len() as u64, first.valid_len);
+        // Appending after repair resumes the sequence where the intact
+        // prefix left off.
+        let (mut w, read) = JournalWriter::open_append(&path).unwrap();
+        assert_eq!(read.records.len(), 2);
+        let seq = w.append(&GraphDelta::parse("v 1\n").unwrap()).unwrap();
+        assert_eq!(seq, 3);
+        let reread = read_journal(&path).unwrap();
+        assert!(reread.torn.is_none());
+        assert_eq!(reread.last_seq(), 3);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_cleanly() {
+        let dir = tdir("rollback");
+        let path = dir.join("j.wal");
+        // Ops: header write_atomic = 4 (create, write, sync, rename);
+        // first append = write(4) sync(5); fail the second append's
+        // write (op 6) as a short write.
+        let inj = FaultInjector::plan(FaultPlan {
+            op_index: 6,
+            mode: FaultMode::ShortWrite,
+        });
+        let mut w = JournalWriter::create_with(&inj, &path, 0).unwrap();
+        let deltas = sample_deltas();
+        assert_eq!(w.append(&deltas[0]).unwrap(), 1);
+        assert!(w.append(&deltas[1]).is_err());
+        // The torn bytes were rolled back: the file reads intact with
+        // exactly one record, and the writer can keep appending.
+        let read = read_journal(&path).unwrap();
+        assert!(read.torn.is_none());
+        assert_eq!(read.records.len(), 1);
+        assert_eq!(w.append(&deltas[2]).unwrap(), 2);
+        assert_eq!(read_journal(&path).unwrap().last_seq(), 2);
+    }
+
+    #[test]
+    fn crashed_append_leaves_recoverable_torn_tail() {
+        let dir = tdir("crashtail");
+        let path = dir.join("j.wal");
+        let inj = FaultInjector::plan(FaultPlan {
+            op_index: 4, // the first append's write
+            mode: FaultMode::Crash,
+        });
+        let mut w = JournalWriter::create_with(&inj, &path, 0).unwrap();
+        let e = w.append(&sample_deltas()[0]).unwrap_err();
+        assert!(crate::fault::is_injected_crash(&e));
+        // NOTE: the writer attempted a rollback with plain fs calls,
+        // which succeed even after the injector crashed — matching a
+        // kernel completing queued I/O. Simulate the stricter case (no
+        // rollback reached the disk) by re-tearing the file.
+        let full_header = std::fs::read(&path).unwrap();
+        let mut torn = full_header;
+        torn.extend_from_slice(&[7u8; 9]); // garbage half-frame
+        std::fs::write(&path, &torn).unwrap();
+        let read = read_journal(&path).unwrap();
+        assert!(read.records.is_empty());
+        assert_eq!(read.torn.unwrap().dropped_bytes, 9);
+        repair_torn_tail(&path).unwrap().unwrap();
+        assert!(read_journal(&path).unwrap().torn.is_none());
+    }
+
+    #[test]
+    fn foreign_and_stale_files_are_rejected() {
+        assert!(matches!(
+            decode_journal(b"not a journal at all"),
+            Err(JournalError::NotAJournal)
+        ));
+        assert!(matches!(
+            decode_journal(b""),
+            Err(JournalError::NotAJournal)
+        ));
+        let mut stale = Vec::new();
+        stale.extend_from_slice(MAGIC);
+        stale.extend_from_slice(&99u32.to_le_bytes());
+        stale.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            decode_journal(&stale),
+            Err(JournalError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_a_torn_tail_not_an_allocation() {
+        let dir = tdir("absurd");
+        let path = dir.join("j.wal");
+        JournalWriter::create(&path, 0).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(&1u64.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 32]);
+        let read = decode_journal(&raw).unwrap();
+        assert!(read.records.is_empty());
+        assert_eq!(read.torn.unwrap().valid_len, HEADER_LEN as u64);
+    }
+}

@@ -28,7 +28,12 @@
 //! * [`io`] — text formats for attributed graphs: the unified `v`/`e`/`a`
 //!   file plus streaming parsers for the interchange shapes real datasets
 //!   ship in (edge lists, adjacency lists, vertex→attribute tables).
-//! * [`snapshot`] — the versioned, checksummed binary snapshot format.
+//! * [`snapshot`] — the versioned, checksummed binary snapshot format,
+//!   written atomically (temp file → fsync → rename).
+//! * [`journal`] — the append-only write-ahead log of graph deltas
+//!   backing crash-safe serving (see `docs/DURABILITY.md`).
+//! * [`fault`] — deterministic fault injection over durability I/O and
+//!   the atomic file writer.
 //! * [`figure1`] — the 11-vertex example of Figure 1 in the paper, used as a
 //!   golden fixture for Table 1.
 
@@ -42,10 +47,12 @@ pub mod components;
 pub mod csr;
 pub mod degree;
 pub mod delta;
+pub mod fault;
 pub mod figure1;
 pub mod generators;
 pub mod induced;
 pub mod io;
+pub mod journal;
 pub mod kcore;
 pub mod snapshot;
 pub mod stats;
@@ -59,8 +66,12 @@ pub use components::Components;
 pub use csr::{CsrGraph, VertexId};
 pub use degree::DegreeDistribution;
 pub use delta::{AppliedDelta, DeltaError, DeltaOp, GraphDelta};
+pub use fault::{write_atomic, FaultInjector, FaultMode, FaultPlan};
 pub use induced::InducedSubgraph;
 pub use io::source::{Interner, RawSource};
+pub use journal::{JournalError, JournalRead, JournalRecord, JournalWriter, TornTail};
 pub use kcore::CoreDecomposition;
-pub use snapshot::{decode, encode, fnv1a64, load_snapshot, save_snapshot, SnapshotError};
+pub use snapshot::{
+    decode, encode, fnv1a64, load_snapshot, save_snapshot, write_snapshot_atomic, SnapshotError,
+};
 pub use stats::GraphSummary;

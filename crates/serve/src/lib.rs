@@ -51,4 +51,4 @@ pub use catalog::{PatternCatalog, TopBy};
 pub use client::{Client, Response};
 pub use http::{HttpError, Request};
 pub use json::Json;
-pub use server::{ServeConfig, Server};
+pub use server::{DurabilityConfig, RecoveryReport, ServeConfig, Server};

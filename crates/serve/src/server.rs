@@ -34,18 +34,30 @@
 //! re-mine. The null-model cache is *not* carried across an update —
 //! `exp(σ)` is a function of the graph, and the graph changed.
 //!
+//! # Durability
+//!
+//! With [`ServeConfig::durability`] set, the server is crash-safe: every
+//! `POST /update` journals its delta to a write-ahead log *before* the
+//! in-memory swap, a checkpoint folds the journal into a fresh atomic
+//! snapshot every `checkpoint_every` deltas (and on graceful shutdown),
+//! and [`Server::open`] recovers the newest good snapshot plus journal
+//! replay through the incremental path. The protocol, its commit points,
+//! and the fault-injection proof live in `docs/DURABILITY.md`.
+//!
 //! # Shutdown
 //!
 //! `POST /shutdown` (the ctrl channel) flips an atomic flag and pokes one
 //! dummy connection per worker so blocked `accept` calls return. Workers
 //! re-check the flag after every accept and every request. SIGTERM keeps
-//! its default process-kill behavior — the catalog is immutable state
-//! rebuilt from the snapshot on restart, so there is nothing to flush.
+//! its default process-kill behavior — in-memory serving has nothing to
+//! flush, and durable serving is journaled ahead of every swap, so an
+//! unclean exit costs only a journal replay on the next open.
 
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -53,15 +65,54 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 
 use scpm_core::{
-    DirtySet, EvalMemo, IncrementalCtx, NullModelCache, ParallelConfig, Scpm, ScpmParams,
-    DEFAULT_SPLIT_DEPTH,
+    checkpoint_with, recover, replay_mine, DataDir, DirtySet, EvalMemo, IncrementalCtx,
+    NullModelCache, ParallelConfig, Scpm, ScpmParams, DEFAULT_SPLIT_DEPTH,
 };
 use scpm_graph::attributed::AttributedGraph;
-use scpm_graph::{DeltaOp, GraphDelta};
+use scpm_graph::{DeltaOp, FaultInjector, GraphDelta, JournalWriter};
 
 use crate::catalog::{PatternCatalog, TopBy};
 use crate::http::{read_request, write_response, HttpError, ReadOutcome, Request};
 use crate::json::Json;
+
+/// Durable-serving configuration: where the data directory lives and how
+/// often the journal is folded into a fresh checkpoint
+/// (`docs/DURABILITY.md`).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// The data directory (created on first use).
+    pub dir: PathBuf,
+    /// Checkpoint after this many journaled deltas (minimum 1). Between
+    /// checkpoints a restart replays the journal; after one it loads the
+    /// snapshot directly.
+    pub checkpoint_every: u64,
+    /// Fault injection over every durability operation (tests); defaults
+    /// to passthrough.
+    pub injector: FaultInjector,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir`, checkpointing every 8 deltas.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            checkpoint_every: 8,
+            injector: FaultInjector::none(),
+        }
+    }
+
+    /// Sets the checkpoint interval (clamped to at least 1), builder style.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Sets the fault injector, builder style.
+    pub fn with_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
+        self
+    }
+}
 
 /// Configuration of one serving process.
 #[derive(Clone, Debug)]
@@ -80,6 +131,16 @@ pub struct ServeConfig {
     /// Per-connection socket read timeout; bounds how long an idle or
     /// trickling keep-alive connection can pin a worker.
     pub read_timeout: Duration,
+    /// Per-connection socket write timeout; bounds how long a peer that
+    /// stops draining its receive buffer can pin a worker mid-response.
+    pub write_timeout: Duration,
+    /// Maximum concurrently served connections (minimum 1; defaults to
+    /// `threads`). A connection accepted past the cap is answered with a
+    /// deterministic `503 saturated` and closed.
+    pub max_connections: usize,
+    /// Crash-safe persistence; `None` (the default) serves purely from
+    /// memory, exactly as before.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ServeConfig {
@@ -92,6 +153,9 @@ impl ServeConfig {
             split_depth: DEFAULT_SPLIT_DEPTH,
             params,
             read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_connections: threads.max(1),
+            durability: None,
         }
     }
 
@@ -107,9 +171,28 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the socket write timeout, builder style.
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// Sets the concurrent-connection cap (clamped to at least 1),
+    /// builder style.
+    pub fn with_max_connections(mut self, max_connections: usize) -> Self {
+        self.max_connections = max_connections.max(1);
+        self
+    }
+
     /// Sets the re-mine scheduler thread count, builder style.
     pub fn with_mine_threads(mut self, mine_threads: usize) -> Self {
         self.mine_threads = mine_threads.max(1);
+        self
+    }
+
+    /// Enables crash-safe persistence, builder style.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
         self
     }
 }
@@ -127,6 +210,30 @@ struct MiningState {
     /// Per-set evaluation memo of the mine that produced the current
     /// catalog, recorded under the catalog's parameters.
     memo: Arc<EvalMemo>,
+}
+
+/// The durable side of one serving process: the data directory, the
+/// fault injector shared with every durability operation, and the live
+/// journal writer. All mutation happens under [`DurableState::inner`]
+/// (and, for updates, additionally under the mine lock).
+struct DurableState {
+    dir: DataDir,
+    injector: FaultInjector,
+    checkpoint_every: u64,
+    inner: Mutex<DurableInner>,
+}
+
+/// Journal position of the durable state.
+struct DurableInner {
+    /// The live journal; `POST /update` appends here *before* swapping
+    /// the in-memory state (write-ahead discipline).
+    journal: JournalWriter,
+    /// Cumulative count of journaled deltas — the store generation
+    /// (distinct from the HTTP catalog generation, which also counts
+    /// re-mines).
+    generation: u64,
+    /// Store generation of the newest committed checkpoint.
+    last_checkpoint: u64,
 }
 
 /// Shared server state.
@@ -148,9 +255,14 @@ struct ServerState {
     errors: AtomicU64,
     remines: AtomicU64,
     updates: AtomicU64,
+    /// Connections currently being served (the `max_connections` gauge).
+    active: AtomicUsize,
+    max_connections: usize,
     mine_threads: usize,
     split_depth: usize,
     http_threads: usize,
+    /// Crash-safe persistence; `None` = purely in-memory serving.
+    durable: Option<DurableState>,
 }
 
 impl ServerState {
@@ -204,19 +316,39 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// What [`Server::open`] recovered from the data directory, for
+/// operator-facing logging.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Store generation the catalog recovered to (snapshot + replayed
+    /// journal deltas).
+    pub generation: u64,
+    /// Generation of the snapshot recovery started from.
+    pub checkpoint_generation: u64,
+    /// Journaled deltas replayed past the snapshot.
+    pub replayed_deltas: usize,
+    /// Whether the persisted memo was replayed (`false` = a recording
+    /// mine ran instead).
+    pub memo_replayed: bool,
+    /// Why the memo was not replayed, when it was not.
+    pub memo_note: Option<String>,
+    /// Snapshot generations skipped as corrupt (non-zero = fell back).
+    pub snapshots_skipped: usize,
+    /// Bytes truncated off a torn journal tail, if any.
+    pub torn_bytes_dropped: Option<u64>,
+}
+
 impl Server {
     /// Binds, mines the generation-0 catalog, and spawns the worker pool.
+    ///
+    /// With [`ServeConfig::durability`] set, the data directory is seeded
+    /// with a generation-0 checkpoint of `graph`; it must not already be
+    /// initialized (recover an existing directory with [`Server::open`]).
     ///
     /// Fails (as an `Err`, never a panic) on bind errors or invalid
     /// parameters.
     pub fn start(graph: AttributedGraph, config: ServeConfig) -> Result<Server, String> {
         validate_params(&config.params).map_err(|e| e.message)?;
-        let listener =
-            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
-        let addr = listener
-            .local_addr()
-            .map_err(|e| format!("resolving bound address: {e}"))?;
-
         let cache = Arc::new(NullModelCache::new());
         // Generation 0: mine before any worker accepts, so the first
         // response already answers from a complete catalog. Recording mode
@@ -224,45 +356,104 @@ impl Server {
         let mine_config =
             ParallelConfig::new(config.mine_threads).with_split_depth(config.split_depth);
         let (catalog, memo) = record_mine(&graph, &config.params, &cache, &mine_config, 0);
-        let state = Arc::new(ServerState {
-            mining: RwLock::new(Arc::new(MiningState {
-                graph: Arc::new(graph),
-                cache,
-                memo: Arc::new(memo),
-            })),
-            addr,
-            catalog: RwLock::new(Arc::new(catalog)),
-            mine_lock: Mutex::new(()),
-            next_generation: AtomicU64::new(1),
-            shutdown: AtomicBool::new(false),
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            remines: AtomicU64::new(0),
-            updates: AtomicU64::new(0),
-            mine_threads: config.mine_threads,
-            split_depth: config.split_depth,
-            http_threads: config.threads,
-        });
 
-        let mut workers = Vec::with_capacity(config.threads);
-        for worker_id in 0..config.threads {
-            let listener = listener
-                .try_clone()
-                .map_err(|e| format!("cloning listener: {e}"))?;
-            let state = Arc::clone(&state);
-            let timeout = config.read_timeout;
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("scpm-serve-{worker_id}"))
-                    .spawn(move || worker_loop(&listener, &state, timeout))
-                    .map_err(|e| format!("spawning worker: {e}"))?,
-            );
-        }
-        Ok(Server {
-            addr,
-            state,
-            workers,
-        })
+        let durable = match &config.durability {
+            None => None,
+            Some(dur) => {
+                let dir = DataDir::open(&dur.dir)
+                    .map_err(|e| format!("opening data directory {}: {e}", dur.dir.display()))?;
+                if dir.is_initialized() {
+                    return Err(format!(
+                        "data directory {} is already initialized; recover it with Server::open \
+                         instead of re-seeding",
+                        dur.dir.display()
+                    ));
+                }
+                let journal =
+                    checkpoint_with(&dur.injector, &dir, 0, &graph, &memo, &config.params)
+                        .map_err(|e| format!("seeding data directory: {e}"))?;
+                Some(DurableState {
+                    dir,
+                    injector: dur.injector.clone(),
+                    checkpoint_every: dur.checkpoint_every.max(1),
+                    inner: Mutex::new(DurableInner {
+                        journal,
+                        generation: 0,
+                        last_checkpoint: 0,
+                    }),
+                })
+            }
+        };
+
+        let mining = MiningState {
+            graph: Arc::new(graph),
+            cache,
+            memo: Arc::new(memo),
+        };
+        boot(&config, mining, catalog, durable)
+    }
+
+    /// Recovers an initialized data directory and serves the recovered
+    /// catalog: newest decodable snapshot, journal replay through the
+    /// incremental path (a restart costs a memo replay, not a full
+    /// search), then an immediate re-checkpoint at the recovered
+    /// generation so the journal chain restarts clean.
+    ///
+    /// Requires [`ServeConfig::durability`]. The served catalog restarts
+    /// at HTTP generation 0; the store generation continues from the
+    /// journal.
+    pub fn open(config: ServeConfig) -> Result<(Server, RecoveryReport), String> {
+        let dur = config
+            .durability
+            .clone()
+            .ok_or("Server::open requires a durability configuration")?;
+        validate_params(&config.params).map_err(|e| e.message)?;
+        let dir = DataDir::open(&dur.dir)
+            .map_err(|e| format!("opening data directory {}: {e}", dur.dir.display()))?;
+        let state = recover(&dir).map_err(|e| format!("recovering {}: {e}", dur.dir.display()))?;
+        let mine_config =
+            ParallelConfig::new(config.mine_threads).with_split_depth(config.split_depth);
+        let recovered = replay_mine(state, &config.params, &mine_config)
+            .map_err(|e| format!("replaying {}: {e}", dur.dir.display()))?;
+        let report = RecoveryReport {
+            generation: recovered.generation,
+            checkpoint_generation: recovered.checkpoint_generation,
+            replayed_deltas: recovered.replayed_deltas,
+            memo_replayed: recovered.memo_replayed,
+            memo_note: recovered.memo_note.clone(),
+            snapshots_skipped: recovered.snapshot_errors.len(),
+            torn_bytes_dropped: recovered.repaired.as_ref().map(|t| t.dropped_bytes),
+        };
+        // Re-checkpoint at the recovered generation: seals the replayed
+        // journal, refreshes the memo under the serving parameters, and
+        // prunes any fallback debris.
+        let journal = checkpoint_with(
+            &dur.injector,
+            &dir,
+            recovered.generation,
+            &recovered.graph,
+            &recovered.memo,
+            &config.params,
+        )
+        .map_err(|e| format!("re-checkpointing after recovery: {e}"))?;
+        let catalog = PatternCatalog::build(&recovered.graph, &config.params, recovered.result, 0);
+        let mining = MiningState {
+            graph: Arc::new(recovered.graph),
+            cache: recovered.cache,
+            memo: Arc::new(recovered.memo),
+        };
+        let durable = DurableState {
+            dir,
+            injector: dur.injector.clone(),
+            checkpoint_every: dur.checkpoint_every.max(1),
+            inner: Mutex::new(DurableInner {
+                journal,
+                generation: recovered.generation,
+                last_checkpoint: recovered.generation,
+            }),
+        };
+        let server = boot(&config, mining, catalog, Some(durable))?;
+        Ok((server, report))
     }
 
     /// The address the listener actually bound (resolves port 0).
@@ -284,8 +475,20 @@ impl Server {
         }
     }
 
-    /// Shuts down and joins every worker.
+    /// Shuts down, joins every worker, and (when durable) writes the
+    /// graceful-shutdown checkpoint.
     pub fn stop(mut self) {
+        self.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        final_checkpoint(&self.state);
+    }
+
+    /// Shuts down and joins every worker **without** the final
+    /// checkpoint — an unclean exit, exactly what a restart after a
+    /// crash recovers from. The crash-recovery harness's kill switch.
+    pub fn abort(mut self) {
         self.shutdown();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -294,16 +497,106 @@ impl Server {
 
     /// Blocks until the server shuts down (via `POST /shutdown` or
     /// [`Server::shutdown`] from another thread) and every worker exits —
-    /// the CLI's serving loop.
+    /// the CLI's serving loop. Writes the graceful-shutdown checkpoint.
     pub fn join(mut self) {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        final_checkpoint(&self.state);
     }
 }
 
-/// One HTTP worker: accept → serve the connection → re-check shutdown.
-fn worker_loop(listener: &TcpListener, state: &Arc<ServerState>, timeout: Duration) {
+/// Binds the listener, assembles the shared state, and spawns the worker
+/// pool — the tail of both [`Server::start`] and [`Server::open`].
+fn boot(
+    config: &ServeConfig,
+    mining: MiningState,
+    catalog: PatternCatalog,
+    durable: Option<DurableState>,
+) -> Result<Server, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("resolving bound address: {e}"))?;
+    let state = Arc::new(ServerState {
+        mining: RwLock::new(Arc::new(mining)),
+        addr,
+        catalog: RwLock::new(Arc::new(catalog)),
+        mine_lock: Mutex::new(()),
+        next_generation: AtomicU64::new(1),
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        remines: AtomicU64::new(0),
+        updates: AtomicU64::new(0),
+        active: AtomicUsize::new(0),
+        max_connections: config.max_connections.max(1),
+        mine_threads: config.mine_threads,
+        split_depth: config.split_depth,
+        http_threads: config.threads,
+        durable,
+    });
+
+    let mut workers = Vec::with_capacity(config.threads);
+    for worker_id in 0..config.threads {
+        let listener = listener
+            .try_clone()
+            .map_err(|e| format!("cloning listener: {e}"))?;
+        let state = Arc::clone(&state);
+        let limits = ConnLimits {
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+        };
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("scpm-serve-{worker_id}"))
+                .spawn(move || worker_loop(&listener, &state, limits))
+                .map_err(|e| format!("spawning worker: {e}"))?,
+        );
+    }
+    Ok(Server {
+        addr,
+        state,
+        workers,
+    })
+}
+
+/// The graceful-shutdown checkpoint: folds every journaled-but-not-yet-
+/// checkpointed delta into a fresh snapshot so the next open loads it
+/// directly. Best-effort — a failure leaves the journal intact, and
+/// recovery replays it instead (slower, never wrong).
+fn final_checkpoint(state: &ServerState) {
+    let Some(d) = &state.durable else { return };
+    let mut inner = d.inner.lock();
+    if inner.generation == inner.last_checkpoint {
+        return;
+    }
+    let mining = state.current_mining();
+    let params = state.current().params().clone();
+    if let Ok(journal) = checkpoint_with(
+        &d.injector,
+        &d.dir,
+        inner.generation,
+        &mining.graph,
+        &mining.memo,
+        &params,
+    ) {
+        inner.journal = journal;
+        inner.last_checkpoint = inner.generation;
+    }
+}
+
+/// Per-connection socket limits handed to each worker.
+#[derive(Clone, Copy)]
+struct ConnLimits {
+    read_timeout: Duration,
+    write_timeout: Duration,
+}
+
+/// One HTTP worker: accept → acquire a connection slot → serve the
+/// connection → release → re-check shutdown.
+fn worker_loop(listener: &TcpListener, state: &Arc<ServerState>, limits: ConnLimits) {
     loop {
         if state.shutdown.load(Ordering::Acquire) {
             return;
@@ -315,21 +608,68 @@ fn worker_loop(listener: &TcpListener, state: &Arc<ServerState>, timeout: Durati
         if state.shutdown.load(Ordering::Acquire) {
             return;
         }
+        // The connection cap: admission is a single compare-and-increment
+        // on the active gauge, so rejection is deterministic — the
+        // (max_connections + 1)-th concurrent connection always gets the
+        // 503, never a stall.
+        let admitted = state
+            .active
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < state.max_connections).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            reject_saturated(state, stream, limits);
+            continue;
+        }
         // A handler panic must not take down the accept loop: the
         // connection is abandoned, the panic contained, and the worker
         // moves on to the next accept.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_connection(state, stream, timeout);
+            handle_connection(state, stream, limits);
         }));
+        state.active.fetch_sub(1, Ordering::AcqRel);
         if outcome.is_err() {
             state.errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
+/// Answers one over-cap connection with `503 saturated` and closes it.
+fn reject_saturated(state: &Arc<ServerState>, mut stream: TcpStream, limits: ConnLimits) {
+    let _ = stream.set_write_timeout(Some(limits.write_timeout));
+    let err = HttpError::new(
+        503,
+        "saturated",
+        format!(
+            "server is at its limit of {} concurrent connections",
+            state.max_connections
+        ),
+    );
+    let generation = state.current().generation();
+    let body = envelope_error(&err, generation);
+    let _ = write_response(&mut stream, err.status, &body, true);
+    // Drain the request the client already sent before closing: closing
+    // with unread bytes in the receive buffer makes TCP reset the
+    // connection, which can discard the in-flight 503 before the client
+    // reads it. The drain is bounded so a trickling client cannot park
+    // the worker here.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(limits.read_timeout.min(Duration::from_millis(200))));
+    let mut sink = [0u8; 1024];
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
 /// Serves one connection: a keep-alive loop of request → response.
-fn handle_connection(state: &Arc<ServerState>, stream: TcpStream, timeout: Duration) {
-    let _ = stream.set_read_timeout(Some(timeout));
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream, limits: ConnLimits) {
+    let _ = stream.set_read_timeout(Some(limits.read_timeout));
+    let _ = stream.set_write_timeout(Some(limits.write_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -461,6 +801,20 @@ fn route(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), Htt
                         ("hits".into(), Json::Int(cache.hits())),
                         ("misses".into(), Json::Int(cache.misses())),
                     ]),
+                ),
+                (
+                    "durability".into(),
+                    match &state.durable {
+                        None => Json::Null,
+                        Some(d) => {
+                            let inner = d.inner.lock();
+                            Json::Obj(vec![
+                                ("generation".into(), Json::Int(inner.generation)),
+                                ("last_checkpoint".into(), Json::Int(inner.last_checkpoint)),
+                                ("checkpoint_every".into(), Json::Int(d.checkpoint_every)),
+                            ])
+                        }
+                    },
                 ),
             ]);
             Ok((stats, catalog.generation()))
@@ -595,46 +949,96 @@ fn update(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), Ht
     let applied = delta
         .apply(&mining.graph)
         .map_err(|e| HttpError::invalid_parameter(format!("delta does not apply: {e}")))?;
+
+    // Write-ahead commit point: the delta is journaled before any
+    // in-memory state changes. A failed append rolls the journal back
+    // and rejects the update — memory and disk always agree on which
+    // deltas are committed.
+    let journaled_seq = match &state.durable {
+        None => None,
+        Some(d) => {
+            let mut inner = d.inner.lock();
+            let seq = inner.journal.append(&delta).map_err(|e| {
+                HttpError::new(
+                    500,
+                    "durability",
+                    format!("journaling the delta failed: {e}"),
+                )
+            })?;
+            inner.generation = seq;
+            Some(seq)
+        }
+    };
+
     let dirty = DirtySet::from_delta(&applied.graph, &applied);
     let dirty_attrs = dirty.dirty_attr_ids().len();
     let dirty_caps = dirty.num_edge_caps();
+    let added_vertices = applied.added_vertices;
+    let novel_edges = applied.novel_edges.len();
+    let novel_attrs = applied.novel_attrs.len();
 
     // Fresh exp(σ) cache — the null model is a function of the graph.
     let cache = Arc::new(NullModelCache::new());
     let config = ParallelConfig::new(state.mine_threads).with_split_depth(state.split_depth);
     let params = base.params().clone();
-    let mut scpm = Scpm::with_cache(&applied.graph, params.clone(), Arc::clone(&cache))
+    let graph = Arc::new(applied.graph);
+    let mut scpm = Scpm::with_cache(&graph, params.clone(), Arc::clone(&cache))
         .with_incremental(IncrementalCtx::update(Arc::clone(&mining.memo), dirty));
     let result = scpm.run_scheduled(&config);
     let (memo, incr) = scpm
         .take_incremental()
         .expect("update run keeps its context")
         .into_parts();
+    let memo = Arc::new(memo);
 
     let generation = state.next_generation.fetch_add(1, Ordering::AcqRel);
-    let catalog = Arc::new(PatternCatalog::build(
-        &applied.graph,
-        &params,
-        result,
-        generation,
-    ));
+    let catalog = Arc::new(PatternCatalog::build(&graph, &params, result, generation));
     let summary = catalog.summary_json();
-    let response = Json::Obj(vec![
+    *state.mining.write() = Arc::new(MiningState {
+        graph: Arc::clone(&graph),
+        cache,
+        memo: Arc::clone(&memo),
+    });
+    *state.catalog.write() = catalog;
+    state.updates.fetch_add(1, Ordering::Relaxed);
+
+    // Periodic checkpoint: fold the journal into a fresh snapshot every
+    // `checkpoint_every` deltas. Best-effort — the update is already
+    // committed to the journal, so a failed checkpoint only means a
+    // longer replay on the next open (reported, never silent).
+    let mut durability = Vec::new();
+    if let (Some(d), Some(seq)) = (&state.durable, journaled_seq) {
+        durability.push(("journaled_seq".into(), Json::Int(seq)));
+        let mut inner = d.inner.lock();
+        let status = if inner.generation - inner.last_checkpoint >= d.checkpoint_every {
+            match checkpoint_with(
+                &d.injector,
+                &d.dir,
+                inner.generation,
+                &graph,
+                &memo,
+                &params,
+            ) {
+                Ok(journal) => {
+                    inner.journal = journal;
+                    inner.last_checkpoint = inner.generation;
+                    Json::str("written")
+                }
+                Err(e) => Json::str(format!("failed: {e}")),
+            }
+        } else {
+            Json::str("deferred")
+        };
+        durability.push(("checkpoint".into(), status));
+    }
+
+    let mut fields = vec![
         (
             "applied".into(),
             Json::Obj(vec![
-                (
-                    "added_vertices".into(),
-                    Json::Int(applied.added_vertices as u64),
-                ),
-                (
-                    "novel_edges".into(),
-                    Json::Int(applied.novel_edges.len() as u64),
-                ),
-                (
-                    "novel_attrs".into(),
-                    Json::Int(applied.novel_attrs.len() as u64),
-                ),
+                ("added_vertices".into(), Json::Int(added_vertices as u64)),
+                ("novel_edges".into(), Json::Int(novel_edges as u64)),
+                ("novel_attrs".into(), Json::Int(novel_attrs as u64)),
             ]),
         ),
         (
@@ -657,15 +1061,11 @@ fn update(state: &Arc<ServerState>, request: &Request) -> Result<(Json, u64), Ht
             ]),
         ),
         ("catalog".into(), summary),
-    ]);
-    *state.mining.write() = Arc::new(MiningState {
-        graph: Arc::new(applied.graph),
-        cache,
-        memo: Arc::new(memo),
-    });
-    *state.catalog.write() = catalog;
-    state.updates.fetch_add(1, Ordering::Relaxed);
-    Ok((response, generation))
+    ];
+    if !durability.is_empty() {
+        fields.push(("durability".into(), Json::Obj(durability)));
+    }
+    Ok((Json::Obj(fields), generation))
 }
 
 /// Parses a `POST /update` body into a [`GraphDelta`]. Unknown keys are

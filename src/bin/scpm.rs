@@ -16,6 +16,8 @@
 //!                [--out g2.snap] [--json] [+ the mine thresholds]
 //! scpm serve     --graph g.txt | --snapshot g.snap [--port N] [--host H]
 //!                [--threads N] [--split-depth N] [+ the mine thresholds]
+//!                [--data-dir DIR] [--checkpoint-every N]
+//! scpm recover   DIR [--threads N] [+ the mine thresholds]
 //! scpm induce    --graph g.txt --attrs name,name [--dot out.dot]
 //!                [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
 //! scpm generate  --dataset dblp|lastfm|citeseer|smalldblp [--scale F]
@@ -61,7 +63,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let flags = match Flags::parse(rest) {
+    // `scpm recover DIR` takes its data directory positionally; rewrite
+    // it into the uniform `--data-dir DIR` shape before flag parsing.
+    let rest: Vec<String> =
+        if command == "recover" && rest.first().is_some_and(|a| !a.starts_with("--")) {
+            std::iter::once("--data-dir".to_string())
+                .chain(rest.iter().cloned())
+                .collect()
+        } else {
+            rest.to_vec()
+        };
+    let flags = match Flags::parse(&rest) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -73,6 +85,7 @@ fn main() -> ExitCode {
         "mine" => mine(&flags),
         "update" => update(&flags),
         "serve" => serve(&flags),
+        "recover" => recover_cmd(&flags),
         "induce" => induce(&flags),
         "generate" => generate(&flags),
         "stats" => stats(&flags),
@@ -105,6 +118,8 @@ const USAGE: &str = "usage:
                  [--out <file>[.snap]] [--json] [+ the mine thresholds]
   scpm serve     --graph <file> | --snapshot <file.snap> [--port N] [--host H]
                  [--threads N] [--split-depth N] [+ the mine thresholds]
+                 [--data-dir <dir>] [--checkpoint-every N]
+  scpm recover   <dir> [--threads N] [+ the mine thresholds]
   scpm induce    --graph <file> --attrs name,name [--dot <file>]
                  [--gamma F] [--min-size N] [--pvalue-sims N] [--seed N]
   scpm generate  --dataset dblp|lastfm|citeseer|smalldblp [--scale F] [--seed N]
@@ -258,7 +273,9 @@ fn ingest(flags: &Flags) -> Result<(), String> {
     let ingested = ingest_from_flags(flags)?;
     print!("{}", ingested.report);
     let bytes = scpm_graph::snapshot::encode(&ingested.graph);
-    std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    // Atomic (temp → sync → rename): an interrupted ingest never leaves
+    // a torn snapshot where a good one stood.
+    scpm_graph::write_atomic(Path::new(out), &bytes).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "wrote {out}: snapshot v{} ({} bytes, fnv1a-checksummed)",
         scpm_graph::snapshot::VERSION,
@@ -435,11 +452,14 @@ fn update(flags: &Flags) -> Result<(), String> {
 }
 
 /// `scpm serve`: mine once, publish the catalog over HTTP/1.1, and block
-/// until a `POST /shutdown` arrives (the ctrl channel; SIGTERM keeps its
-/// default process-kill semantics — the catalog is rebuilt from the
-/// snapshot on restart, there is nothing to flush).
+/// until a `POST /shutdown` arrives (the ctrl channel). With
+/// `--data-dir`, serving is crash-safe (docs/DURABILITY.md): an
+/// uninitialized directory is seeded from `--graph`/`--snapshot`, an
+/// initialized one is recovered — snapshot plus journal replay — with no
+/// graph input needed. SIGTERM keeps its default process-kill semantics;
+/// a durable server journals every update ahead of applying it, so an
+/// unclean exit costs only a journal replay on the next start.
 fn serve(flags: &Flags) -> Result<(), String> {
-    let graph = load(flags)?;
     let params = params_from(flags)?;
     let host = flags.str("host").unwrap_or("127.0.0.1");
     let port = flags.num("port", 7474u16)?;
@@ -448,7 +468,49 @@ fn serve(flags: &Flags) -> Result<(), String> {
     let mut config =
         scpm_serve::ServeConfig::new(params, threads).with_addr(format!("{host}:{port}"));
     config.split_depth = split_depth;
-    let server = scpm_serve::Server::start(graph, config)?;
+
+    let server = match flags.str("data-dir") {
+        None => scpm_serve::Server::start(load(flags)?, config)?,
+        Some(dir) => {
+            let injector = scpm_graph::FaultInjector::from_env()?;
+            let durability = scpm_serve::DurabilityConfig::new(dir)
+                .with_checkpoint_every(flags.num("checkpoint-every", 8u64)?)
+                .with_injector(injector);
+            let initialized = scpm_core::DataDir::open(dir)
+                .map_err(|e| format!("opening data directory {dir}: {e}"))?
+                .is_initialized();
+            config = config.with_durability(durability);
+            if initialized {
+                let (server, report) = scpm_serve::Server::open(config)?;
+                println!(
+                    "recovered {dir}: generation {} (checkpoint {}, {} deltas replayed, {})",
+                    report.generation,
+                    report.checkpoint_generation,
+                    report.replayed_deltas,
+                    if report.memo_replayed {
+                        "memo replayed".to_string()
+                    } else {
+                        report
+                            .memo_note
+                            .unwrap_or_else(|| "recording mine".to_string())
+                    }
+                );
+                if report.snapshots_skipped > 0 {
+                    println!(
+                        "recovered {dir}: fell back past {} corrupt snapshot(s)",
+                        report.snapshots_skipped
+                    );
+                }
+                if let Some(bytes) = report.torn_bytes_dropped {
+                    println!("recovered {dir}: repaired a torn journal tail ({bytes} bytes)");
+                }
+                server
+            } else {
+                println!("seeding data directory {dir} at generation 0");
+                scpm_serve::Server::start(load(flags)?, config)?
+            }
+        }
+    };
     let catalog = server.catalog();
     // The listening line is machine-read by the smoke tests (port 0 binds
     // an ephemeral port); keep its shape stable.
@@ -463,6 +525,59 @@ fn serve(flags: &Flags) -> Result<(), String> {
     std::io::stdout().flush().ok();
     server.join();
     println!("scpm serve: shut down cleanly");
+    Ok(())
+}
+
+/// `scpm recover DIR`: inspect a data directory offline — recover the
+/// newest good snapshot, replay the journal through the incremental
+/// path, and report what a durable `scpm serve` restart would load.
+/// Read-only: no checkpoint is written. Exits nonzero when the directory
+/// cannot be recovered (operator intervention needed).
+fn recover_cmd(flags: &Flags) -> Result<(), String> {
+    let dir_path = flags.required("data-dir")?;
+    let params = params_from(flags)?;
+    let threads = flags.num("threads", 1usize)?;
+    let split_depth = flags.num("split-depth", DEFAULT_SPLIT_DEPTH)?;
+    let dir = scpm_core::DataDir::open(dir_path)
+        .map_err(|e| format!("opening data directory {dir_path}: {e}"))?;
+    let state = scpm_core::recover(&dir).map_err(|e| format!("recovering {dir_path}: {e}"))?;
+    println!(
+        "{dir_path}: snapshot generation {}, {} journaled delta(s) to replay",
+        state.base_generation,
+        state.deltas.len()
+    );
+    for (g, e) in &state.snapshot_errors {
+        println!("  skipped corrupt snapshot generation {g}: {e}");
+    }
+    if let Some(torn) = &state.repaired {
+        println!(
+            "  repaired torn journal tail: {} bytes dropped (log valid to {})",
+            torn.dropped_bytes, torn.valid_len
+        );
+    }
+    let config = ParallelConfig::new(threads).with_split_depth(split_depth);
+    let mine = scpm_core::replay_mine(state, &params, &config)
+        .map_err(|e| format!("replaying {dir_path}: {e}"))?;
+    if mine.memo_replayed {
+        println!(
+            "  memo replayed: {} sets reused, {} evaluated live",
+            mine.incremental.reused, mine.incremental.reevaluated
+        );
+    } else {
+        println!(
+            "  {}",
+            mine.memo_note
+                .unwrap_or_else(|| "memo unusable; ran a recording mine".into())
+        );
+    }
+    println!(
+        "recovered generation {}: {} vertices, {} edges, {} reports, {} patterns",
+        mine.generation,
+        mine.graph.num_vertices(),
+        mine.graph.num_edges(),
+        mine.result.reports.len(),
+        mine.result.patterns.len()
+    );
     Ok(())
 }
 
@@ -509,6 +624,9 @@ fn induce(flags: &Flags) -> Result<(), String> {
         println!("empirical p-value ({sims} sims): {p:.5}");
     }
     if let Some(path) = flags.str("dot") {
+        // Plain (non-atomic) create is fine here: the DOT file is a
+        // throwaway visualization, never read back by any tool in the
+        // workspace, so a torn write costs a re-run, not state.
         let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
         write_dot(&graph, &vertices, &out.covered, file).map_err(|e| e.to_string())?;
         println!("wrote {path}");

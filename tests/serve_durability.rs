@@ -1,0 +1,171 @@
+//! Durable-serving integration suite: a `--data-dir` server must survive
+//! an unclean exit with nothing lost — every acknowledged `POST /update`
+//! is journaled ahead of the in-memory swap, so a restart replays the
+//! journal into a byte-identical catalog without a recording mine.
+//!
+//! The per-fault-point atomicity proof lives in `tests/crash_recovery.rs`;
+//! this suite exercises the server-level protocol: seed → update → abort
+//! → open, graceful-stop checkpointing, the `durability` response and
+//! stats surfaces, and the seed/recover guard rails.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use scpm_core::ScpmParams;
+use scpm_graph::figure1::figure1;
+use scpm_serve::{Client, DurabilityConfig, ServeConfig, Server};
+
+fn table1_params() -> ScpmParams {
+    ScpmParams::new(3, 0.6, 4)
+        .with_eps_min(0.5)
+        .with_top_k(5)
+        .with_max_attrs(3)
+}
+
+fn tdir(name: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("scpm_serve_durability_{name}"));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn config(dir: &PathBuf, checkpoint_every: u64) -> ServeConfig {
+    ServeConfig::new(table1_params(), 2)
+        .with_read_timeout(Duration::from_secs(2))
+        .with_durability(DurabilityConfig::new(dir).with_checkpoint_every(checkpoint_every))
+}
+
+const DELTA_1: &str = r#"{"add_vertices":1,"edges":[[0,11]],"attrs":[[11,"A"]]}"#;
+const DELTA_2: &str = r#"{"edges":[[1,11]]}"#;
+
+#[test]
+fn unclean_exit_replays_the_journal_into_an_identical_catalog() {
+    let dir = tdir("abort");
+    // checkpoint_every=100: nothing checkpoints after the seed, so the
+    // reopened server must recover purely by journal replay.
+    let server = Server::start(figure1(), config(&dir, 100)).unwrap();
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(5));
+    for (body, seq) in [(DELTA_1, 1u64), (DELTA_2, 2u64)] {
+        let response = client.post("/update", body).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let result = response.result().unwrap();
+        let durability = result.get("durability").expect("durability section");
+        assert_eq!(
+            durability.get("journaled_seq").and_then(|j| j.as_u64()),
+            Some(seq)
+        );
+        assert_eq!(
+            durability
+                .get("checkpoint")
+                .and_then(|c| c.as_str())
+                .map(str::to_owned),
+            Some("deferred".into())
+        );
+    }
+    let before = server.catalog().full_json().render();
+    // Unclean exit: no final checkpoint, exactly what a crash leaves.
+    server.abort();
+
+    let (server, report) = Server::open(config(&dir, 100)).unwrap();
+    assert_eq!(report.generation, 2);
+    assert_eq!(report.checkpoint_generation, 0);
+    assert_eq!(report.replayed_deltas, 2);
+    assert!(report.memo_replayed, "{:?}", report.memo_note);
+    assert_eq!(report.snapshots_skipped, 0);
+    let after = server.catalog().full_json().render();
+    assert_eq!(before, after, "recovered catalog must be byte-identical");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_stop_checkpoints_so_reopen_replays_nothing() {
+    let dir = tdir("graceful");
+    let server = Server::start(figure1(), config(&dir, 100)).unwrap();
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(5));
+    assert_eq!(client.post("/update", DELTA_1).unwrap().status, 200);
+    let before = server.catalog().full_json().render();
+    // Graceful exit: the shutdown checkpoint folds the journal away.
+    server.stop();
+
+    let (server, report) = Server::open(config(&dir, 100)).unwrap();
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.checkpoint_generation, 1, "shutdown checkpoint taken");
+    assert_eq!(report.replayed_deltas, 0);
+    assert!(report.memo_replayed, "{:?}", report.memo_note);
+    assert_eq!(server.catalog().full_json().render(), before);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn periodic_checkpoint_fires_on_the_configured_interval() {
+    let dir = tdir("periodic");
+    let server = Server::start(figure1(), config(&dir, 2)).unwrap();
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(5));
+    let first = client.post("/update", DELTA_1).unwrap();
+    let second = client.post("/update", DELTA_2).unwrap();
+    let status = |response: &scpm_serve::Response| {
+        response
+            .result()
+            .unwrap()
+            .get("durability")
+            .and_then(|d| d.get("checkpoint"))
+            .and_then(|c| c.as_str())
+            .map(str::to_owned)
+    };
+    assert_eq!(status(&first), Some("deferred".into()));
+    assert_eq!(status(&second), Some("written".into()));
+    // /stats reflects the durable position.
+    let stats = client.get("/stats").unwrap();
+    let durability = stats.result().unwrap().get("durability").cloned().unwrap();
+    assert_eq!(
+        durability.get("generation").and_then(|j| j.as_u64()),
+        Some(2)
+    );
+    assert_eq!(
+        durability.get("last_checkpoint").and_then(|j| j.as_u64()),
+        Some(2)
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn in_memory_updates_report_no_durability_section() {
+    let server = Server::start(
+        figure1(),
+        ServeConfig::new(table1_params(), 2).with_read_timeout(Duration::from_secs(2)),
+    )
+    .unwrap();
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(5));
+    let response = client.post("/update", DELTA_1).unwrap();
+    assert_eq!(response.status, 200);
+    assert!(response.result().unwrap().get("durability").is_none());
+    server.stop();
+}
+
+#[test]
+fn seeding_an_initialized_directory_is_refused() {
+    let dir = tdir("reseed");
+    let server = Server::start(figure1(), config(&dir, 100)).unwrap();
+    server.stop();
+    let err = match Server::start(figure1(), config(&dir, 100)) {
+        Ok(_) => panic!("reseeding an initialized directory must fail"),
+        Err(e) => e,
+    };
+    assert!(err.contains("already initialized"), "{err}");
+    // The refusal left the directory recoverable.
+    let (server, report) = Server::open(config(&dir, 100)).unwrap();
+    assert_eq!(report.generation, 0);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn open_without_durability_config_is_refused() {
+    let err = match Server::open(ServeConfig::new(table1_params(), 2)) {
+        Ok(_) => panic!("open without a data dir must fail"),
+        Err(e) => e,
+    };
+    assert!(err.contains("durability"), "{err}");
+}

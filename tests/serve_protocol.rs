@@ -327,8 +327,16 @@ fn stats_reports_all_sections() {
         let stats = response.result().unwrap();
         assert_eq!(
             stats.keys(),
-            vec!["server", "catalog", "mining", "null_model_cache"]
+            vec![
+                "server",
+                "catalog",
+                "mining",
+                "null_model_cache",
+                "durability"
+            ]
         );
+        // In-memory serving reports no durability state.
+        assert_eq!(stats.get("durability"), Some(&Json::Null));
         let server = stats.get("server").unwrap();
         assert_eq!(server.get("threads").and_then(Json::as_u64), Some(2));
         let catalog = stats.get("catalog").unwrap();

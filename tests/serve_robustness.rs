@@ -2,8 +2,10 @@
 //! produce structured JSON errors — never a panic, never a wedged worker.
 //!
 //! Directed cases cover every limit in the HTTP reader (oversized request
-//! line, header flood, giant body, bad UTF-8, unsupported framing) and the
-//! parameter validators behind `POST /mine`. A proptest fuzzer then throws
+//! line, header flood, giant body, bad UTF-8, unsupported framing), the
+//! service limits (connection cap → deterministic 503, blocked-write
+//! timeout), and the parameter validators behind `POST /mine`. A proptest
+//! fuzzer then throws
 //! random byte soup and randomized HTTP-shaped requests at a shared live
 //! server. After *every* hostile exchange the server must still answer
 //! `GET /health` with the byte-exact golden — the "never wedged" check.
@@ -174,6 +176,107 @@ fn slow_loris_times_out_without_wedging() {
     );
     assert!(text.contains("\"code\":\"timeout\""), "{text:?}");
     assert_still_healthy("slow-loris connection");
+}
+
+#[test]
+fn connections_beyond_the_cap_get_a_deterministic_503() {
+    // Dedicated server: two workers but a single admission slot.
+    let config = ServeConfig::new(table1_params(), 2)
+        .with_read_timeout(Duration::from_secs(2))
+        .with_max_connections(1);
+    let server = Server::start(figure1(), config).expect("start capped server");
+
+    // Occupy the slot with a keep-alive connection: once its response is
+    // fully read, the worker is parked in the next read, still admitted.
+    let mut holder = TcpStream::connect(server.addr()).unwrap();
+    holder
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    holder.write_all(b"GET /health HTTP/1.1\r\n\r\n").unwrap();
+    let mut seen = Vec::new();
+    let mut buf = [0u8; 4096];
+    while !String::from_utf8_lossy(&seen).contains(HEALTH_GOLDEN) {
+        let n = holder.read(&mut buf).expect("holder read");
+        assert!(n > 0, "holder connection closed early: {seen:?}");
+        seen.extend_from_slice(&buf[..n]);
+    }
+
+    // The slot is taken: the next connection is refused, deterministically.
+    let refused = Client::new(server.addr())
+        .with_timeout(Duration::from_secs(5))
+        .get("/health")
+        .expect("refused connection still gets a response");
+    assert_eq!(refused.status, 503, "{}", refused.body);
+    assert!(
+        refused.body.contains("\"code\":\"saturated\""),
+        "{}",
+        refused.body
+    );
+
+    // Closing the holder frees the slot; the server must admit again.
+    drop(holder);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(response) = Client::new(server.addr())
+            .with_timeout(Duration::from_secs(1))
+            .get("/health")
+        {
+            if response.status == 200 {
+                break;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed after the holder closed"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.stop();
+}
+
+#[test]
+fn blocked_response_writes_time_out_and_free_the_worker() {
+    // Single worker, short write timeout: a client that floods pipelined
+    // requests and never reads a byte fills both socket buffers until the
+    // server's response write blocks. The write timeout must fire and
+    // release the worker rather than wedge the server forever.
+    let config = ServeConfig::new(table1_params(), 1)
+        .with_read_timeout(Duration::from_millis(500))
+        .with_write_timeout(Duration::from_millis(200));
+    let server = Server::start(figure1(), config).expect("start single-worker server");
+
+    let mut flood = TcpStream::connect(server.addr()).unwrap();
+    flood
+        .set_write_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    // Stop once our own send blocks: at that point the server has stopped
+    // reading, which means its write side is already stalled.
+    for _ in 0..100_000 {
+        if flood.write_all(b"GET /catalog HTTP/1.1\r\n\r\n").is_err() {
+            break;
+        }
+    }
+
+    // With `flood` still open and unread, the worker must recover via its
+    // write timeout and serve fresh connections again.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(response) = Client::new(server.addr())
+            .with_timeout(Duration::from_secs(1))
+            .get("/health")
+        {
+            if response.status == 200 && response.body == HEALTH_GOLDEN {
+                break;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never recovered from a blocked response write"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    drop(flood);
+    server.stop();
 }
 
 #[test]
