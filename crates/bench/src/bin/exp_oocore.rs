@@ -1,0 +1,283 @@
+//! E-OOCORE — the out-of-core memory-budget gate: a large synthetic
+//! graph is ingested through the bounded-memory external pass and mined
+//! through the zero-copy mapped path, and both must be **byte-identical**
+//! to the unbudgeted in-memory pipeline — while the budgeted process
+//! keeps its peak RSS under an explicit ceiling.
+//!
+//! Two phases so CI can clamp only the phase under test:
+//!
+//! ```text
+//! # Phase 1 (no limits): materialize sources + the unbudgeted reference.
+//! cargo run --release -p scpm-bench --bin exp_oocore -- reference \
+//!     [scale] [seed] [work_dir]
+//!
+//! # Phase 2 (run under `ulimit -v`): budgeted ingest + mmap mine.
+//! cargo run --release -p scpm-bench --bin exp_oocore -- budgeted \
+//!     [scale] [seed] [work_dir] [budget_bytes] [max_peak_rss_bytes]
+//! ```
+//!
+//! The reference phase writes the interchange files, the in-memory
+//! snapshot (`reference.snap`) and a fingerprint of the in-memory mining
+//! run (`reference.fp`: FNV-1a of the reports+patterns debug rendering,
+//! plus the counts). The budgeted phase re-ingests the same files under
+//! `budget_bytes` via `scpm_datasets::external`, byte-compares the
+//! snapshots chunk by chunk (never holding either in memory), mines the
+//! external snapshot with `scpm_core::segments::mine_mapped` under the
+//! same budget, compares fingerprints, and finally reads `VmHWM` from
+//! `/proc/self/status` — exiting nonzero on any divergence or when the
+//! high-water mark exceeds `max_peak_rss_bytes` (0 = don't assert; the
+//! measurement is still printed).
+//!
+//! Mining parameters are derived deterministically from the vertex count
+//! (both phases see the same graph, so both derive the same parameters).
+
+use std::io::Read;
+use std::path::Path;
+use std::process::ExitCode;
+
+use scpm_bench::{arg_f64, arg_str, arg_usize, row, timed};
+use scpm_core::{mine_mapped, Scpm, ScpmParams, ScpmResult};
+use scpm_datasets::ingest::{ingest_files, IngestOptions, SourceFormat};
+use scpm_datasets::{citeseer_like, ingest_files_external, ExternalOptions};
+use scpm_graph::io::{write_attr_table, write_edge_list};
+use scpm_graph::{fnv1a64, save_snapshot, MappedSnapshot};
+
+/// Paper-shaped thresholds scaled to the graph: σmin grows with `n` so
+/// the lattice stays tractable at every scale.
+fn params_for(n: usize) -> ScpmParams {
+    ScpmParams::new((n / 150).max(16), 0.5, 8)
+        .with_eps_min(0.1)
+        .with_top_k(3)
+        .with_max_attrs(2)
+}
+
+/// Everything a run reports except wall-clock, as one comparable hash.
+fn fingerprint(r: &ScpmResult) -> u64 {
+    fnv1a64(format!("{:?}|{:?}", r.reports, r.patterns).as_bytes())
+}
+
+/// `VmHWM` (peak resident set) of this process, in bytes.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Chunked byte comparison, O(1) memory.
+fn files_identical(a: &Path, b: &Path) -> std::io::Result<bool> {
+    let (ma, mb) = (std::fs::metadata(a)?, std::fs::metadata(b)?);
+    if ma.len() != mb.len() {
+        return Ok(false);
+    }
+    let (mut fa, mut fb) = (std::fs::File::open(a)?, std::fs::File::open(b)?);
+    let (mut ba, mut bb) = (vec![0u8; 64 << 10], vec![0u8; 64 << 10]);
+    loop {
+        let na = fa.read(&mut ba)?;
+        if na == 0 {
+            return Ok(true);
+        }
+        fb.read_exact(&mut bb[..na])?;
+        if ba[..na] != bb[..na] {
+            return Ok(false);
+        }
+    }
+}
+
+fn reference(scale: f64, seed: u64, dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let (dataset, secs) = timed(|| citeseer_like(scale, seed));
+    let graph = dataset.graph;
+    row!(
+        "generate",
+        format!("{secs:.3}"),
+        format!(
+            "n={} m={} attrs={}",
+            graph.num_vertices(),
+            graph.num_edges(),
+            graph.num_attributes()
+        )
+    );
+
+    let edges_path = dir.join("oocore.edges");
+    let attrs_path = dir.join("oocore.attrs");
+    let (written, secs) = timed(|| -> Result<(), String> {
+        write_edge_list(
+            graph.graph(),
+            std::io::BufWriter::new(std::fs::File::create(&edges_path).map_err(|e| e.to_string())?),
+        )
+        .map_err(|e| e.to_string())?;
+        write_attr_table(
+            &graph,
+            std::io::BufWriter::new(std::fs::File::create(&attrs_path).map_err(|e| e.to_string())?),
+        )
+        .map_err(|e| e.to_string())
+    });
+    written?;
+    row!(
+        "write-interchange",
+        format!("{secs:.3}"),
+        "oocore.edges + oocore.attrs"
+    );
+    drop(graph); // Ingest below re-parses from disk; don't double-hold.
+
+    // The unbudgeted reference pipeline: buffered parse → normalize →
+    // snapshot. This is the memory-hungry path the budgeted phase must
+    // reproduce byte for byte.
+    let (ingested, secs) = timed(|| {
+        ingest_files(
+            SourceFormat::EdgeList,
+            &edges_path,
+            Some(attrs_path.as_path()),
+            &IngestOptions::default(),
+        )
+    });
+    let ingested = ingested.map_err(|e| e.to_string())?;
+    let snap_path = dir.join("reference.snap");
+    save_snapshot(&ingested.graph, &snap_path).map_err(|e| e.to_string())?;
+    row!(
+        "ingest-in-memory",
+        format!("{secs:.3}"),
+        format!(
+            "snapshot {} bytes",
+            std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0)
+        )
+    );
+
+    let params = params_for(ingested.graph.num_vertices());
+    let (result, secs) = timed(|| Scpm::new(&ingested.graph, params.clone()).run());
+    let fp = fingerprint(&result);
+    std::fs::write(
+        dir.join("reference.fp"),
+        format!(
+            "{fp:016x} {} {}\n",
+            result.reports.len(),
+            result.patterns.len()
+        ),
+    )
+    .map_err(|e| e.to_string())?;
+    row!(
+        "mine-in-memory",
+        format!("{secs:.3}"),
+        format!(
+            "sigma_min={} reports={} patterns={} fp={fp:016x}",
+            params.sigma_min,
+            result.reports.len(),
+            result.patterns.len()
+        )
+    );
+    if let Some(rss) = peak_rss_bytes() {
+        row!("peak-rss", "-", format!("{rss} bytes (reference phase)"));
+    }
+    Ok(())
+}
+
+fn budgeted(scale: f64, seed: u64, dir: &Path, budget: usize, max_rss: u64) -> Result<(), String> {
+    row!(
+        "budget",
+        "-",
+        format!("{budget} bytes (scale={scale} seed={seed})")
+    );
+    let edges_path = dir.join("oocore.edges");
+    let attrs_path = dir.join("oocore.attrs");
+    let ext_path = dir.join("external.snap");
+    let (report, secs) = timed(|| {
+        ingest_files_external(
+            SourceFormat::EdgeList,
+            &edges_path,
+            Some(attrs_path.as_path()),
+            &IngestOptions::default(),
+            &ExternalOptions {
+                memory_budget: budget,
+                temp_dir: None,
+            },
+            &ext_path,
+        )
+    });
+    let report = report.map_err(|e| e.to_string())?;
+    row!(
+        "ingest-budgeted",
+        format!("{secs:.3}"),
+        format!(
+            "n={} m={} pairs={}",
+            report.vertices, report.edges, report.pairs
+        )
+    );
+
+    let identical = files_identical(&ext_path, &dir.join("reference.snap"))
+        .map_err(|e| format!("comparing snapshots: {e}"))?;
+    row!("snapshot-identical", "-", identical);
+    if !identical {
+        return Err("budgeted snapshot diverges from the in-memory reference".into());
+    }
+
+    let snap = MappedSnapshot::open(&ext_path).map_err(|e| e.to_string())?;
+    let params = params_for(snap.num_vertices());
+    let (result, secs) = timed(|| mine_mapped(&snap, params.clone(), budget));
+    let result = result.map_err(|e| e.to_string())?;
+    let fp = fingerprint(&result);
+    row!(
+        "mine-mmap",
+        format!("{secs:.3}"),
+        format!(
+            "sigma_min={} reports={} patterns={} fp={fp:016x} zero_copy={}",
+            params.sigma_min,
+            result.reports.len(),
+            result.patterns.len(),
+            snap.is_zero_copy()
+        )
+    );
+    let want = std::fs::read_to_string(dir.join("reference.fp"))
+        .map_err(|e| format!("reading reference.fp: {e}"))?;
+    let want_fp = want.split_whitespace().next().unwrap_or("");
+    if want_fp != format!("{fp:016x}") {
+        return Err(format!(
+            "mmap mine diverges from the in-memory reference (fresh {fp:016x}, reference {want_fp})"
+        ));
+    }
+    row!("mine-identical", "-", true);
+
+    let rss = peak_rss_bytes().ok_or("cannot read VmHWM from /proc/self/status")?;
+    row!(
+        "peak-rss",
+        "-",
+        format!(
+            "{rss} bytes (ceiling {max_rss}; snapshot on disk {} bytes)",
+            std::fs::metadata(&ext_path).map(|m| m.len()).unwrap_or(0)
+        )
+    );
+    if max_rss > 0 && rss > max_rss {
+        return Err(format!("peak RSS {rss} exceeds the {max_rss}-byte ceiling"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mode = arg_str(1, "");
+    let scale = arg_f64(2, 1.6);
+    let seed = arg_usize(3, 42) as u64;
+    let dir = arg_str(4, "");
+    if dir.is_empty() {
+        eprintln!("# ERROR: usage: exp_oocore reference|budgeted <scale> <seed> <work_dir> [budget_bytes] [max_peak_rss_bytes]");
+        return ExitCode::from(2);
+    }
+    let dir = std::path::PathBuf::from(dir);
+    println!("# exp_oocore {mode} scale={scale} seed={seed}");
+    println!("stage\tseconds\tdetail");
+    let outcome = match mode.as_str() {
+        "reference" => reference(scale, seed, &dir),
+        "budgeted" => {
+            let budget = arg_usize(5, 32 << 20);
+            let max_rss = arg_usize(6, 0) as u64;
+            budgeted(scale, seed, &dir, budget, max_rss)
+        }
+        other => Err(format!("unknown mode `{other}` (want reference|budgeted)")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("# ERROR: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! E-PERF — tracked performance baseline: sorted-slice vs packed-bitset
-//! hot path across a five-workload scenario matrix, under fixed seeds.
+//! hot path across a six-workload scenario matrix, under fixed seeds.
 //!
 //! ```text
 //! cargo run --release -p scpm-bench --bin exp_perf \
@@ -13,7 +13,9 @@
 //! dense-clique stress (wide candidate sets, full rows), a sparse-star
 //! graph (hub-and-spoke, empty-block skipping dominates), and a
 //! skewed-attribute distribution (head attributes induce wide subgraphs,
-//! tail attributes tiny ones). For each workload the full SCPM run
+//! tail attributes tiny ones), plus a CiteSeer-shaped citation graph an
+//! order of magnitude above the rest — the in-RAM sibling of the
+//! out-of-core `exp_oocore` gate. For each workload the full SCPM run
 //! executes twice — once with `Representation::Slice`, once with
 //! `Representation::Bitset` — and the binary **exits nonzero unless the
 //! two outcomes (reports + patterns) are byte-identical**. Wall-clock
@@ -56,7 +58,8 @@ use scpm_core::{
     DirtySet, IncrementalCtx, NullModelCache, ParallelConfig, Scpm, ScpmParams, ScpmResult,
 };
 use scpm_datasets::{
-    dblp_like, dense_clique_like, lastfm_like, skewed_attr_like, sparse_star_like, SyntheticDataset,
+    citeseer_like, dblp_like, dense_clique_like, lastfm_like, skewed_attr_like, sparse_star_like,
+    SyntheticDataset,
 };
 use scpm_graph::bitadj::{detect_kernel_backend, simd_compiled, KernelBackend};
 use scpm_graph::{AttributedGraph, DeltaOp, GraphDelta};
@@ -79,7 +82,7 @@ struct Scenario {
     min_kernel_ops_ratio: f64,
 }
 
-/// The five-workload matrix. Order is the report order; names are the
+/// The six-workload matrix. Order is the report order; names are the
 /// join keys `--check` uses against the baseline file.
 fn scenarios(dblp_scale: f64, lastfm_scale: f64, scenario_scale: f64) -> Vec<Scenario> {
     vec![
@@ -142,6 +145,25 @@ fn scenarios(dblp_scale: f64, lastfm_scale: f64, scenario_scale: f64) -> Vec<Sce
                 .with_max_attrs(2),
             kernel_ops_tolerance: 1.05,
             min_kernel_ops_ratio: 2.6,
+        },
+        // An order of magnitude above the rest of the matrix: a
+        // CiteSeer-shaped citation graph in the tens of thousands of
+        // vertices, the in-RAM sibling of the out-of-core gate
+        // (`exp_oocore` mines the same generator at ~1M edges under a
+        // memory budget and reports peak RSS; this row keeps the tracked
+        // kernel counters honest at a scale where wide subgraphs dominate
+        // the hot loops).
+        Scenario {
+            name: "large-citeseer",
+            seed: 23,
+            default_scale: 0.15 * scenario_scale,
+            generate: citeseer_like,
+            params: ScpmParams::new(400, 0.5, 8)
+                .with_eps_min(0.1)
+                .with_top_k(3)
+                .with_max_attrs(2),
+            kernel_ops_tolerance: 1.05,
+            min_kernel_ops_ratio: 1.3,
         },
     ]
 }
@@ -644,11 +666,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // In check mode the fresh JSON defaults to a scratch name — never
-    // silently overwrite the committed baseline being checked against.
+    // In check mode the fresh JSON defaults to a scratch file under the
+    // system temp dir — never silently overwrite the committed baseline
+    // being checked against, and never leave an untracked file dirtying
+    // the repo root after a local `--check` run. CI passes an explicit
+    // third positional when it wants the file as an artifact.
     let out_path = positional.get(2).cloned().unwrap_or_else(|| {
         if check_path.is_some() {
-            "BENCH_check.json".to_string()
+            std::env::temp_dir()
+                .join("BENCH_check.json")
+                .display()
+                .to_string()
         } else {
             "BENCH_scpm.json".to_string()
         }

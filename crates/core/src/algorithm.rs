@@ -118,6 +118,29 @@ impl<'g> Scpm<'g> {
         }
     }
 
+    /// Binds the algorithm to a graph with a caller-supplied null model
+    /// instead of deriving one from `graph`'s topology. This is the
+    /// out-of-core driver's constructor: [`crate::segments`] evaluates
+    /// attribute sets on per-segment *working* graphs (only the edges
+    /// incident to the segment's tidsets), but ε must still be normalized
+    /// against the **full** graph's degree distribution — a model built
+    /// from the working graph would skew `exp(σ)` and flip δ decisions.
+    ///
+    /// The caller is responsible for `model` describing the same vertex
+    /// universe `graph` was built over.
+    pub fn with_model(
+        graph: &'g AttributedGraph,
+        params: ScpmParams,
+        model: AnalyticalModel,
+    ) -> Self {
+        Scpm {
+            graph,
+            params,
+            model,
+            incr: None,
+        }
+    }
+
     /// Attaches an incremental context (see [`crate::incremental`]): a
     /// recording context fills an evaluation memo during an otherwise
     /// ordinary run; an update context additionally replays memo records
@@ -517,8 +540,22 @@ impl<'g> Scpm<'g> {
         cover_buf: &mut Vec<VertexId>,
         result: &mut ScpmResult,
     ) -> Option<EnumEntry> {
-        let base = &class[i];
-        let sibling = &class[j];
+        self.extend_pair_refs(engine, &class[i], &class[j], cover_buf, result)
+    }
+
+    /// [`Scpm::extend_pair`] on explicit entry references. The out-of-core
+    /// driver ([`crate::segments`]) calls this with `sibling` entries it
+    /// materializes one at a time from spilled covers and the mapped
+    /// inverted index, so a root's whole sibling class never has to be
+    /// resident at once.
+    pub(crate) fn extend_pair_refs(
+        &self,
+        engine: &CorrelationEngine<'g>,
+        base: &EnumEntry,
+        sibling: &EnumEntry,
+        cover_buf: &mut Vec<VertexId>,
+        result: &mut ScpmResult,
+    ) -> Option<EnumEntry> {
         // Fused intersect-and-threshold: the σmin gate abandons the merge
         // as soon as the remaining tids cannot reach it.
         let Some(tids) = base

@@ -56,6 +56,7 @@ pub mod params;
 pub mod pattern;
 pub mod report;
 pub mod scorp;
+pub mod segments;
 pub mod store;
 
 pub use algorithm::Scpm;
@@ -76,6 +77,7 @@ pub use parallel::{
 pub use params::{ScpmParams, ScpmPruneFlags};
 pub use pattern::{describe_patterns, AttributeSetReport, Pattern, ScpmResult, ScpmStats};
 pub use scorp::Scorp;
+pub use segments::mine_mapped;
 pub use store::{
     checkpoint, checkpoint_with, recover, replay_mine, DataDir, RecoveredMine, RecoveredState,
     StoreError,

@@ -20,11 +20,13 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod external;
 pub mod ingest;
 pub mod synthetic;
 pub mod vocab;
 
 pub use cache::{ingest_cached, load_or_generate, source_fingerprint};
+pub use external::{ingest_files_external, ExternalOptions};
 pub use ingest::{
     canonicalize_attributes, ingest_files, ingest_graph, ingest_source, IdPolicy, IngestError,
     IngestOptions, IngestReport, Ingested, SelfLoopPolicy, SourceFormat, UnknownVertexPolicy,

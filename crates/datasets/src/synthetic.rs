@@ -248,9 +248,10 @@ pub struct SyntheticDataset {
 
 /// Generates a dataset from a spec at the given scale (`scale = 1` matches
 /// the real dataset's vertex count; examples and benches typically use
-/// 0.02–0.25).
+/// 0.02–0.25, while out-of-core stress runs extrapolate past 1 to reach
+/// million-edge graphs).
 pub fn generate(spec: &DatasetSpec, scale: f64, seed: u64) -> SyntheticDataset {
-    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    assert!(scale > 0.0, "scale must be positive");
     let n = ((spec.vertices as f64 * scale).round() as usize).max(300);
     let num_communities = ((n as f64 * spec.communities_per_vertex).round() as usize).max(3);
     // Community sizes stay constant under scaling (a research group does
@@ -446,9 +447,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scale must be in (0, 1]")]
+    #[should_panic(expected = "scale must be positive")]
     fn rejects_zero_scale() {
         dblp_like(0.0, 0);
+    }
+
+    #[test]
+    fn accepts_scale_above_one() {
+        // Out-of-core stress runs extrapolate past the reference size.
+        let d = citeseer_like(1.1, 7);
+        let base = citeseer_like(1.0, 7);
+        assert!(d.graph.num_vertices() > base.graph.num_vertices());
     }
 
     #[test]

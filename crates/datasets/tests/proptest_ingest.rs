@@ -10,7 +10,10 @@
 //! byte-for-byte at the snapshot level.
 
 use proptest::prelude::*;
-use scpm_datasets::ingest::{canonicalize_attributes, ingest_source, IngestOptions};
+use scpm_datasets::external::{ingest_files_external, ExternalOptions};
+use scpm_datasets::ingest::{
+    canonicalize_attributes, ingest_files, ingest_source, IngestOptions, SourceFormat,
+};
 use scpm_graph::io::source::RawSource;
 use scpm_graph::io::{write_attr_table, write_edge_list};
 use scpm_graph::snapshot;
@@ -90,6 +93,60 @@ proptest! {
             snap_once.as_ref(),
             "second write/parse cycle drifted"
         );
+    }
+
+    #[test]
+    fn external_ingest_is_byte_identical_to_in_memory(
+        (n, edges, pairs) in graph_strategy(),
+        budget in prop_oneof![Just(1usize), Just(512), Just(1 << 20)],
+        case in 0u64..u64::MAX,
+    ) {
+        // The bounded-memory external pass must produce the same snapshot
+        // bytes and the same report as the buffering path, for any source
+        // and any budget (tiny budgets just mean more spill runs).
+        let mut b = AttributedGraphBuilder::new(n);
+        for (u, v) in &edges { if u != v { b.add_edge(*u, *v); } }
+        for name in NAMES { b.intern_attr(name); }
+        for (v, a) in &pairs { b.add_attr(*v, *a); }
+        let g = b.build();
+
+        let dir = std::env::temp_dir()
+            .join("scpm_proptest_external")
+            .join(format!("case-{case:016x}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges_path = dir.join("g.txt");
+        let attrs_path = dir.join("g.attrs");
+        let mut edge_buf = Vec::new();
+        write_edge_list(g.graph(), &mut edge_buf).unwrap();
+        std::fs::write(&edges_path, &edge_buf).unwrap();
+        let mut attr_buf = Vec::new();
+        write_attr_table(&g, &mut attr_buf).unwrap();
+        std::fs::write(&attrs_path, &attr_buf).unwrap();
+
+        let opts = IngestOptions::default();
+        let reference = ingest_files(
+            SourceFormat::EdgeList, &edges_path, Some(&attrs_path), &opts,
+        ).unwrap();
+        let ref_snap = dir.join("reference.snap");
+        snapshot::save_snapshot(&reference.graph, &ref_snap).unwrap();
+
+        let ext_snap = dir.join("external.snap");
+        let report = ingest_files_external(
+            SourceFormat::EdgeList,
+            &edges_path,
+            Some(&attrs_path),
+            &opts,
+            &ExternalOptions { memory_budget: budget, temp_dir: None },
+            &ext_snap,
+        ).unwrap();
+
+        let (a, b) = (
+            std::fs::read(&ref_snap).unwrap(),
+            std::fs::read(&ext_snap).unwrap(),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(a, b, "external snapshot bytes diverge");
+        prop_assert_eq!(report.to_string(), reference.report.to_string());
     }
 
     #[test]

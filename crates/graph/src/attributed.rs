@@ -150,6 +150,34 @@ impl AttributedGraph {
     }
 }
 
+impl AttributedGraph {
+    /// Assembles an attributed graph directly from validated CSR-style
+    /// parts — the zero-rebuild path the v3 snapshot decoder uses after
+    /// its structural pass. The caller guarantees the invariants the
+    /// builder would otherwise establish: `attr_offsets` monotone with
+    /// `attr_offsets[n] == vertex_attrs.len()`, per-vertex attribute
+    /// lists strictly sorted, and `attr_vertices[a]` the exact sorted
+    /// inverted lists of `vertex_attrs`.
+    pub(crate) fn from_csr_parts(
+        graph: CsrGraph,
+        attr_offsets: Vec<usize>,
+        vertex_attrs: Vec<AttrId>,
+        attr_vertices: Vec<Vec<VertexId>>,
+        attr_names: Vec<String>,
+    ) -> AttributedGraph {
+        debug_assert_eq!(attr_offsets.len(), graph.num_vertices() + 1);
+        debug_assert_eq!(*attr_offsets.last().unwrap_or(&0), vertex_attrs.len());
+        debug_assert_eq!(attr_vertices.len(), attr_names.len());
+        AttributedGraph {
+            graph,
+            attr_offsets,
+            vertex_attrs,
+            attr_vertices,
+            attr_names,
+        }
+    }
+}
+
 /// Builder for [`AttributedGraph`]s: edges plus named attributes.
 #[derive(Debug, Default)]
 pub struct AttributedGraphBuilder {

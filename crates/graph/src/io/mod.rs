@@ -26,7 +26,9 @@ use crate::attributed::{AttributedGraph, AttributedGraphBuilder};
 
 pub mod source;
 
-pub use source::{write_adjacency, write_attr_table, write_edge_list, Interner, RawSource};
+pub use source::{
+    write_adjacency, write_attr_table, write_edge_list, Interner, RawSource, StreamingSource,
+};
 
 /// Errors produced while parsing the text format.
 #[derive(Debug)]

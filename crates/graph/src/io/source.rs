@@ -169,14 +169,6 @@ impl RawSource {
         RawSource::default()
     }
 
-    fn mark_structural(&mut self, v: u32) {
-        let v = v as usize;
-        if self.structural.len() <= v {
-            self.structural.resize(v + 1, false);
-        }
-        self.structural[v] = true;
-    }
-
     /// Whether interned vertex `v` appeared in structural (edge) context.
     pub fn is_structural(&self, v: u32) -> bool {
         self.structural.get(v as usize).copied().unwrap_or(false)
@@ -186,28 +178,15 @@ impl RawSource {
     /// field, e.g. a weight, is accepted and ignored). Self-loops are
     /// counted, not stored.
     pub fn read_edge_list<R: Read>(&mut self, reader: R) -> Result<(), ParseError> {
-        for_each_row(reader, |lineno, fields| {
-            if fields.len() < 2 {
-                return Err(syntax(lineno, "edge line needs two fields `u v`"));
-            }
-            if fields.len() > 3 {
-                return Err(syntax(
-                    lineno,
-                    format!(
-                        "edge line has {} fields (max 3: `u v weight`)",
-                        fields.len()
-                    ),
-                ));
-            }
-            let u = self.vertices.intern(&fields[0]);
-            let v = self.vertices.intern(&fields[1]);
-            self.mark_structural(u);
-            self.mark_structural(v);
-            if u == v {
-                self.self_loops += 1;
-            } else {
-                self.edges.push((u.min(v), u.max(v)));
-            }
+        let RawSource {
+            vertices,
+            edges,
+            self_loops,
+            structural,
+            ..
+        } = self;
+        stream_edge_list_rows(vertices, structural, self_loops, reader, &mut |e| {
+            edges.push(e);
             Ok(())
         })
     }
@@ -218,22 +197,15 @@ impl RawSource {
     /// vertex. Symmetric listings (each edge on both endpoints' lines)
     /// simply produce duplicates, merged at ingest.
     pub fn read_adjacency<R: Read>(&mut self, reader: R) -> Result<(), ParseError> {
-        for_each_row(reader, |lineno, fields| {
-            let head = fields[0].strip_suffix(':').unwrap_or(&fields[0]);
-            if head.is_empty() {
-                return Err(syntax(lineno, "adjacency line has an empty source vertex"));
-            }
-            let u = self.vertices.intern(head);
-            self.mark_structural(u);
-            for tok in &fields[1..] {
-                let v = self.vertices.intern(tok);
-                self.mark_structural(v);
-                if u == v {
-                    self.self_loops += 1;
-                } else {
-                    self.edges.push((u.min(v), u.max(v)));
-                }
-            }
+        let RawSource {
+            vertices,
+            edges,
+            self_loops,
+            structural,
+            ..
+        } = self;
+        stream_adjacency_rows(vertices, structural, self_loops, reader, &mut |e| {
+            edges.push(e);
             Ok(())
         })
     }
@@ -244,25 +216,204 @@ impl RawSource {
     /// one row per table — a second row for the same token is an error
     /// (real-world duplicate rows are nearly always data corruption).
     pub fn read_attr_table<R: Read>(&mut self, reader: R) -> Result<(), ParseError> {
-        let mut seen: HashMap<u32, usize> = HashMap::new();
-        for_each_row(reader, |lineno, fields| {
-            let v = self.vertices.intern(&fields[0]);
-            if let Some(first) = seen.insert(v, lineno) {
-                return Err(syntax(
-                    lineno,
-                    format!(
-                        "duplicate attribute row for vertex `{}` (first at line {first})",
-                        fields[0]
-                    ),
-                ));
-            }
-            for tok in &fields[1..] {
-                let a = self.attributes.intern(tok);
-                self.pairs.push((v, a));
-            }
+        let RawSource {
+            vertices,
+            attributes,
+            pairs,
+            ..
+        } = self;
+        stream_attr_rows(vertices, attributes, reader, &mut |p| {
+            pairs.push(p);
             Ok(())
         })
     }
+}
+
+/// A callback-driven twin of [`RawSource`] that interns tokens and counts
+/// exactly like the buffering parsers but hands each edge / pair to a sink
+/// instead of accumulating it — the substrate of the bounded-memory
+/// external ingestion pass, which spills records to sorted runs on disk.
+///
+/// Re-reading the same files through a `StreamingSource` in the same order
+/// reproduces the interned ids bit-for-bit (interning is
+/// first-appearance-deterministic), which is what lets the external path's
+/// second pass relabel records without ever holding them all in memory.
+///
+/// ```
+/// use scpm_graph::io::source::StreamingSource;
+///
+/// let mut src = StreamingSource::new();
+/// let mut m = 0usize;
+/// src.read_edge_list("0 1\n1 2\n2 2\n".as_bytes(), &mut |_e| {
+///     m += 1;
+///     Ok(())
+/// })
+/// .unwrap();
+/// assert_eq!((m, src.self_loops), (2, 1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StreamingSource {
+    /// Vertex tokens, interned in first-appearance order.
+    pub vertices: Interner,
+    /// Attribute tokens, interned in first-appearance order.
+    pub attributes: Interner,
+    /// Self-loops encountered (and dropped) while reading edges.
+    pub self_loops: usize,
+    /// Structural-appearance marks, as in [`RawSource::structural`].
+    pub structural: Vec<bool>,
+}
+
+impl StreamingSource {
+    /// An empty streaming source.
+    pub fn new() -> Self {
+        StreamingSource::default()
+    }
+
+    /// Whether interned vertex `v` appeared in structural (edge) context.
+    pub fn is_structural(&self, v: u32) -> bool {
+        self.structural.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// Streams an edge list (same grammar as [`RawSource::read_edge_list`])
+    /// into `emit`, one `(min, max)` edge per call.
+    pub fn read_edge_list<R: Read>(
+        &mut self,
+        reader: R,
+        emit: &mut dyn FnMut((u32, u32)) -> Result<(), ParseError>,
+    ) -> Result<(), ParseError> {
+        stream_edge_list_rows(
+            &mut self.vertices,
+            &mut self.structural,
+            &mut self.self_loops,
+            reader,
+            emit,
+        )
+    }
+
+    /// Streams an adjacency list (same grammar as
+    /// [`RawSource::read_adjacency`]) into `emit`.
+    pub fn read_adjacency<R: Read>(
+        &mut self,
+        reader: R,
+        emit: &mut dyn FnMut((u32, u32)) -> Result<(), ParseError>,
+    ) -> Result<(), ParseError> {
+        stream_adjacency_rows(
+            &mut self.vertices,
+            &mut self.structural,
+            &mut self.self_loops,
+            reader,
+            emit,
+        )
+    }
+
+    /// Streams a vertex→attribute table (same grammar as
+    /// [`RawSource::read_attr_table`]) into `emit`, one `(vertex, attr)`
+    /// pair per call.
+    pub fn read_attr_table<R: Read>(
+        &mut self,
+        reader: R,
+        emit: &mut dyn FnMut((u32, u32)) -> Result<(), ParseError>,
+    ) -> Result<(), ParseError> {
+        stream_attr_rows(&mut self.vertices, &mut self.attributes, reader, emit)
+    }
+}
+
+fn mark_structural(structural: &mut Vec<bool>, v: u32) {
+    let v = v as usize;
+    if structural.len() <= v {
+        structural.resize(v + 1, false);
+    }
+    structural[v] = true;
+}
+
+/// Shared row loop behind both edge-list readers.
+fn stream_edge_list_rows<R: Read>(
+    vertices: &mut Interner,
+    structural: &mut Vec<bool>,
+    self_loops: &mut usize,
+    reader: R,
+    emit: &mut dyn FnMut((u32, u32)) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    for_each_row(reader, |lineno, fields| {
+        if fields.len() < 2 {
+            return Err(syntax(lineno, "edge line needs two fields `u v`"));
+        }
+        if fields.len() > 3 {
+            return Err(syntax(
+                lineno,
+                format!(
+                    "edge line has {} fields (max 3: `u v weight`)",
+                    fields.len()
+                ),
+            ));
+        }
+        let u = vertices.intern(&fields[0]);
+        let v = vertices.intern(&fields[1]);
+        mark_structural(structural, u);
+        mark_structural(structural, v);
+        if u == v {
+            *self_loops += 1;
+            Ok(())
+        } else {
+            emit((u.min(v), u.max(v)))
+        }
+    })
+}
+
+/// Shared row loop behind both adjacency readers.
+fn stream_adjacency_rows<R: Read>(
+    vertices: &mut Interner,
+    structural: &mut Vec<bool>,
+    self_loops: &mut usize,
+    reader: R,
+    emit: &mut dyn FnMut((u32, u32)) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    for_each_row(reader, |lineno, fields| {
+        let head = fields[0].strip_suffix(':').unwrap_or(&fields[0]);
+        if head.is_empty() {
+            return Err(syntax(lineno, "adjacency line has an empty source vertex"));
+        }
+        let u = vertices.intern(head);
+        mark_structural(structural, u);
+        for tok in &fields[1..] {
+            let v = vertices.intern(tok);
+            mark_structural(structural, v);
+            if u == v {
+                *self_loops += 1;
+            } else {
+                emit((u.min(v), u.max(v)))?;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Shared row loop behind both attribute-table readers. Duplicate-row
+/// detection is per call, matching the buffering reader.
+fn stream_attr_rows<R: Read>(
+    vertices: &mut Interner,
+    attributes: &mut Interner,
+    reader: R,
+    emit: &mut dyn FnMut((u32, u32)) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    let mut seen: HashMap<u32, usize> = HashMap::new();
+    for_each_row(reader, |lineno, fields| {
+        let v = vertices.intern(&fields[0]);
+        if let Some(first) = seen.insert(v, lineno) {
+            return Err(syntax(
+                lineno,
+                format!(
+                    "duplicate attribute row for vertex `{}` (first at line {first})",
+                    fields[0]
+                ),
+            ));
+        }
+        for tok in &fields[1..] {
+            let a = attributes.intern(tok);
+            emit((v, a))?;
+        }
+        Ok(())
+    })
 }
 
 /// Splits one line into fields on whitespace/commas, honoring double
@@ -488,6 +639,53 @@ mod tests {
         assert!(it.all_numeric());
         it.intern("07");
         assert!(!it.all_numeric());
+    }
+
+    #[test]
+    fn streaming_source_matches_buffered_source() {
+        let attr_text = "0 red \"b c\"\n2 red\n9\n";
+        let mut raw = RawSource::new();
+        raw.read_edge_list("0 1 0.5\n2 2\n1,0\n".as_bytes())
+            .unwrap();
+        raw.read_adjacency("3: 1 2\n".as_bytes()).unwrap();
+        raw.read_attr_table(attr_text.as_bytes()).unwrap();
+
+        let mut st = StreamingSource::new();
+        let mut edges = Vec::new();
+        let mut pairs = Vec::new();
+        st.read_edge_list("0 1 0.5\n2 2\n1,0\n".as_bytes(), &mut |e| {
+            edges.push(e);
+            Ok(())
+        })
+        .unwrap();
+        st.read_adjacency("3: 1 2\n".as_bytes(), &mut |e| {
+            edges.push(e);
+            Ok(())
+        })
+        .unwrap();
+        st.read_attr_table(attr_text.as_bytes(), &mut |p| {
+            pairs.push(p);
+            Ok(())
+        })
+        .unwrap();
+
+        assert_eq!(edges, raw.edges);
+        assert_eq!(pairs, raw.pairs);
+        assert_eq!(st.self_loops, raw.self_loops);
+        assert_eq!(st.structural, raw.structural);
+        assert_eq!(st.vertices.names(), raw.vertices.names());
+        assert_eq!(st.attributes.names(), raw.attributes.names());
+    }
+
+    #[test]
+    fn streaming_sink_errors_propagate() {
+        let mut st = StreamingSource::new();
+        let e = st
+            .read_edge_list("0 1\n".as_bytes(), &mut |_| {
+                Err(ParseError::Io(std::io::Error::other("disk full")))
+            })
+            .unwrap_err();
+        assert!(e.to_string().contains("disk full"));
     }
 
     #[test]

@@ -68,10 +68,11 @@ pub use degree::DegreeDistribution;
 pub use delta::{AppliedDelta, DeltaError, DeltaOp, GraphDelta};
 pub use fault::{write_atomic, FaultInjector, FaultMode, FaultPlan};
 pub use induced::InducedSubgraph;
-pub use io::source::{Interner, RawSource};
+pub use io::source::{Interner, RawSource, StreamingSource};
 pub use journal::{JournalError, JournalRead, JournalRecord, JournalWriter, TornTail};
 pub use kcore::CoreDecomposition;
 pub use snapshot::{
-    decode, encode, fnv1a64, load_snapshot, save_snapshot, write_snapshot_atomic, SnapshotError,
+    decode, encode, encode_v2, fnv1a64, load_snapshot, save_snapshot, write_snapshot_atomic,
+    Fnv1a64, MappedSnapshot, SnapshotError,
 };
 pub use stats::GraphSummary;

@@ -6,12 +6,13 @@
 //!                [--format auto|edgelist|adjacency|unified]
 //!                [--ids auto|intern|numeric] [--self-loops drop|error]
 //!                [--strict-vertices] [--raw-attr-order] [--top N]
+//!                [--memory-budget BYTES]
 //! scpm mine      --graph g.txt | --snapshot g.snap
 //!                [--sigma-min N] [--gamma F] [--min-size N]
 //!                [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
 //!                [--min-attrs N] [--max-attrs N] [--threads N] [--split-depth N]
 //!                [--algo scpm|levelwise|scorp|naive] [--repr bitset|slice|simd] [--limit N]
-//!                [--json]
+//!                [--json] [--mmap] [--memory-budget BYTES]
 //! scpm update    --graph g.txt | --snapshot g.snap --delta d.txt
 //!                [--out g2.snap] [--json] [+ the mine thresholds]
 //! scpm serve     --graph g.txt | --snapshot g.snap [--port N] [--host H]
@@ -50,7 +51,7 @@ use scpm_datasets::ingest::{
     detect_format, ingest_files, IdPolicy, IngestOptions, SelfLoopPolicy, SourceFormat,
     UnknownVertexPolicy,
 };
-use scpm_datasets::DatasetSpec;
+use scpm_datasets::{ingest_files_external, DatasetSpec, ExternalOptions};
 use scpm_graph::io::{load_attributed, save_attributed, write_dot};
 use scpm_graph::snapshot::{load_snapshot, save_snapshot};
 use scpm_graph::stats::GraphSummary;
@@ -108,12 +109,13 @@ const USAGE: &str = "usage:
                  [--format auto|edgelist|adjacency|unified]
                  [--ids auto|intern|numeric] [--self-loops drop|error]
                  [--strict-vertices] [--raw-attr-order] [--top N]
+                 [--memory-budget BYTES]   (bounded-memory external pass)
   scpm mine      --graph <file> | --snapshot <file.snap>
                  [--sigma-min N] [--gamma F] [--min-size N]
                  [--eps-min F] [--delta-min F] [--top-k N] [--order dfs|bfs]
                  [--min-attrs N] [--max-attrs N] [--threads N] [--split-depth N]
                  [--algo scpm|levelwise|scorp|naive] [--repr bitset|slice|simd] [--limit N]
-                 [--json]
+                 [--json] [--mmap] [--memory-budget BYTES]   (zero-copy out-of-core mine)
   scpm update    --graph <file> | --snapshot <file.snap> --delta <file>
                  [--out <file>[.snap]] [--json] [+ the mine thresholds]
   scpm serve     --graph <file> | --snapshot <file.snap> [--port N] [--host H]
@@ -138,7 +140,7 @@ struct Flags {
     bools: Vec<String>,
 }
 
-const BOOL_FLAGS: &[&str] = &["naive", "strict-vertices", "raw-attr-order", "json"];
+const BOOL_FLAGS: &[&str] = &["naive", "strict-vertices", "raw-attr-order", "json", "mmap"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Flags, String> {
@@ -268,8 +270,57 @@ fn ingest_from_flags(flags: &Flags) -> Result<scpm_datasets::Ingested, String> {
     ingest_files(format, structure, attrs, &opts).map_err(|e| e.to_string())
 }
 
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
+/// 1024), e.g. `--memory-budget 256m`.
+fn parse_bytes(text: &str) -> Result<usize, String> {
+    let lower = text.to_ascii_lowercase();
+    let (digits, shift) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (
+            d,
+            match lower.as_bytes()[lower.len() - 1] {
+                b'k' => 10,
+                b'm' => 20,
+                _ => 30,
+            },
+        ),
+        None => (lower.as_str(), 0),
+    };
+    let base: usize = digits
+        .parse()
+        .map_err(|_| format!("invalid byte count `{text}` (want e.g. 1048576, 64m, 2g)"))?;
+    base.checked_shl(shift)
+        .filter(|&v| v >> shift == base)
+        .ok_or_else(|| format!("byte count `{text}` overflows"))
+}
+
 fn ingest(flags: &Flags) -> Result<(), String> {
     let out = flags.required("out")?;
+    // A memory budget routes through the bounded-memory external pass,
+    // which writes the snapshot itself (spill/merge, byte-identical to
+    // the in-memory path — see crates/datasets/src/external.rs).
+    if let Some(budget) = flags.str("memory-budget") {
+        let budget = parse_bytes(budget)?;
+        let structure = Path::new(flags.required("edges")?);
+        let format = format_from(flags, structure)?;
+        let attrs = flags.str("attrs").map(Path::new);
+        let opts = ingest_opts_from(flags)?;
+        let ext = ExternalOptions {
+            memory_budget: budget,
+            temp_dir: None,
+        };
+        let report = ingest_files_external(format, structure, attrs, &opts, &ext, Path::new(out))
+            .map_err(|e| e.to_string())?;
+        print!("{report}");
+        let bytes = std::fs::metadata(out)
+            .map_err(|e| format!("statting {out}: {e}"))?
+            .len();
+        println!(
+            "wrote {out}: snapshot v{} ({} bytes, fnv1a-checksummed, external pass ≤ {budget} B buffers)",
+            scpm_graph::snapshot::VERSION,
+            bytes
+        );
+        return Ok(());
+    }
     let ingested = ingest_from_flags(flags)?;
     print!("{}", ingested.report);
     let bytes = scpm_graph::snapshot::encode(&ingested.graph);
@@ -327,7 +378,58 @@ fn params_from(flags: &Flags) -> Result<ScpmParams, String> {
     )
 }
 
+/// `scpm mine --mmap`: the out-of-core path. The snapshot is mapped
+/// zero-copy, the null model comes from the mapped CSR offsets, and the
+/// attribute lattice is mined segment by segment under `--memory-budget`
+/// (see `scpm_core::segments`). Output — text tables or the `--json`
+/// catalog — is byte-identical to the in-memory `scpm mine` on the same
+/// snapshot and parameters.
+fn mine_mmap(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .str("snapshot")
+        .ok_or("--mmap requires --snapshot (the zero-copy path reads the binary format)")?;
+    if flags.str("graph").is_some() {
+        return Err("--mmap and --graph are mutually exclusive".into());
+    }
+    if flags.flag("naive") || flags.str("algo").is_some_and(|a| a != "scpm") {
+        return Err("--mmap supports only the default scpm algorithm".into());
+    }
+    if flags.num("threads", 1usize)? > 1 {
+        return Err("--mmap is single-threaded (segments bound memory, not cores)".into());
+    }
+    let params = params_from(flags)?;
+    let budget = parse_bytes(flags.str("memory-budget").unwrap_or("64m"))?;
+    let snap =
+        scpm_graph::MappedSnapshot::open(path).map_err(|e| format!("mapping {path}: {e}"))?;
+    let result = scpm_core::mine_mapped(&snap, params.clone(), budget)
+        .map_err(|e| format!("mining {path}: {e}"))?;
+    // A names-only stand-in graph: rendering and the catalog need vertex
+    // count and attribute names, never edges or assignments.
+    let mut b = scpm_graph::AttributedGraphBuilder::new(snap.num_vertices());
+    for a in 0..snap.num_attributes() as u32 {
+        b.intern_attr(
+            snap.attr_name(a)
+                .map_err(|e| format!("reading {path}: {e}"))?,
+        );
+    }
+    let names = b.build();
+    if flags.flag("json") {
+        let catalog = scpm_serve::PatternCatalog::build(&names, &params, result, 0);
+        println!("{}", catalog.full_json().render());
+        return Ok(());
+    }
+    let limit = flags.num("limit", 10usize)?;
+    println!("{}", render_top_tables(&names, &result, limit));
+    println!("patterns (best {limit}):");
+    println!("{}", render_patterns(&names, &result, limit));
+    println!("{}", render_summary(&result));
+    Ok(())
+}
+
 fn mine(flags: &Flags) -> Result<(), String> {
+    if flags.flag("mmap") {
+        return mine_mmap(flags);
+    }
     let graph = load(flags)?;
     let params = params_from(flags)?;
     let catalog_params = params.clone();
@@ -910,6 +1012,74 @@ mod tests {
         ])
         .unwrap();
         assert!(load(&f).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes() {
+        assert_eq!(parse_bytes("1048576").unwrap(), 1 << 20);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("64M").unwrap(), 64 << 20);
+        assert_eq!(parse_bytes("2g").unwrap(), 2 << 30);
+        assert!(parse_bytes("lots").is_err());
+        assert!(parse_bytes("9999999999999999999g").is_err());
+    }
+
+    #[test]
+    fn budgeted_ingest_and_mmap_mine_match_in_memory() {
+        let dir = std::env::temp_dir().join("scpm_cli_oocore_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.edges");
+        let attrs = dir.join("g.attrs");
+        std::fs::write(&edges, "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n3 4\n").unwrap();
+        std::fs::write(&attrs, "0 db\n1 db\n2 db\n3 db ml\n4 ml\n").unwrap();
+        let (snap_a, snap_b) = (dir.join("inmem.snap"), dir.join("ext.snap"));
+        let base = [
+            "--edges",
+            edges.to_str().unwrap(),
+            "--attrs",
+            attrs.to_str().unwrap(),
+            "--out",
+        ];
+        let mut in_mem: Vec<&str> = base.to_vec();
+        in_mem.push(snap_a.to_str().unwrap());
+        ingest(&parse(&in_mem).unwrap()).unwrap();
+        let mut external: Vec<&str> = base.to_vec();
+        external.extend([snap_b.to_str().unwrap(), "--memory-budget", "1"]);
+        ingest(&parse(&external).unwrap()).unwrap();
+        assert_eq!(
+            std::fs::read(&snap_a).unwrap(),
+            std::fs::read(&snap_b).unwrap(),
+            "budgeted ingest must be byte-identical"
+        );
+        // The out-of-core mine accepts the snapshot and runs end to end.
+        let f = parse(&[
+            "--snapshot",
+            snap_b.to_str().unwrap(),
+            "--mmap",
+            "--memory-budget",
+            "1k",
+            "--sigma-min",
+            "3",
+            "--gamma",
+            "0.6",
+            "--min-size",
+            "4",
+        ])
+        .unwrap();
+        mine(&f).unwrap();
+        // --mmap needs the binary format and exactly the scpm algorithm.
+        let f = parse(&["--graph", snap_b.to_str().unwrap(), "--mmap"]).unwrap();
+        assert!(mine(&f).is_err());
+        let f = parse(&[
+            "--snapshot",
+            snap_b.to_str().unwrap(),
+            "--mmap",
+            "--algo",
+            "naive",
+        ])
+        .unwrap();
+        assert!(mine(&f).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -203,7 +203,7 @@ fn cli_ingest_then_mine_snapshot_matches_in_memory_graph() {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("numeric ids"), "{text}");
-    assert!(text.contains("snapshot v2"), "{text}");
+    assert!(text.contains("snapshot v3"), "{text}");
 
     // In-memory path: write the canonical graph's snapshot directly.
     let reference_snap = dir.join("reference.snap");

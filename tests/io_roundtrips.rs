@@ -119,25 +119,33 @@ fn corrupted_text_inputs_fail_with_line_numbers() {
 
 #[test]
 fn corrupted_snapshots_fail_closed() {
+    use scpm_graph::snapshot::layout::{self, Section};
+
     let g = dblp_like(0.003, 31).graph;
     let raw = snapshot::encode(&g).to_vec();
-    // Flip bytes in the middle of the edge section: the trailing checksum
-    // catches it before the structural pass even looks.
+    // Locate the csr-edges section through the v3 directory.
+    let dir_at = layout::DIR_OFFSET + Section::CsrEdges.index() * layout::DIR_ENTRY_LEN;
+    let e_off = u64::from_le_bytes(raw[dir_at + 8..dir_at + 16].try_into().unwrap()) as usize;
+    let e_len = u64::from_le_bytes(raw[dir_at + 16..dir_at + 24].try_into().unwrap()) as usize;
+    // Flip an endpoint in the middle of the edge section: the section
+    // checksum catches it before the structural pass even looks.
     let mut bad = raw.clone();
-    let off = 12 + 8 + 8 + 4;
-    bad[off] = 0xFF;
-    bad[off + 1] = 0xFF;
-    bad[off + 2] = 0xFF;
-    bad[off + 3] = 0xFF;
+    let off = e_off + (e_len / 8) * 4;
+    bad[off..off + 4].copy_from_slice(&[0xFF; 4]);
     assert!(matches!(
         snapshot::decode(bytes::Bytes::from(bad.clone())),
         Err(SnapshotError::ChecksumMismatch { .. })
     ));
-    // Even with the checksum forged to match, the structural layer still
+    // Even with the section checksum (and the header checksum that seals
+    // the directory) forged to match, the structural layer still
     // range-checks the now-invalid edge endpoint.
-    let body = bad.len() - 8;
-    let sum = snapshot::fnv1a64(&bad[..body]).to_le_bytes();
-    bad[body..].copy_from_slice(&sum);
+    let sum = snapshot::fnv1a64(&bad[e_off..e_off + e_len]).to_le_bytes();
+    bad[dir_at + 24..dir_at + 32].copy_from_slice(&sum);
+    let mut h = snapshot::Fnv1a64::new();
+    h.update(&bad[..layout::HEADER_CHECKSUM_OFFSET]);
+    h.update(&bad[layout::DIR_OFFSET..layout::DIR_OFFSET + layout::DIR_LEN]);
+    let at = layout::HEADER_CHECKSUM_OFFSET;
+    bad[at..at + 8].copy_from_slice(&h.finish().to_le_bytes());
     assert!(matches!(
         snapshot::decode(bytes::Bytes::from(bad)),
         Err(SnapshotError::OutOfRange { .. })

@@ -96,6 +96,11 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Resizes the buffer in place, filling any new bytes with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
+    }
+
     /// Converts the written bytes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes {
@@ -108,6 +113,19 @@ impl BytesMut {
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 

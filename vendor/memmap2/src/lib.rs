@@ -1,0 +1,261 @@
+//! Offline vendored stand-in for the `memmap2` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! small API subset the snapshot layer uses: read-only, private file
+//! mappings ([`Mmap::map`] / [`MmapOptions::map`]) that deref to `&[u8]`.
+//!
+//! On unix targets the mapping is a real `mmap(2)` call (raw `extern "C"`
+//! bindings — the environment has no `libc` crate either), so pages are
+//! faulted in on demand and never copied through a heap buffer. On other
+//! targets the shim degrades to reading the file into an 8-byte-aligned
+//! heap buffer, which preserves the API and the alignment guarantee (but
+//! not the lazy paging).
+
+#![deny(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only memory map of a file (or an aligned heap copy on targets
+/// without `mmap`). Dereferences to the mapped bytes.
+///
+/// The base address is always at least 8-byte aligned: `mmap` returns
+/// page-aligned addresses, and the fallback allocates via `u64` words.
+#[derive(Debug)]
+pub struct Mmap {
+    inner: Inner,
+}
+
+/// Builder mirroring `memmap2::MmapOptions` (subset: full-file, read-only,
+/// private mappings).
+#[derive(Debug, Default, Clone)]
+pub struct MmapOptions {
+    _private: (),
+}
+
+impl MmapOptions {
+    /// Creates a new set of options (full file, read-only).
+    pub fn new() -> Self {
+        MmapOptions::default()
+    }
+
+    /// Maps the whole of `file` read-only.
+    ///
+    /// # Safety
+    /// As in `memmap2`: the caller must ensure the file is not truncated
+    /// or written through while the map is alive (undefined behavior on
+    /// unix if it is). The snapshot layer only maps immutable,
+    /// atomically-renamed snapshot files.
+    pub unsafe fn map(&self, file: &File) -> io::Result<Mmap> {
+        Mmap::map(file)
+    }
+}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only.
+    ///
+    /// # Safety
+    /// See [`MmapOptions::map`].
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        Inner::map(file).map(|inner| Mmap { inner })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+
+    /// Length of the mapping in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the mapping is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// An owned `mmap(2)` region, unmapped on drop.
+    #[derive(Debug)]
+    pub struct Inner {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned; sharing references is safe.
+    unsafe impl Send for Inner {}
+    unsafe impl Sync for Inner {}
+
+    impl Inner {
+        pub unsafe fn map(file: &File) -> io::Result<Inner> {
+            let len = file.metadata()?.len();
+            if len > usize::MAX as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "file too large to map",
+                ));
+            }
+            let len = len as usize;
+            if len == 0 {
+                // mmap(2) rejects zero-length mappings; model as empty.
+                return Ok(Inner {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            let ptr = mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            );
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Inner { ptr, len })
+        }
+
+        #[inline]
+        pub fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                &[]
+            } else {
+                // SAFETY: ptr/len describe a live PROT_READ mapping owned
+                // by self; unmapped only on drop.
+                unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+            }
+        }
+    }
+
+    impl Drop for Inner {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                // SAFETY: exactly the region returned by mmap above.
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use std::fs::File;
+    use std::io::{self, Read};
+
+    /// Heap fallback: the file contents in an 8-byte-aligned buffer.
+    #[derive(Debug)]
+    pub struct Inner {
+        words: Vec<u64>,
+        len: usize,
+    }
+
+    impl Inner {
+        pub unsafe fn map(file: &File) -> io::Result<Inner> {
+            let mut bytes = Vec::new();
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut bytes)?;
+            let len = bytes.len();
+            let mut words = vec![0u64; len.div_ceil(8)];
+            // SAFETY: u64 words reinterpreted as bytes; capacity covers len.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8)
+            };
+            dst[..len].copy_from_slice(&bytes);
+            Ok(Inner { words, len })
+        }
+
+        #[inline]
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: the words buffer holds at least len initialized bytes.
+            unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+        }
+    }
+}
+
+use sys::Inner;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join("memmap2_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file).unwrap() };
+        assert_eq!(&map[..], &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        // Base address is at least 8-byte aligned (zero-copy u64 casts
+        // in the snapshot layer rely on this).
+        assert_eq!(map.as_slice().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn maps_empty_file() {
+        let dir = std::env::temp_dir().join("memmap2_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::File::create(&path).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = unsafe { MmapOptions::new().map(&file).unwrap() };
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}
